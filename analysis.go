@@ -1,0 +1,46 @@
+package biasedres
+
+import (
+	"io"
+
+	"biasedres/internal/drift"
+	"biasedres/internal/stream"
+)
+
+// Drift detection and real-dataset ingestion, re-exported from the internal
+// packages.
+
+// DriftDetector flags stream evolution by comparing a short-horizon and a
+// long-horizon estimate of the per-dimension mean, both computed from one
+// biased reservoir with the paper's estimator and variance machinery.
+type DriftDetector = drift.Detector
+
+// DriftReport is the outcome of one drift check.
+type DriftReport = drift.Report
+
+// NewDriftDetector returns a detector over s comparing horizons
+// shortH < longH across dim dimensions, firing when any dimension's
+// z-score exceeds threshold.
+func NewDriftDetector(s Sampler, shortH, longH uint64, dim int, threshold float64) (*DriftDetector, error) {
+	return drift.NewDetector(s, shortH, longH, dim, threshold)
+}
+
+// KDDReader streams points from the real KDD CUP 1999 dataset format, for
+// reproducing the paper's experiments on the original file.
+type KDDReader = stream.KDDReader
+
+// NewKDDReader parses the KDD CUP'99 format (41 features + label). With
+// includeBinary false it yields the paper's 34 continuous attributes.
+func NewKDDReader(r io.Reader, includeBinary bool) *KDDReader {
+	return stream.NewKDDReader(r, includeBinary)
+}
+
+// ZNormalizer scales each dimension toward zero mean / unit variance with
+// running estimates — the paper's per-dimension normalization, in one pass.
+type ZNormalizer = stream.ZNormalizer
+
+// NewZNormalizer wraps src with online z-normalization primed over the
+// first `warmup` points.
+func NewZNormalizer(src Stream, warmup uint64) (*ZNormalizer, error) {
+	return stream.NewZNormalizer(src, warmup)
+}

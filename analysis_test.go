@@ -1,0 +1,197 @@
+package biasedres
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDriftDetectorFacade(t *testing.T) {
+	b, err := NewBiased(0.002, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20k stationary points, then 2k shifted points.
+	g, err := NewClusterStream(ClusterConfig{Dim: 2, K: 1, Radius: 0.1, Drift: 0, EpochLen: 1000, Total: 20000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Drive(g, func(p Point) bool { b.Add(p); return true })
+	det, err := NewDriftDetector(b, 300, 5000, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := det.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Drift {
+		t.Fatalf("false alarm on stationary stream (z=%v)", rep.MaxZ)
+	}
+	for i := uint64(1); i <= 2000; i++ {
+		b.Add(Point{Index: 20000 + i, Values: []float64{10, 10}, Weight: 1})
+	}
+	rep, err = det.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Drift {
+		t.Fatalf("missed a 10-sigma-scale shift (z=%v)", rep.MaxZ)
+	}
+}
+
+func TestKDDReaderFacade(t *testing.T) {
+	// Two synthetic KDD-format rows.
+	row := func(v float64, label string) string {
+		cols := make([]string, 0, 42)
+		for i := 0; i < 41; i++ {
+			switch i {
+			case 1:
+				cols = append(cols, "udp")
+			case 2:
+				cols = append(cols, "domain")
+			case 3:
+				cols = append(cols, "SF")
+			default:
+				cols = append(cols, fmt.Sprintf("%g", v))
+			}
+		}
+		return strings.Join(append(cols, label+"."), ",")
+	}
+	in := row(1, "normal") + "\n" + row(2, "smurf") + "\n"
+	r := NewKDDReader(strings.NewReader(in), false)
+	pts := Collect(r, 0)
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if len(pts) != 2 || pts[0].Dim() != 34 {
+		t.Fatalf("parsed %d points, dim %d", len(pts), pts[0].Dim())
+	}
+	if name, _ := r.LabelName(pts[1].Label); name != "smurf" {
+		t.Fatalf("label name = %q", name)
+	}
+}
+
+func TestZNormalizerFacade(t *testing.T) {
+	g, err := NewClusterStream(ClusterConfig{Dim: 3, K: 1, Radius: 5, Drift: 0, EpochLen: 1000, Total: 20000, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := NewZNormalizer(g, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Collect(z, 10000) // warm
+	var n, sumsq float64
+	Drive(z, func(p Point) bool {
+		n++
+		sumsq += p.Values[0] * p.Values[0]
+		return true
+	})
+	if v := sumsq / n; math.Abs(v-1) > 0.15 {
+		t.Fatalf("normalized second moment %v, want ~1", v)
+	}
+}
+
+func TestGroupQueriesFacade(t *testing.T) {
+	s, err := NewVariable(1e-3, 300, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 20000; i++ {
+		label, v := 0, 1.0
+		if i%5 == 0 {
+			label, v = 1, -1.0
+		}
+		s.Add(Point{Index: i, Values: []float64{v}, Label: label, Weight: 1})
+	}
+	groups, err := GroupAverage(s, 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(groups[0][0]-1) > 0.2 || math.Abs(groups[1][0]+1) > 0.2 {
+		t.Fatalf("group averages = %v", groups)
+	}
+	counts, err := GroupCount(s, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := counts[0] + counts[1]
+	if math.Abs(counts[1]/total-0.2) > 0.1 {
+		t.Fatalf("group counts = %v", counts)
+	}
+}
+
+func TestConfusionFacade(t *testing.T) {
+	cm := NewConfusion()
+	cm.Observe(0, 0)
+	cm.Observe(0, 1)
+	acc, err := cm.Accuracy()
+	if err != nil || acc != 0.5 {
+		t.Fatalf("accuracy = %v, %v", acc, err)
+	}
+	b, _ := NewBiased(0.01, 4)
+	pr, _ := NewPrequential(1, b, 10, 0)
+	for i := uint64(1); i <= 200; i++ {
+		pr.Step(Point{Index: i, Values: []float64{float64(i % 2)}, Label: int(i % 2), Weight: 1})
+	}
+	if pr.ConfusionMatrix().Total() != pr.Scored() {
+		t.Fatal("prequential confusion out of sync")
+	}
+}
+
+func TestMergeFacade(t *testing.T) {
+	a, _ := NewUnbiased(20, 1)
+	b, _ := NewUnbiased(20, 2)
+	for i := uint64(1); i <= 500; i++ {
+		a.Add(Point{Index: i, Weight: 1})
+	}
+	for i := uint64(501); i <= 1500; i++ {
+		b.Add(Point{Index: i, Weight: 1})
+	}
+	m, err := MergeUnbiased(10, 3, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 10 || m.Processed() != 1500 {
+		t.Fatalf("merged len/t = %d/%d", m.Len(), m.Processed())
+	}
+}
+
+// Checkpoint/restore through the public API: resumed run must match the
+// uninterrupted one exactly.
+func TestSnapshotFacade(t *testing.T) {
+	run := func(interrupt bool) []Point {
+		s, err := NewVariable(1e-3, 200, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := uint64(1); i <= 5000; i++ {
+			s.Add(Point{Index: i, Values: []float64{float64(i)}, Weight: 1})
+			if interrupt && i == 2500 {
+				blob, err := s.MarshalBinary()
+				if err != nil {
+					t.Fatal(err)
+				}
+				s, err = NewVariable(0.5, 1, 999) // params will be overwritten
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := s.UnmarshalBinary(blob); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return s.Sample()
+	}
+	a, b := run(false), run(true)
+	if len(a) != len(b) {
+		t.Fatalf("sizes %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Index != b[i].Index {
+			t.Fatalf("slot %d: %d vs %d", i, a[i].Index, b[i].Index)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package biasedres
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// End-to-end exercise of the public API: generate an evolving stream, feed
+// three samplers, run horizon queries against exact truth, classify, and
+// analyze evolution — the full workflow a downstream user would run.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	cfg := DefaultClusterConfig()
+	cfg.Total = 20000
+	cfg.Seed = 5
+	gen, err := NewClusterStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const lambda, capacity = 1e-3, 100 // p_in = 0.1
+	biased, err := NewConstrained(lambda, capacity, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variable, err := NewVariable(lambda, capacity, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unbiased, err := NewUnbiased(capacity, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := NewTruth(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n := Drive(gen, func(p Point) bool {
+		truth.Observe(p)
+		biased.Add(p)
+		variable.Add(p)
+		unbiased.Add(p)
+		return true
+	})
+	if n != 20000 {
+		t.Fatalf("drove %d points", n)
+	}
+
+	// Horizon query: biased answers, with variable essentially full.
+	if got := variable.Len(); got < capacity-1 {
+		t.Errorf("variable reservoir holds %d/%d", got, capacity)
+	}
+	est, err := HorizonAverage(variable, 1000, 10)
+	if err != nil {
+		t.Fatalf("variable estimate failed: %v", err)
+	}
+	exact, err := truth.Average(1000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mae float64
+	for d := range est {
+		mae += math.Abs(est[d] - exact[d])
+	}
+	mae /= float64(len(est))
+	if mae > 0.5 {
+		t.Errorf("variable-reservoir horizon average MAE = %v (suspiciously large)", mae)
+	}
+
+	// Count query with variance.
+	cnt, v := EstimateWithVariance(biased, CountQuery(1000))
+	if cnt < 0 || v < 0 {
+		t.Fatalf("count %v variance %v", cnt, v)
+	}
+
+	// Class distribution sums to 1.
+	dist, err := ClassDistribution(variable, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, f := range dist {
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("class fractions sum to %v", sum)
+	}
+
+	// Range selectivity within [0,1].
+	rect, err := NewRect([]int{0}, []float64{0}, []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := RangeSelectivity(variable, 1000, rect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel < 0 || sel > 1 {
+		t.Fatalf("selectivity %v", sel)
+	}
+
+	// Classification over the reservoir.
+	knn, err := NewKNN(1, variable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := knn.Classify(make([]float64, 10)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Evolution analysis.
+	mix, err := MixingIndex(variable.Points())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix < 0 || mix > 1 {
+		t.Fatalf("mixing index %v", mix)
+	}
+	snap, err := ProjectReservoir(variable.Points(), variable.Processed(), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plot, err := RenderScatter(snap, 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plot, "t=20000") {
+		t.Fatalf("scatter header wrong:\n%s", plot)
+	}
+}
+
+func TestFacadeRequirements(t *testing.T) {
+	if got := ExpMaxRequirement(0.01, 1_000_000); math.Abs(got-1/(1-math.Exp(-0.01))) > 1e-6 {
+		t.Fatalf("requirement = %v", got)
+	}
+	e := Exponential{Lambda: 0.1}
+	brute := MaxReservoirRequirement(e, 100)
+	closed := ExpMaxRequirement(0.1, 100)
+	if math.Abs(brute-closed) > 1e-9*closed {
+		t.Fatalf("brute %v vs closed %v", brute, closed)
+	}
+}
+
+func TestFacadeWindowAndSync(t *testing.T) {
+	w, err := NewWindow(100, 10, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Synchronized(w)
+	for i := 1; i <= 1000; i++ {
+		s.Add(Point{Index: uint64(i), Values: []float64{float64(i)}, Weight: 1})
+	}
+	for _, p := range s.Sample() {
+		if 1000-p.Index >= 100 {
+			t.Fatalf("window sample contains expired point %d", p.Index)
+		}
+	}
+}
+
+func TestFacadeManager(t *testing.T) {
+	m, err := NewManager(100, 0.01, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register("a", 50); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 500; i++ {
+		if err := m.Add("a", Point{Index: uint64(i), Values: []float64{1}, Weight: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sample, err := m.Sample("a")
+	if err != nil || len(sample) == 0 {
+		t.Fatalf("sample: %d points, err %v", len(sample), err)
+	}
+}
+
+func TestFacadeCSVRoundTrip(t *testing.T) {
+	pts := []Point{
+		{Values: []float64{1, 2}, Label: 1, Weight: 1},
+		{Values: []float64{3, 4}, Label: 2, Weight: 1},
+	}
+	var buf bytes.Buffer
+	n, err := WriteCSV(&buf, FromSlice(pts))
+	if err != nil || n != 2 {
+		t.Fatalf("wrote %d, err %v", n, err)
+	}
+	r := NewCSVReader(&buf)
+	got := Collect(r, 0)
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if len(got) != 2 || got[1].Values[1] != 4 {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestFacadeIntrusionStream(t *testing.T) {
+	g, err := NewIntrusionStream(IntrusionConfig{Total: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := Collect(Take(g, 40), 0)
+	if len(pts) != 40 {
+		t.Fatalf("Take(40) collected %d", len(pts))
+	}
+	rest := Collect(g, 0)
+	if len(rest) != 60 {
+		t.Fatalf("remaining = %d, want 60", len(rest))
+	}
+}
+
+func TestPrequentialFacade(t *testing.T) {
+	b, _ := NewBiased(0.01, 4)
+	pr, err := NewPrequential(1, b, 50, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultClusterConfig()
+	cfg.Dim, cfg.K, cfg.Total, cfg.Seed = 2, 2, 2000, 8
+	g, _ := NewClusterStream(cfg)
+	Drive(g, func(p Point) bool { pr.Step(p); return true })
+	acc, err := pr.Accuracy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc <= 0.5 {
+		t.Fatalf("accuracy %v on 2-cluster stream", acc)
+	}
+}

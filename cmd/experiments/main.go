@@ -1,0 +1,133 @@
+// Command experiments regenerates the evaluation figures of Aggarwal's
+// "On Biased Reservoir Sampling in the presence of Stream Evolution"
+// (VLDB 2006) using this library, printing each figure's series as an
+// aligned text table.
+//
+// Usage:
+//
+//	experiments -all                 # every figure at paper scale
+//	experiments -fig 2 -scale 0.1    # one figure at a tenth of the scale
+//	experiments -fig 9 -seed 42
+//
+// Scale 1.0 is the paper's workload size (streams of 4·10⁵-5·10⁵ points,
+// reservoirs of 1000). Smaller scales shrink streams, reservoirs and
+// horizons together, preserving the dimensionless shape of each result.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"biasedres/internal/experiments"
+)
+
+// writeCSV stores one result's series under dir/<id>.csv.
+func writeCSV(dir, id string, res *experiments.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("creating %s: %w", dir, err)
+	}
+	path := filepath.Join(dir, id+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := res.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func main() {
+	var (
+		fig    = flag.String("fig", "", "figure to regenerate: 1..9 or fig1..fig9 (empty with -all for every figure)")
+		ext    = flag.String("ext", "", "extension experiment to run: lambda | window (or 'all')")
+		all    = flag.Bool("all", false, "regenerate every figure")
+		scale  = flag.Float64("scale", 1.0, "workload scale; 1.0 = paper scale")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		trials = flag.Int("trials", 0, "override per-figure trial count (0 = default)")
+		csvDir = flag.String("csv", "", "also write each result's series to <dir>/<id>.csv")
+		check  = flag.Bool("check", false, "evaluate each figure's registered shape claims and report PASS/FAIL")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Trials: *trials}
+	type job struct {
+		id  string
+		run func(string, experiments.Config) (*experiments.Result, error)
+	}
+	var jobs []job
+	if *all {
+		for _, id := range experiments.IDs() {
+			jobs = append(jobs, job{id, experiments.Run})
+		}
+	}
+	if *fig != "" {
+		id := *fig
+		if len(id) == 1 {
+			id = "fig" + id
+		}
+		jobs = append(jobs, job{id, experiments.Run})
+	}
+	switch *ext {
+	case "":
+	case "all":
+		for _, id := range experiments.ExtIDs() {
+			jobs = append(jobs, job{id, experiments.RunExt})
+		}
+	default:
+		id := *ext
+		if len(id) < 3 || id[:3] != "ext" {
+			id = "ext" + id
+		}
+		jobs = append(jobs, job{id, experiments.RunExt})
+	}
+	if len(jobs) == 0 {
+		fmt.Fprintln(os.Stderr, "experiments: pass -all, -fig N, or -ext NAME (see -h)")
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, j := range jobs {
+		id := j.id
+		start := time.Now()
+		res, err := j.run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if err := res.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: rendering %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, id, res); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *check {
+			outcomes, err := experiments.CheckClaims(id, res)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			for _, o := range outcomes {
+				status := "PASS"
+				if !o.OK {
+					status = "FAIL"
+					failed = true
+				}
+				fmt.Printf("  [%s] %s\n", status, o.Text)
+			}
+		}
+		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "experiments: one or more shape claims FAILED")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,65 @@
+// Command reservoird serves the biased reservoir sampling library over
+// HTTP: create named streams, push points, query the recent past, and
+// checkpoint/restore reservoirs across restarts. See internal/server for
+// the API.
+//
+// Usage:
+//
+//	reservoird -addr :8080 -seed 42
+//
+// Example session:
+//
+//	curl -X PUT localhost:8080/streams/sensor \
+//	     -d '{"policy":"variable","lambda":0.0001,"capacity":1000}'
+//	curl -X POST localhost:8080/streams/sensor/points \
+//	     -d '{"points":[{"values":[0.3,0.7],"label":1}]}'
+//	curl 'localhost:8080/streams/sensor/query?type=average&h=1000'
+//	curl 'localhost:8080/streams/sensor/snapshot' -o sensor.ckpt
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"biasedres/internal/server"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", ":8080", "listen address")
+		seed = flag.Uint64("seed", 1, "random seed for all samplers")
+	)
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(*seed),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("reservoird listening on %s\n", *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+		fmt.Println("reservoird shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"testing"
+
+	"biasedres/internal/stream"
+)
+
+func TestBuildKinds(t *testing.T) {
+	for _, kind := range []string{"clusters", "intrusion", "uniform"} {
+		src, err := build(kind, 100, 0, 4, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		pts := stream.Collect(src, 0)
+		if len(pts) != 100 {
+			t.Fatalf("%s yielded %d points", kind, len(pts))
+		}
+	}
+}
+
+func TestBuildDimOverride(t *testing.T) {
+	src, err := build("clusters", 10, 3, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := stream.Collect(src, 0)
+	if pts[0].Dim() != 3 {
+		t.Fatalf("dim = %d", pts[0].Dim())
+	}
+	src, err = build("uniform", 10, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts = stream.Collect(src, 0)
+	if pts[0].Dim() != 10 {
+		t.Fatalf("uniform default dim = %d", pts[0].Dim())
+	}
+}
+
+func TestBuildUnknownKind(t *testing.T) {
+	if _, err := build("bogus", 10, 0, 0, 1); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, _ := build("intrusion", 200, 0, 0, 7)
+	b, _ := build("intrusion", 200, 0, 0, 7)
+	pa, pb := stream.Collect(a, 0), stream.Collect(b, 0)
+	for i := range pa {
+		if pa[i].Label != pb[i].Label {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+}

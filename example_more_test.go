@@ -1,0 +1,111 @@
+package biasedres_test
+
+import (
+	"fmt"
+	"sort"
+
+	"biasedres"
+)
+
+// Estimate the class mix of the recent past from a biased sample of a
+// label-skewed stream.
+func ExampleClassDistribution() {
+	s, _ := biasedres.NewVariable(1e-3, 200, 5)
+	for i := uint64(1); i <= 30000; i++ {
+		label := 0
+		if i%10 == 0 {
+			label = 1
+		}
+		s.Add(biasedres.Point{Index: i, Values: []float64{0}, Label: label, Weight: 1})
+	}
+	dist, _ := biasedres.ClassDistribution(s, 1000)
+	labels := make([]int, 0, len(dist))
+	for l := range dist {
+		labels = append(labels, l)
+	}
+	sort.Ints(labels)
+	for _, l := range labels {
+		fmt.Printf("label %d: ~%.0f%%\n", l, 10*roundTo(dist[l]*10, 1))
+	}
+	// Output:
+	// label 0: ~90%
+	// label 1: ~10%
+}
+
+// Rank the most frequent labels in the recent past, with error bars.
+func ExampleTopK() {
+	s, _ := biasedres.NewVariable(1e-3, 300, 9)
+	for i := uint64(1); i <= 30000; i++ {
+		label := int(i % 3) // 0,1,2 equally...
+		if i%2 == 0 {
+			label = 0 // ...but 0 dominates
+		}
+		s.Add(biasedres.Point{Index: i, Values: []float64{0}, Label: label, Weight: 1})
+	}
+	top, _ := biasedres.TopK(s, 1000, 1)
+	fmt.Printf("most frequent label: %d\n", top[0].Label)
+	// Output:
+	// most frequent label: 0
+}
+
+// Detect a distribution shift from one reservoir: the recent horizon
+// diverges from the long-term reference.
+func ExampleNewDriftDetector() {
+	s, _ := biasedres.NewVariable(2e-3, 400, 11)
+	for i := uint64(1); i <= 20000; i++ {
+		s.Add(biasedres.Point{Index: i, Values: []float64{0}, Weight: 1})
+	}
+	det, _ := biasedres.NewDriftDetector(s, 300, 5000, 1, 5)
+	before, _ := det.Check()
+	// The mean jumps from 0 to 4.
+	for i := uint64(20001); i <= 20600; i++ {
+		s.Add(biasedres.Point{Index: i, Values: []float64{4}, Weight: 1})
+	}
+	after, _ := det.Check()
+	fmt.Printf("before shift: drift=%v\nafter shift:  drift=%v\n", before.Drift, after.Drift)
+	// Output:
+	// before shift: drift=false
+	// after shift:  drift=true
+}
+
+// A sliding-window sample: uniform over exactly the last W arrivals.
+func ExampleNewWindow() {
+	w, _ := biasedres.NewWindow(100, 10, 13)
+	for i := uint64(1); i <= 5000; i++ {
+		w.Add(biasedres.Point{Index: i, Weight: 1})
+	}
+	oldest := uint64(1 << 62)
+	for _, p := range w.Points() {
+		if p.Index < oldest {
+			oldest = p.Index
+		}
+	}
+	fmt.Printf("all sampled points within the last 100 arrivals: %v\n", 5000-oldest < 100)
+	// Output:
+	// all sampled points within the last 100 arrivals: true
+}
+
+// Merge per-shard unbiased reservoirs into one uniform sample of the whole
+// stream.
+func ExampleMergeUnbiased() {
+	shardA, _ := biasedres.NewUnbiased(20, 1)
+	shardB, _ := biasedres.NewUnbiased(20, 2)
+	for i := uint64(1); i <= 1000; i++ {
+		shardA.Add(biasedres.Point{Index: i, Weight: 1})
+	}
+	for i := uint64(1001); i <= 3000; i++ {
+		shardB.Add(biasedres.Point{Index: i, Weight: 1})
+	}
+	merged, _ := biasedres.MergeUnbiased(10, 3, shardA, shardB)
+	fmt.Printf("union sample: %d points over %d stream points\n", merged.Len(), merged.Processed())
+	// Output:
+	// union sample: 10 points over 3000 stream points
+}
+
+func roundTo(x, unit float64) float64 {
+	if x < 0 {
+		return -roundTo(-x, unit)
+	}
+	n := int(x/unit + 0.5)
+	return float64(n) * unit
+}

@@ -1,0 +1,98 @@
+package biasedres_test
+
+import (
+	"fmt"
+
+	"biasedres"
+)
+
+// Maintain an exponentially biased sample of a stream and answer a
+// recent-horizon query from it.
+func ExampleNewVariable() {
+	// Bias rate λ = 1e-3: relevance decays by 1/e every 1000 arrivals.
+	// Budget: 100 points.
+	sampler, err := biasedres.NewVariable(1e-3, 100, 42)
+	if err != nil {
+		panic(err)
+	}
+	for i := uint64(1); i <= 50000; i++ {
+		sampler.Add(biasedres.Point{
+			Index:  i,
+			Values: []float64{float64(i % 10)},
+			Weight: 1,
+		})
+	}
+	fmt.Printf("reservoir holds %d/%d points after %d arrivals\n",
+		sampler.Len(), sampler.Capacity(), sampler.Processed())
+
+	avg, err := biasedres.HorizonAverage(sampler, 1000, 1)
+	if err != nil {
+		panic(err)
+	}
+	// True average of i%10 is 4.5; the estimate is unbiased.
+	fmt.Printf("average over last 1000 arrivals ~ %.0f (true 4.5)\n", avg[0])
+	// Output:
+	// reservoir holds 100/100 points after 50000 arrivals
+	// average over last 1000 arrivals ~ 5 (true 4.5)
+}
+
+// The maximum reservoir requirement (Theorem 2.1/Corollary 2.1): a biased
+// sample never needs more than ≈1/λ points, no matter how long the stream.
+func ExampleExpMaxRequirement() {
+	for _, t := range []uint64{1000, 1000000, 1000000000} {
+		fmt.Printf("R(t=%d) <= %.1f\n", t, biasedres.ExpMaxRequirement(1e-3, t))
+	}
+	// Output:
+	// R(t=1000) <= 632.4
+	// R(t=1000000) <= 1000.5
+	// R(t=1000000000) <= 1000.5
+}
+
+// Every query estimate is the Horvitz-Thompson form of Equation 8: sampled
+// values are reweighted by their inclusion probabilities, which makes the
+// estimate unbiased even though the sample itself is biased.
+func ExampleEstimate() {
+	sampler, err := biasedres.NewBiased(0.01, 7) // capacity 100
+	if err != nil {
+		panic(err)
+	}
+	for i := uint64(1); i <= 10000; i++ {
+		sampler.Add(biasedres.Point{Index: i, Values: []float64{1}, Weight: 1})
+	}
+	est, variance := biasedres.EstimateWithVariance(sampler, biasedres.CountQuery(500))
+	fmt.Printf("count over last 500: estimate within ±3σ of 500: %v (σ=%.0f)\n",
+		est > 500-3*sqrt(variance) && est < 500+3*sqrt(variance), sqrt(variance))
+	// Output:
+	// count over last 500: estimate within ±3σ of 500: true (σ=186)
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	g := x
+	for i := 0; i < 64; i++ {
+		g = 0.5 * (g + x/g)
+	}
+	return g
+}
+
+// Snapshot a reservoir mid-stream and restore it — the resumed sampler
+// continues exactly like an uninterrupted one.
+func ExampleVariableReservoir_MarshalBinary() {
+	s, _ := biasedres.NewVariable(1e-2, 50, 3)
+	for i := uint64(1); i <= 1000; i++ {
+		s.Add(biasedres.Point{Index: i, Weight: 1})
+	}
+	blob, err := s.MarshalBinary()
+	if err != nil {
+		panic(err)
+	}
+	restored, _ := biasedres.NewVariable(1e-2, 50, 999) // state will be overwritten
+	if err := restored.UnmarshalBinary(blob); err != nil {
+		panic(err)
+	}
+	fmt.Printf("restored: %d points at t=%d\n", restored.Len(), restored.Processed())
+	// Output:
+	// restored: 50 points at t=1000
+}

@@ -1,0 +1,89 @@
+// Drift detection from a biased reservoir.
+//
+// The detector compares the per-dimension mean over a short recent horizon
+// against a long reference horizon — both estimated from one biased
+// reservoir with the paper's Horvitz-Thompson machinery, each with its own
+// variance estimate (Lemma 4.1) — and fires when the gap exceeds a z-score
+// threshold. This example streams data whose mean jumps at three known
+// points and shows the detector firing at each jump and staying quiet in
+// between.
+//
+//	go run ./examples/driftwatch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"biasedres"
+)
+
+func main() {
+	const (
+		lambda    = 2e-3 // relevance horizon ~500 points
+		capacity  = 500
+		shortH    = 300
+		longH     = 4000
+		threshold = 5.0
+	)
+
+	sampler, err := biasedres.NewVariable(lambda, capacity, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	detector, err := biasedres.NewDriftDetector(sampler, shortH, longH, 2, threshold)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Mean jumps by +2 per dimension at points 20k, 40k and 60k.
+	gen, err := biasedres.NewClusterStream(biasedres.ClusterConfig{
+		Dim: 2, K: 1, Radius: 0.5, Drift: 0, EpochLen: 1000, Total: 80000, Seed: 9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("watching a 2-dim stream, short horizon %d vs long horizon %d, threshold %.0fσ\n\n", shortH, longH, threshold)
+	fmt.Printf("%-10s %-10s %-12s %-12s %-8s\n", "points", "max z", "short mean", "long mean", "drift?")
+
+	jumps := map[uint64]bool{20000: true, 40000: true, 60000: true}
+	offset := 0.0
+	inDrift := false
+	fires := 0
+	biasedres.Drive(gen, func(p biasedres.Point) bool {
+		if jumps[p.Index] {
+			offset += 2
+		}
+		q := p
+		q.Values = []float64{p.Values[0] + offset, p.Values[1] + offset}
+		sampler.Add(q)
+		// Check densely: the drift signal is a transient — it lives
+		// while the short horizon has crossed the jump and the long
+		// horizon still remembers the old regime.
+		if p.Index%250 == 0 && p.Index >= longH {
+			rep, err := detector.Check()
+			if err != nil {
+				log.Fatal(err)
+			}
+			switch {
+			case rep.Drift && !inDrift:
+				inDrift = true
+				fires++
+				fmt.Printf("%-10d %-10.2f %-12.3f %-12.3f %-8s\n",
+					p.Index, rep.MaxZ, rep.ShortMean[rep.MaxDim], rep.LongMean[rep.MaxDim], "DRIFT")
+			case !rep.Drift && inDrift:
+				inDrift = false
+				fmt.Printf("%-10d %-10.2f %-12.3f %-12.3f %-8s\n",
+					p.Index, rep.MaxZ, rep.ShortMean[rep.MaxDim], rep.LongMean[rep.MaxDim], "cleared")
+			case p.Index%10000 == 0:
+				fmt.Printf("%-10d %-10.2f %-12.3f %-12.3f %-8s\n",
+					p.Index, rep.MaxZ, rep.ShortMean[rep.MaxDim], rep.LongMean[rep.MaxDim], "")
+			}
+		}
+		return true
+	})
+	fmt.Printf("\n%d drift episodes detected for 3 true jumps (20k/40k/60k); the signal\n", fires)
+	fmt.Println("clears by itself as the biased reservoir forgets the old regime —")
+	fmt.Println("no sliding-window bookkeeping needed.")
+}

@@ -1,0 +1,90 @@
+package biasedres
+
+import (
+	"biasedres/internal/cluster"
+	"biasedres/internal/core"
+	"biasedres/internal/query"
+	"biasedres/internal/xrand"
+)
+
+// Extensions beyond the paper's core algorithms: the skip-based unbiased
+// reservoir (Vitter's Algorithm X), wall-clock time decay, weighted
+// sampling, quantile estimation and k-means over samples.
+
+// SkipReservoir is Vitter's Algorithm X: distributionally identical to
+// NewUnbiased but drawing skip counts instead of one coin per arrival.
+type SkipReservoir = core.SkipReservoir
+
+// ZReservoir is Vitter's Algorithm Z: Algorithm X's skip draws replaced by
+// O(1) rejection sampling — the fastest unbiased reservoir on long streams.
+type ZReservoir = core.ZReservoir
+
+// TimeDecayReservoir biases by wall-clock age instead of arrival count:
+// p ∝ e^{-λ(T_now - T_r)} with per-point timestamps.
+type TimeDecayReservoir = core.TimeDecayReservoir
+
+// WeightedReservoir is Efraimidis-Spirakis A-Res: inclusion proportional to
+// each point's own Weight. It does not support Horvitz-Thompson estimation
+// (no closed-form inclusion probability).
+type WeightedReservoir = core.WeightedReservoir
+
+// KMeansConfig controls a k-means run over a sample.
+type KMeansConfig = cluster.Config
+
+// KMeansResult is the outcome of a k-means run.
+type KMeansResult = cluster.Result
+
+// NewSkipUnbiased returns an Algorithm X unbiased reservoir: same
+// distribution as NewUnbiased (Property 2.1), O(1) RNG draws per retained
+// decision instead of per arrival.
+func NewSkipUnbiased(capacity int, seed uint64) (*SkipReservoir, error) {
+	return core.NewSkipReservoir(capacity, xrand.New(seed))
+}
+
+// NewZUnbiased returns an Algorithm Z unbiased reservoir: same
+// distribution as NewUnbiased, O(1) random draws per replacement.
+func NewZUnbiased(capacity int, seed uint64) (*ZReservoir, error) {
+	return core.NewZReservoir(capacity, xrand.New(seed))
+}
+
+// NewTimeDecay returns a reservoir whose bias decays with wall-clock time
+// at rate λ per time unit, bounded by `capacity` points. Feed it with
+// AddAt(point, timestamp); plain Add treats arrivals as unit-spaced.
+func NewTimeDecay(lambda float64, capacity int, seed uint64) (*TimeDecayReservoir, error) {
+	return core.NewTimeDecayReservoir(lambda, capacity, xrand.New(seed))
+}
+
+// NewWeighted returns an A-Res weighted reservoir of the given capacity.
+func NewWeighted(capacity int, seed uint64) (*WeightedReservoir, error) {
+	return core.NewWeightedReservoir(capacity, xrand.New(seed))
+}
+
+// MergeUnbiased combines unbiased reservoirs maintained over disjoint
+// stream shards into one uniform sample of the union (distributed
+// aggregation). n must not exceed any source's current reservoir size.
+func MergeUnbiased(n int, seed uint64, sources ...*UnbiasedReservoir) (*UnbiasedReservoir, error) {
+	return core.MergeUnbiased(n, xrand.New(seed), sources...)
+}
+
+// Quantile estimates the q-quantile of one dimension over the last h
+// arrivals from a reservoir, weighting sampled points by 1/p(r,t).
+func Quantile(s Sampler, h uint64, dim int, q float64) (float64, error) {
+	return query.Quantile(s, h, dim, q)
+}
+
+// Median estimates the median of one dimension over the last h arrivals.
+func Median(s Sampler, h uint64, dim int) (float64, error) {
+	return query.Median(s, h, dim)
+}
+
+// KMeans clusters a sample (e.g. a reservoir's Points) with Lloyd's
+// algorithm and k-means++ seeding — the paper's "black-box multi-pass
+// mining algorithm over the sample" scenario.
+func KMeans(pts []Point, cfg KMeansConfig, seed uint64) (*KMeansResult, error) {
+	return cluster.KMeans(pts, cfg, xrand.New(seed))
+}
+
+// ClusterPurity scores a clustering against the points' true labels.
+func ClusterPurity(pts []Point, assign []int, k int) (float64, error) {
+	return cluster.Purity(pts, assign, k)
+}

@@ -1,0 +1,3 @@
+module biasedres
+
+go 1.22

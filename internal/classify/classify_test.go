@@ -1,0 +1,225 @@
+package classify
+
+import (
+	"testing"
+
+	"biasedres/internal/core"
+	"biasedres/internal/stream"
+	"biasedres/internal/xrand"
+)
+
+func TestNewKNNValidation(t *testing.T) {
+	b, _ := core.NewBiasedReservoir(0.1, xrand.New(1))
+	if _, err := NewKNN(0, b); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewKNN(1, nil); err == nil {
+		t.Error("nil sampler accepted")
+	}
+}
+
+func TestClassifyEmptyReservoir(t *testing.T) {
+	b, _ := core.NewBiasedReservoir(0.1, xrand.New(1))
+	c, _ := NewKNN(1, b)
+	if _, err := c.Classify([]float64{0}); err == nil {
+		t.Fatal("empty reservoir classified")
+	}
+}
+
+// trainingSampler is a fixed training set exposed through the Sampler
+// interface for deterministic classifier tests.
+type trainingSampler struct{ pts []stream.Point }
+
+func (f *trainingSampler) Add(p stream.Point)           { f.pts = append(f.pts, p) }
+func (f *trainingSampler) Points() []stream.Point       { return f.pts }
+func (f *trainingSampler) Sample() []stream.Point       { return append([]stream.Point(nil), f.pts...) }
+func (f *trainingSampler) Len() int                     { return len(f.pts) }
+func (f *trainingSampler) Capacity() int                { return len(f.pts) }
+func (f *trainingSampler) Processed() uint64            { return uint64(len(f.pts)) }
+func (f *trainingSampler) InclusionProb(uint64) float64 { return 1 }
+
+func TestClassify1NN(t *testing.T) {
+	train := &trainingSampler{pts: []stream.Point{
+		{Index: 1, Values: []float64{0, 0}, Label: 0},
+		{Index: 2, Values: []float64{10, 10}, Label: 1},
+	}}
+	c, _ := NewKNN(1, train)
+	if got, _ := c.Classify([]float64{1, 1}); got != 0 {
+		t.Fatalf("near origin classified %d", got)
+	}
+	if got, _ := c.Classify([]float64{9, 9}); got != 1 {
+		t.Fatalf("near (10,10) classified %d", got)
+	}
+}
+
+func TestClassifyKNNMajority(t *testing.T) {
+	train := &trainingSampler{pts: []stream.Point{
+		{Index: 1, Values: []float64{0}, Label: 0},
+		{Index: 2, Values: []float64{0.2}, Label: 1},
+		{Index: 3, Values: []float64{0.3}, Label: 1},
+		{Index: 4, Values: []float64{50}, Label: 0},
+	}}
+	c, _ := NewKNN(3, train)
+	// 3 nearest to 0.1 are labels {0,1,1}: majority 1.
+	if got, _ := c.Classify([]float64{0.1}); got != 1 {
+		t.Fatalf("majority vote got %d, want 1", got)
+	}
+	if c.K() != 3 {
+		t.Fatalf("K = %d", c.K())
+	}
+	// k larger than the training set degrades gracefully.
+	c5, _ := NewKNN(10, train)
+	if _, err := c5.Classify([]float64{0.1}); err != nil {
+		t.Fatalf("k>len failed: %v", err)
+	}
+}
+
+func TestPrequentialLearnsSeparableStream(t *testing.T) {
+	cfg := stream.ClusterConfig{Dim: 2, K: 2, Radius: 0.05, Drift: 0, EpochLen: 1000, Total: 5000, Seed: 3}
+	g, err := stream.NewClusterGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := core.NewBiasedReservoir(0.01, xrand.New(4))
+	pr, err := NewPrequential(1, b, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		p, ok := g.Next()
+		if !ok {
+			break
+		}
+		pr.Step(p)
+	}
+	acc, err := pr.Accuracy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Well-separated static clusters: near-perfect accuracy expected.
+	if acc < 0.95 {
+		t.Fatalf("accuracy %v on separable stream, want >= 0.95", acc)
+	}
+	if pr.Seen() != 5000 {
+		t.Fatalf("Seen = %d", pr.Seen())
+	}
+	if pr.Scored() != 4900 {
+		t.Fatalf("Scored = %d, want seen-warmup", pr.Scored())
+	}
+}
+
+func TestPrequentialConfusionMatrix(t *testing.T) {
+	cfg := stream.ClusterConfig{Dim: 2, K: 2, Radius: 0.05, Drift: 0, EpochLen: 1000, Total: 2000, Seed: 7}
+	g, _ := stream.NewClusterGenerator(cfg)
+	b, _ := core.NewBiasedReservoir(0.01, xrand.New(8))
+	pr, _ := NewPrequential(1, b, 100, 0)
+	for {
+		p, ok := g.Next()
+		if !ok {
+			break
+		}
+		pr.Step(p)
+	}
+	cm := pr.ConfusionMatrix()
+	if cm.Total() != pr.Scored() {
+		t.Fatalf("confusion total %d != scored %d", cm.Total(), pr.Scored())
+	}
+	accA, err := pr.Accuracy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	accB, err := cm.Accuracy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accA != accB {
+		t.Fatalf("accuracy mismatch: prequential %v vs confusion %v", accA, accB)
+	}
+	if _, err := cm.MacroF1(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrequentialAccuracyBeforeScoring(t *testing.T) {
+	b, _ := core.NewBiasedReservoir(0.1, xrand.New(1))
+	pr, _ := NewPrequential(1, b, 10, 0)
+	if _, err := pr.Accuracy(); err == nil {
+		t.Fatal("accuracy before scoring accepted")
+	}
+}
+
+func TestPrequentialWindowedAccuracy(t *testing.T) {
+	cfg := stream.ClusterConfig{Dim: 2, K: 2, Radius: 0.05, Drift: 0, EpochLen: 1000, Total: 3000, Seed: 5}
+	g, _ := stream.NewClusterGenerator(cfg)
+	b, _ := core.NewBiasedReservoir(0.01, xrand.New(6))
+	pr, _ := NewPrequential(1, b, 50, 500)
+	windows := 0
+	for {
+		p, ok := g.Next()
+		if !ok {
+			break
+		}
+		pr.Step(p)
+		if acc, ok := pr.WindowAccuracy(); ok {
+			windows++
+			if acc < 0 || acc > 1 {
+				t.Fatalf("window accuracy %v out of range", acc)
+			}
+		}
+	}
+	if windows < 4 {
+		t.Fatalf("expected >=4 complete windows, got %d", windows)
+	}
+	// Windowed reporting disabled.
+	pr2, _ := NewPrequential(1, b, 0, 0)
+	if _, ok := pr2.WindowAccuracy(); ok {
+		t.Fatal("disabled window reported accuracy")
+	}
+}
+
+// The paper's Figure 8 claim in miniature: on an evolving stream whose
+// classes drift apart, the biased reservoir tracks the evolution and ends
+// up more accurate than an unbiased reservoir of the same size.
+func TestBiasedBeatsUnbiasedUnderEvolution(t *testing.T) {
+	mk := func() *stream.ClusterGenerator {
+		g, err := stream.NewClusterGenerator(stream.ClusterConfig{
+			Dim: 2, K: 4, Radius: 0.35, Drift: 0.06, EpochLen: 400, Total: 60000, Seed: 11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	run := func(s core.Sampler) float64 {
+		pr, err := NewPrequential(1, s, 500, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := mk()
+		// Score only the latter half of the stream, where reservoir
+		// staleness differences have built up.
+		for i := 0; i < 30000; i++ {
+			p, _ := g.Next()
+			s.Add(p)
+		}
+		for {
+			p, ok := g.Next()
+			if !ok {
+				break
+			}
+			pr.Step(p)
+		}
+		acc, err := pr.Accuracy()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return acc
+	}
+	b, _ := core.NewBiasedReservoir(0.001, xrand.New(12)) // reservoir 1000
+	u, _ := core.NewUnbiasedReservoir(1000, xrand.New(13))
+	accB, accU := run(b), run(u)
+	t.Logf("biased %.4f vs unbiased %.4f", accB, accU)
+	if accB <= accU {
+		t.Errorf("biased accuracy %v not above unbiased %v under evolution", accB, accU)
+	}
+}

@@ -1,0 +1,148 @@
+package classify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Confusion accumulates a confusion matrix for stream classification:
+// counts of (true label, predicted label) pairs, with per-class precision
+// and recall derived on demand. The prequential drivers and experiment
+// code use it to look past headline accuracy on skewed streams, where a
+// classifier can score 99% by always predicting the majority class.
+type Confusion struct {
+	counts map[[2]int]uint64 // [true, predicted] -> count
+	total  uint64
+}
+
+// NewConfusion returns an empty confusion matrix.
+func NewConfusion() *Confusion {
+	return &Confusion{counts: make(map[[2]int]uint64)}
+}
+
+// Observe records one (true, predicted) outcome.
+func (c *Confusion) Observe(trueLabel, predicted int) {
+	c.counts[[2]int{trueLabel, predicted}]++
+	c.total++
+}
+
+// Total returns the number of observations.
+func (c *Confusion) Total() uint64 { return c.total }
+
+// Count returns the number of times trueLabel was predicted as predicted.
+func (c *Confusion) Count(trueLabel, predicted int) uint64 {
+	return c.counts[[2]int{trueLabel, predicted}]
+}
+
+// Accuracy returns the fraction of observations on the diagonal. It
+// returns an error before any observation.
+func (c *Confusion) Accuracy() (float64, error) {
+	if c.total == 0 {
+		return 0, fmt.Errorf("classify: no observations")
+	}
+	var correct uint64
+	for k, n := range c.counts {
+		if k[0] == k[1] {
+			correct += n
+		}
+	}
+	return float64(correct) / float64(c.total), nil
+}
+
+// Labels returns every label appearing as truth or prediction, sorted.
+func (c *Confusion) Labels() []int {
+	set := make(map[int]struct{})
+	for k := range c.counts {
+		set[k[0]] = struct{}{}
+		set[k[1]] = struct{}{}
+	}
+	out := make([]int, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Precision returns the fraction of `label` predictions that were correct;
+// ok is false when the label was never predicted.
+func (c *Confusion) Precision(label int) (p float64, ok bool) {
+	var predicted, correct uint64
+	for k, n := range c.counts {
+		if k[1] == label {
+			predicted += n
+			if k[0] == label {
+				correct += n
+			}
+		}
+	}
+	if predicted == 0 {
+		return 0, false
+	}
+	return float64(correct) / float64(predicted), true
+}
+
+// Recall returns the fraction of true `label` observations predicted
+// correctly; ok is false when the label never occurred.
+func (c *Confusion) Recall(label int) (r float64, ok bool) {
+	var actual, correct uint64
+	for k, n := range c.counts {
+		if k[0] == label {
+			actual += n
+			if k[1] == label {
+				correct += n
+			}
+		}
+	}
+	if actual == 0 {
+		return 0, false
+	}
+	return float64(correct) / float64(actual), true
+}
+
+// MacroF1 returns the unweighted mean F1 across labels that occurred as
+// truth — the metric of choice for the skewed intrusion stream.
+func (c *Confusion) MacroF1() (float64, error) {
+	if c.total == 0 {
+		return 0, fmt.Errorf("classify: no observations")
+	}
+	var sum float64
+	var classes int
+	for _, label := range c.Labels() {
+		r, ok := c.Recall(label)
+		if !ok {
+			continue // never a true label: no F1 contribution
+		}
+		classes++
+		p, ok := c.Precision(label)
+		if !ok || p+r == 0 {
+			continue // counted with F1 = 0
+		}
+		sum += 2 * p * r / (p + r)
+	}
+	if classes == 0 {
+		return 0, fmt.Errorf("classify: no true labels observed")
+	}
+	return sum / float64(classes), nil
+}
+
+// String renders the matrix as an aligned table (rows = truth, columns =
+// prediction).
+func (c *Confusion) String() string {
+	labels := c.Labels()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s", "true\\pred")
+	for _, p := range labels {
+		fmt.Fprintf(&b, "%8d", p)
+	}
+	b.WriteByte('\n')
+	for _, tr := range labels {
+		fmt.Fprintf(&b, "%8d", tr)
+		for _, p := range labels {
+			fmt.Fprintf(&b, "%8d", c.Count(tr, p))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,130 @@
+package classify
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleConfusion() *Confusion {
+	c := NewConfusion()
+	// Class 0: 8 correct, 2 predicted as 1.
+	for i := 0; i < 8; i++ {
+		c.Observe(0, 0)
+	}
+	c.Observe(0, 1)
+	c.Observe(0, 1)
+	// Class 1: 3 correct, 1 predicted as 0.
+	for i := 0; i < 3; i++ {
+		c.Observe(1, 1)
+	}
+	c.Observe(1, 0)
+	return c
+}
+
+func TestConfusionCountsAndAccuracy(t *testing.T) {
+	c := sampleConfusion()
+	if c.Total() != 14 {
+		t.Fatalf("total = %d", c.Total())
+	}
+	if c.Count(0, 0) != 8 || c.Count(0, 1) != 2 || c.Count(1, 0) != 1 || c.Count(1, 1) != 3 {
+		t.Fatalf("counts wrong: %v", c.counts)
+	}
+	acc, err := c.Accuracy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(acc-11.0/14) > 1e-12 {
+		t.Fatalf("accuracy = %v", acc)
+	}
+}
+
+func TestConfusionEmptyErrors(t *testing.T) {
+	c := NewConfusion()
+	if _, err := c.Accuracy(); err == nil {
+		t.Error("empty accuracy accepted")
+	}
+	if _, err := c.MacroF1(); err == nil {
+		t.Error("empty macro F1 accepted")
+	}
+	if _, ok := c.Precision(0); ok {
+		t.Error("precision of unseen label ok")
+	}
+	if _, ok := c.Recall(0); ok {
+		t.Error("recall of unseen label ok")
+	}
+}
+
+func TestConfusionPrecisionRecall(t *testing.T) {
+	c := sampleConfusion()
+	p0, ok := c.Precision(0)
+	if !ok || math.Abs(p0-8.0/9) > 1e-12 {
+		t.Fatalf("precision(0) = %v, %v", p0, ok)
+	}
+	r0, ok := c.Recall(0)
+	if !ok || math.Abs(r0-0.8) > 1e-12 {
+		t.Fatalf("recall(0) = %v, %v", r0, ok)
+	}
+	p1, _ := c.Precision(1)
+	if math.Abs(p1-0.6) > 1e-12 {
+		t.Fatalf("precision(1) = %v", p1)
+	}
+	r1, _ := c.Recall(1)
+	if math.Abs(r1-0.75) > 1e-12 {
+		t.Fatalf("recall(1) = %v", r1)
+	}
+}
+
+func TestConfusionMacroF1(t *testing.T) {
+	c := sampleConfusion()
+	f1, err := c.MacroF1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f0 := 2 * (8.0 / 9) * 0.8 / (8.0/9 + 0.8)
+	f1c := 2 * 0.6 * 0.75 / (0.6 + 0.75)
+	want := (f0 + f1c) / 2
+	if math.Abs(f1-want) > 1e-12 {
+		t.Fatalf("macro F1 = %v, want %v", f1, want)
+	}
+}
+
+func TestConfusionMacroF1SkewAware(t *testing.T) {
+	// A majority-class predictor: 99 of class 0 right, misses the 1 of
+	// class 1. Accuracy is high; macro F1 must punish it.
+	c := NewConfusion()
+	for i := 0; i < 99; i++ {
+		c.Observe(0, 0)
+	}
+	c.Observe(1, 0)
+	acc, _ := c.Accuracy()
+	f1, err := c.MacroF1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.98 {
+		t.Fatalf("accuracy = %v", acc)
+	}
+	if f1 > 0.6 {
+		t.Fatalf("macro F1 = %v, should punish the missing minority class", f1)
+	}
+}
+
+func TestConfusionLabelsAndString(t *testing.T) {
+	c := sampleConfusion()
+	c.Observe(5, 2) // labels appearing only once on either side
+	labels := c.Labels()
+	want := []int{0, 1, 2, 5}
+	if len(labels) != len(want) {
+		t.Fatalf("labels = %v", labels)
+	}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("labels = %v, want %v", labels, want)
+		}
+	}
+	s := c.String()
+	if !strings.Contains(s, "true\\pred") || !strings.Contains(s, "8") {
+		t.Fatalf("render:\n%s", s)
+	}
+}

@@ -1,0 +1,84 @@
+// Package classify implements the nearest-neighbour classification
+// application of Section 5.3: a k-NN classifier that uses a reservoir sample
+// as its training set, plus a prequential (test-then-train) evaluator that
+// reproduces the paper's classification-accuracy-vs-stream-progression
+// experiments (Figures 7 and 8).
+//
+// The paper's point is architectural, not algorithmic: sampling turns any
+// black-box mining algorithm into a stream algorithm, and a *biased*
+// reservoir keeps its training set relevant under evolution while an
+// unbiased one slowly fills with stale points.
+package classify
+
+import (
+	"fmt"
+	"sort"
+
+	"biasedres/internal/core"
+	"biasedres/internal/stats"
+)
+
+// KNN classifies points by majority vote among the k nearest reservoir
+// points under Euclidean distance. The paper uses k = 1.
+type KNN struct {
+	k int
+	s core.Sampler
+}
+
+// NewKNN returns a k-NN classifier reading its training set from s.
+func NewKNN(k int, s core.Sampler) (*KNN, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("classify: k must be positive, got %d", k)
+	}
+	if s == nil {
+		return nil, fmt.Errorf("classify: nil sampler")
+	}
+	return &KNN{k: k, s: s}, nil
+}
+
+// Classify predicts the label of x by majority vote among the k nearest
+// reservoir points (ties broken toward the closer neighbour's label). It
+// returns an error when the reservoir is empty.
+func (c *KNN) Classify(x []float64) (int, error) {
+	pts := c.s.Points()
+	if len(pts) == 0 {
+		return 0, fmt.Errorf("classify: empty reservoir")
+	}
+	if c.k == 1 {
+		// Hot path used by the paper's experiments: a single scan.
+		best := 0
+		bestD := stats.SquaredDistance(x, pts[0].Values)
+		for i := 1; i < len(pts); i++ {
+			if d := stats.SquaredDistance(x, pts[i].Values); d < bestD {
+				bestD, best = d, i
+			}
+		}
+		return pts[best].Label, nil
+	}
+	type nb struct {
+		d     float64
+		label int
+	}
+	nbs := make([]nb, len(pts))
+	for i, p := range pts {
+		nbs[i] = nb{d: stats.SquaredDistance(x, p.Values), label: p.Label}
+	}
+	sort.Slice(nbs, func(i, j int) bool { return nbs[i].d < nbs[j].d })
+	k := c.k
+	if k > len(nbs) {
+		k = len(nbs)
+	}
+	votes := make(map[int]int, k)
+	bestLabel, bestVotes := nbs[0].label, 0
+	for i := 0; i < k; i++ {
+		votes[nbs[i].label]++
+		if votes[nbs[i].label] > bestVotes {
+			bestVotes = votes[nbs[i].label]
+			bestLabel = nbs[i].label
+		}
+	}
+	return bestLabel, nil
+}
+
+// K returns the classifier's neighbour count.
+func (c *KNN) K() int { return c.k }

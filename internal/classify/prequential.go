@@ -1,0 +1,101 @@
+package classify
+
+import (
+	"fmt"
+
+	"biasedres/internal/core"
+	"biasedres/internal/stream"
+)
+
+// Prequential runs the paper's test-then-train protocol: each incoming
+// point is first classified against the current reservoir, then its true
+// label is revealed, accuracy statistics are updated, and finally the
+// sampling policy decides whether to retain the point — exactly the order
+// described in Section 5.3.
+type Prequential struct {
+	clf     *KNN
+	sampler core.Sampler
+	// warmup points are added to the reservoir without being scored so
+	// early accuracy is not dominated by a near-empty training set.
+	warmup uint64
+
+	seen    uint64
+	scored  uint64
+	correct uint64
+
+	// windowed accuracy for progression curves.
+	winSize    uint64
+	winScored  uint64
+	winCorrect uint64
+
+	confusion *Confusion
+}
+
+// NewPrequential returns an evaluator feeding sampler and scoring a k-NN
+// classifier over it. warmup is the number of initial points that only
+// train; window is the length of the rolling accuracy window (0 disables
+// windowed reporting).
+func NewPrequential(k int, sampler core.Sampler, warmup, window uint64) (*Prequential, error) {
+	clf, err := NewKNN(k, sampler)
+	if err != nil {
+		return nil, err
+	}
+	return &Prequential{
+		clf: clf, sampler: sampler, warmup: warmup, winSize: window,
+		confusion: NewConfusion(),
+	}, nil
+}
+
+// Step processes one stream point: classify (unless warming up), score,
+// then offer the point to the sampler. It returns the prediction and
+// whether it was scored.
+func (pr *Prequential) Step(p stream.Point) (predicted int, scored bool) {
+	pr.seen++
+	if pr.seen > pr.warmup && pr.sampler.Len() > 0 {
+		pred, err := pr.clf.Classify(p.Values)
+		if err == nil {
+			scored = true
+			predicted = pred
+			pr.scored++
+			pr.winScored++
+			pr.confusion.Observe(p.Label, pred)
+			if pred == p.Label {
+				pr.correct++
+				pr.winCorrect++
+			}
+		}
+	}
+	pr.sampler.Add(p)
+	return predicted, scored
+}
+
+// Accuracy returns the cumulative accuracy over all scored points. It
+// returns an error before any point has been scored.
+func (pr *Prequential) Accuracy() (float64, error) {
+	if pr.scored == 0 {
+		return 0, fmt.Errorf("classify: no points scored yet")
+	}
+	return float64(pr.correct) / float64(pr.scored), nil
+}
+
+// WindowAccuracy returns the accuracy over the current rolling window and
+// resets the window when it is complete. ok is false while the window is
+// still filling or windowed reporting is disabled.
+func (pr *Prequential) WindowAccuracy() (acc float64, ok bool) {
+	if pr.winSize == 0 || pr.winScored < pr.winSize {
+		return 0, false
+	}
+	acc = float64(pr.winCorrect) / float64(pr.winScored)
+	pr.winScored, pr.winCorrect = 0, 0
+	return acc, true
+}
+
+// ConfusionMatrix returns the evaluator's cumulative confusion matrix; the
+// returned value is live and keeps accumulating with further Steps.
+func (pr *Prequential) ConfusionMatrix() *Confusion { return pr.confusion }
+
+// Seen returns the number of stream points processed.
+func (pr *Prequential) Seen() uint64 { return pr.seen }
+
+// Scored returns the number of classified (scored) points.
+func (pr *Prequential) Scored() uint64 { return pr.scored }

@@ -1,0 +1,285 @@
+// Package client is a typed Go client for the reservoird HTTP service
+// (internal/server): create streams, push points, run recent-horizon
+// queries and move checkpoints, without hand-rolling JSON.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// Client talks to one reservoird instance.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (e.g. for custom
+// timeouts or transports).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New returns a client for the service at baseURL (e.g.
+// "http://localhost:8080").
+func New(baseURL string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("client: bad base URL: %w", err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("client: base URL %q needs scheme and host", baseURL)
+	}
+	c := &Client{
+		base: u.Scheme + "://" + u.Host,
+		hc:   &http.Client{Timeout: 30 * time.Second},
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
+}
+
+// APIError is a non-2xx response from the service.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: server returned %d: %s", e.StatusCode, e.Message)
+}
+
+func (c *Client) do(method, path string, body, out any) error {
+	var rd io.Reader
+	switch b := body.(type) {
+	case nil:
+	case []byte:
+		rd = bytes.NewReader(b)
+	default:
+		blob, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
+		rd = bytes.NewReader(blob)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return fmt.Errorf("client: building request: %w", err)
+	}
+	if rd != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("client: reading response: %w", err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		var msg struct {
+			Error string `json:"error"`
+		}
+		_ = json.Unmarshal(raw, &msg)
+		if msg.Error == "" {
+			msg.Error = string(raw)
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: msg.Error}
+	}
+	if out == nil {
+		return nil
+	}
+	if rawOut, ok := out.(*[]byte); ok {
+		*rawOut = raw
+		return nil
+	}
+	if len(raw) == 0 {
+		return nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("client: decoding response: %w", err)
+	}
+	return nil
+}
+
+// StreamConfig mirrors the service's create request.
+type StreamConfig struct {
+	Policy   string  `json:"policy,omitempty"`
+	Lambda   float64 `json:"lambda,omitempty"`
+	Capacity int     `json:"capacity,omitempty"`
+	Window   uint64  `json:"window,omitempty"`
+}
+
+// CreateStream registers a new named stream.
+func (c *Client) CreateStream(name string, cfg StreamConfig) error {
+	return c.do(http.MethodPut, "/streams/"+url.PathEscape(name), cfg, nil)
+}
+
+// DeleteStream drops a stream.
+func (c *Client) DeleteStream(name string) error {
+	return c.do(http.MethodDelete, "/streams/"+url.PathEscape(name), nil, nil)
+}
+
+// ListStreams returns the registered stream names.
+func (c *Client) ListStreams() ([]string, error) {
+	var out struct {
+		Streams []string `json:"streams"`
+	}
+	if err := c.do(http.MethodGet, "/streams", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Streams, nil
+}
+
+// Point is one point to ingest. Label and TS are optional.
+type Point struct {
+	Values []float64 `json:"values"`
+	Label  *int      `json:"label,omitempty"`
+	Weight float64   `json:"weight,omitempty"`
+	TS     *float64  `json:"ts,omitempty"`
+}
+
+// Push ingests a batch of points and returns the stream's total processed
+// count.
+func (c *Client) Push(name string, pts []Point) (processed uint64, err error) {
+	var out struct {
+		Processed uint64 `json:"processed"`
+	}
+	err = c.do(http.MethodPost, "/streams/"+url.PathEscape(name)+"/points",
+		map[string]any{"points": pts}, &out)
+	return out.Processed, err
+}
+
+// Stats describes a stream's reservoir state.
+type Stats struct {
+	Policy    string  `json:"policy"`
+	Lambda    float64 `json:"lambda"`
+	Dim       int     `json:"dim"`
+	Processed uint64  `json:"processed"`
+	Size      int     `json:"size"`
+	Capacity  int     `json:"capacity"`
+	Fill      float64 `json:"fill"`
+}
+
+// Stats fetches a stream's statistics.
+func (c *Client) Stats(name string) (*Stats, error) {
+	var out Stats
+	if err := c.do(http.MethodGet, "/streams/"+url.PathEscape(name), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+func (c *Client) queryPath(name string, params url.Values) string {
+	return "/streams/" + url.PathEscape(name) + "/query?" + params.Encode()
+}
+
+// Count estimates the number of points among the last h arrivals, with the
+// estimator's variance (Lemma 4.1).
+func (c *Client) Count(name string, h uint64) (estimate, variance float64, err error) {
+	var out struct {
+		Estimate float64 `json:"estimate"`
+		Variance float64 `json:"variance"`
+	}
+	params := url.Values{"type": {"count"}, "h": {strconv.FormatUint(h, 10)}}
+	err = c.do(http.MethodGet, c.queryPath(name, params), nil, &out)
+	return out.Estimate, out.Variance, err
+}
+
+// Average estimates the per-dimension mean of the last h arrivals.
+func (c *Client) Average(name string, h uint64) ([]float64, error) {
+	var out struct {
+		Average []float64 `json:"average"`
+	}
+	params := url.Values{"type": {"average"}, "h": {strconv.FormatUint(h, 10)}}
+	if err := c.do(http.MethodGet, c.queryPath(name, params), nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Average, nil
+}
+
+// ClassDistribution estimates the label mix of the last h arrivals.
+func (c *Client) ClassDistribution(name string, h uint64) (map[int]float64, error) {
+	var out struct {
+		Distribution map[string]float64 `json:"distribution"`
+	}
+	params := url.Values{"type": {"classdist"}, "h": {strconv.FormatUint(h, 10)}}
+	if err := c.do(http.MethodGet, c.queryPath(name, params), nil, &out); err != nil {
+		return nil, err
+	}
+	dist := make(map[int]float64, len(out.Distribution))
+	for k, v := range out.Distribution {
+		label, err := strconv.Atoi(k)
+		if err != nil {
+			return nil, fmt.Errorf("client: bad label %q in response", k)
+		}
+		dist[label] = v
+	}
+	return dist, nil
+}
+
+// GroupAverage estimates each label's per-dimension mean over the last h
+// arrivals.
+func (c *Client) GroupAverage(name string, h uint64) (map[int][]float64, error) {
+	var out struct {
+		Groups map[string][]float64 `json:"groups"`
+	}
+	params := url.Values{"type": {"groupavg"}, "h": {strconv.FormatUint(h, 10)}}
+	if err := c.do(http.MethodGet, c.queryPath(name, params), nil, &out); err != nil {
+		return nil, err
+	}
+	groups := make(map[int][]float64, len(out.Groups))
+	for k, v := range out.Groups {
+		label, err := strconv.Atoi(k)
+		if err != nil {
+			return nil, fmt.Errorf("client: bad label %q in response", k)
+		}
+		groups[label] = v
+	}
+	return groups, nil
+}
+
+// Quantile estimates the q-quantile of one dimension over the last h
+// arrivals.
+func (c *Client) Quantile(name string, h uint64, dim int, q float64) (float64, error) {
+	var out struct {
+		Quantile float64 `json:"quantile"`
+	}
+	params := url.Values{
+		"type": {"quantile"},
+		"h":    {strconv.FormatUint(h, 10)},
+		"dim":  {strconv.Itoa(dim)},
+		"q":    {strconv.FormatFloat(q, 'g', -1, 64)},
+	}
+	if err := c.do(http.MethodGet, c.queryPath(name, params), nil, &out); err != nil {
+		return 0, err
+	}
+	return out.Quantile, nil
+}
+
+// Snapshot downloads the stream's binary checkpoint.
+func (c *Client) Snapshot(name string) ([]byte, error) {
+	var raw []byte
+	if err := c.do(http.MethodGet, "/streams/"+url.PathEscape(name)+"/snapshot", nil, &raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// Restore uploads a checkpoint previously produced by Snapshot.
+func (c *Client) Restore(name string, blob []byte) error {
+	return c.do(http.MethodPost, "/streams/"+url.PathEscape(name)+"/restore", blob, nil)
+}

@@ -1,0 +1,218 @@
+// Package cluster implements k-means clustering (Lloyd's algorithm with
+// k-means++ seeding) over reservoir samples.
+//
+// It exists because of the paper's Section 4 argument: "The advantage of
+// using a sampling approach ... is that we can use any blackbox mining
+// algorithm over the smaller sample. In general, many data mining
+// algorithms require multiple passes in conjunction with parameter tuning."
+// k-means is exactly such an algorithm — multi-pass, parameter-laden — and
+// running it over a biased reservoir yields clusters of the stream's
+// *recent* state, which the evolution experiments show is what diverges
+// between biased and unbiased samples.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"biasedres/internal/stats"
+	"biasedres/internal/stream"
+	"biasedres/internal/xrand"
+)
+
+// Result is the output of one k-means run.
+type Result struct {
+	// Centers holds the k cluster centroids.
+	Centers [][]float64
+	// Assign maps each input point (by position) to its cluster.
+	Assign []int
+	// Cost is the total within-cluster sum of squared distances.
+	Cost float64
+	// Iterations is the number of Lloyd iterations performed.
+	Iterations int
+	// Converged reports whether assignments stabilized before the
+	// iteration cap.
+	Converged bool
+}
+
+// Config controls a k-means run.
+type Config struct {
+	// K is the number of clusters (required, >= 1).
+	K int
+	// MaxIter caps the Lloyd iterations; 0 means 100.
+	MaxIter int
+	// Restarts runs k-means this many times with fresh seedings and
+	// keeps the lowest-cost result; 0 means 1.
+	Restarts int
+}
+
+// KMeans clusters pts (all of one dimensionality) into cfg.K groups. It
+// returns an error when there are fewer points than clusters or the inputs
+// are malformed.
+func KMeans(pts []stream.Point, cfg Config, rng *xrand.Source) (*Result, error) {
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("cluster: K must be >= 1, got %d", cfg.K)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("cluster: nil random source")
+	}
+	if len(pts) < cfg.K {
+		return nil, fmt.Errorf("cluster: %d points cannot form %d clusters", len(pts), cfg.K)
+	}
+	dim := len(pts[0].Values)
+	if dim == 0 {
+		return nil, fmt.Errorf("cluster: zero-dimensional points")
+	}
+	for i, p := range pts {
+		if len(p.Values) != dim {
+			return nil, fmt.Errorf("cluster: point %d has dim %d, expected %d", i, len(p.Values), dim)
+		}
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 100
+	}
+	if cfg.Restarts <= 0 {
+		cfg.Restarts = 1
+	}
+	var best *Result
+	for r := 0; r < cfg.Restarts; r++ {
+		res := lloyd(pts, cfg, dim, rng)
+		if best == nil || res.Cost < best.Cost {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+func lloyd(pts []stream.Point, cfg Config, dim int, rng *xrand.Source) *Result {
+	centers := seedPlusPlus(pts, cfg.K, dim, rng)
+	assign := make([]int, len(pts))
+	for i := range assign {
+		assign[i] = -1
+	}
+	res := &Result{Centers: centers, Assign: assign}
+	counts := make([]int, cfg.K)
+	sums := make([][]float64, cfg.K)
+	for k := range sums {
+		sums[k] = make([]float64, dim)
+	}
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		res.Iterations = iter + 1
+		changed := false
+		res.Cost = 0
+		for i, p := range pts {
+			bestK, bestD := 0, math.Inf(1)
+			for k := range centers {
+				if d := stats.SquaredDistance(p.Values, centers[k]); d < bestD {
+					bestD, bestK = d, k
+				}
+			}
+			if assign[i] != bestK {
+				assign[i] = bestK
+				changed = true
+			}
+			res.Cost += bestD
+		}
+		if !changed {
+			res.Converged = true
+			return res
+		}
+		// Recompute centroids.
+		for k := range sums {
+			counts[k] = 0
+			for d := range sums[k] {
+				sums[k][d] = 0
+			}
+		}
+		for i, p := range pts {
+			k := assign[i]
+			counts[k]++
+			for d, v := range p.Values {
+				sums[k][d] += v
+			}
+		}
+		for k := range centers {
+			if counts[k] == 0 {
+				// Re-seed an empty cluster at a random point.
+				copy(centers[k], pts[rng.Intn(len(pts))].Values)
+				continue
+			}
+			for d := range centers[k] {
+				centers[k][d] = sums[k][d] / float64(counts[k])
+			}
+		}
+	}
+	return res
+}
+
+// seedPlusPlus picks K initial centers by k-means++: the first uniformly,
+// each further center with probability proportional to its squared distance
+// from the nearest chosen center.
+func seedPlusPlus(pts []stream.Point, k, dim int, rng *xrand.Source) [][]float64 {
+	centers := make([][]float64, 0, k)
+	first := pts[rng.Intn(len(pts))]
+	centers = append(centers, append([]float64(nil), first.Values...))
+	d2 := make([]float64, len(pts))
+	for len(centers) < k {
+		var total float64
+		for i, p := range pts {
+			best := math.Inf(1)
+			for _, c := range centers {
+				if d := stats.SquaredDistance(p.Values, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		var idx int
+		if total <= 0 {
+			idx = rng.Intn(len(pts)) // all points identical to centers
+		} else {
+			target := rng.Float64() * total
+			var cum float64
+			for i := range d2 {
+				cum += d2[i]
+				if cum >= target {
+					idx = i
+					break
+				}
+			}
+		}
+		centers = append(centers, append([]float64(nil), pts[idx].Values...))
+	}
+	return centers
+}
+
+// Purity scores a clustering against the points' true labels: for each
+// cluster, the fraction of its points carrying that cluster's majority
+// label, weighted by cluster size. 1.0 means every cluster is label-pure.
+func Purity(pts []stream.Point, assign []int, k int) (float64, error) {
+	if len(pts) != len(assign) {
+		return 0, fmt.Errorf("cluster: %d points vs %d assignments", len(pts), len(assign))
+	}
+	if len(pts) == 0 {
+		return 0, fmt.Errorf("cluster: no points")
+	}
+	majority := make([]map[int]int, k)
+	for i := range majority {
+		majority[i] = make(map[int]int)
+	}
+	for i, p := range pts {
+		if assign[i] < 0 || assign[i] >= k {
+			return 0, fmt.Errorf("cluster: assignment %d out of range [0,%d)", assign[i], k)
+		}
+		majority[assign[i]][p.Label]++
+	}
+	var pure int
+	for _, m := range majority {
+		best := 0
+		for _, n := range m {
+			if n > best {
+				best = n
+			}
+		}
+		pure += best
+	}
+	return float64(pure) / float64(len(pts)), nil
+}

@@ -1,0 +1,148 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"biasedres/internal/stream"
+	"biasedres/internal/xrand"
+)
+
+func separated(n int) []stream.Point {
+	rng := xrand.New(99)
+	var pts []stream.Point
+	centers := [][]float64{{0, 0}, {10, 0}, {0, 10}}
+	for i := 0; i < n; i++ {
+		c := i % 3
+		pts = append(pts, stream.Point{
+			Index:  uint64(i + 1),
+			Values: []float64{centers[c][0] + rng.NormFloat64()*0.5, centers[c][1] + rng.NormFloat64()*0.5},
+			Label:  c,
+			Weight: 1,
+		})
+	}
+	return pts
+}
+
+func TestKMeansValidation(t *testing.T) {
+	pts := separated(30)
+	if _, err := KMeans(pts, Config{K: 0}, xrand.New(1)); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := KMeans(pts, Config{K: 3}, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := KMeans(pts[:2], Config{K: 3}, xrand.New(1)); err == nil {
+		t.Error("fewer points than clusters accepted")
+	}
+	bad := []stream.Point{{Values: []float64{1}}, {Values: []float64{1, 2}}}
+	if _, err := KMeans(bad, Config{K: 2}, xrand.New(1)); err == nil {
+		t.Error("mixed dimensionality accepted")
+	}
+	zero := []stream.Point{{Values: nil}, {Values: nil}}
+	if _, err := KMeans(zero, Config{K: 2}, xrand.New(1)); err == nil {
+		t.Error("zero-dimensional points accepted")
+	}
+}
+
+func TestKMeansRecoversSeparatedClusters(t *testing.T) {
+	pts := separated(300)
+	res, err := KMeans(pts, Config{K: 3, Restarts: 3}, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("did not converge on easy data")
+	}
+	purity, err := Purity(pts, res.Assign, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if purity < 0.99 {
+		t.Fatalf("purity %v on well-separated clusters", purity)
+	}
+	// Each center must be near one of the true centers.
+	truth := [][]float64{{0, 0}, {10, 0}, {0, 10}}
+	for _, c := range res.Centers {
+		best := math.Inf(1)
+		for _, tc := range truth {
+			d := math.Hypot(c[0]-tc[0], c[1]-tc[1])
+			if d < best {
+				best = d
+			}
+		}
+		if best > 1 {
+			t.Errorf("center %v is %v away from any true center", c, best)
+		}
+	}
+}
+
+func TestKMeansRestartsReduceCost(t *testing.T) {
+	pts := separated(300)
+	one, err := KMeans(pts, Config{K: 3, Restarts: 1}, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := KMeans(pts, Config{K: 3, Restarts: 8}, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many.Cost > one.Cost+1e-9 {
+		t.Fatalf("8 restarts cost %v worse than 1 restart %v", many.Cost, one.Cost)
+	}
+}
+
+func TestKMeansKEqualsN(t *testing.T) {
+	pts := separated(3)
+	res, err := KMeans(pts, Config{K: 3}, xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > 1e-9 {
+		t.Fatalf("K=N should reach ~zero cost, got %v", res.Cost)
+	}
+}
+
+func TestKMeansIdenticalPoints(t *testing.T) {
+	pts := make([]stream.Point, 10)
+	for i := range pts {
+		pts[i] = stream.Point{Index: uint64(i + 1), Values: []float64{5, 5}, Weight: 1}
+	}
+	res, err := KMeans(pts, Config{K: 2}, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > 1e-9 {
+		t.Fatalf("identical points cost %v", res.Cost)
+	}
+}
+
+func TestPurityValidation(t *testing.T) {
+	pts := separated(9)
+	if _, err := Purity(pts, make([]int, 5), 3); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Purity(nil, nil, 3); err == nil {
+		t.Error("empty input accepted")
+	}
+	bad := make([]int, len(pts))
+	bad[0] = 7
+	if _, err := Purity(pts, bad, 3); err == nil {
+		t.Error("out-of-range assignment accepted")
+	}
+}
+
+func TestPurityPerfect(t *testing.T) {
+	pts := separated(30)
+	assign := make([]int, len(pts))
+	for i, p := range pts {
+		assign[i] = p.Label
+	}
+	purity, err := Purity(pts, assign, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if purity != 1 {
+		t.Fatalf("purity = %v, want 1", purity)
+	}
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"biasedres/internal/stream"
+	"biasedres/internal/xrand"
+)
+
+// ZReservoir is Vitter's Algorithm Z: the constant-time refinement of
+// Algorithm X. Both maintain the uniform reservoir distribution
+// (Property 2.1) by drawing how many arrivals to skip before the next
+// replacement, but where X generates each skip by an O(skip) sequential
+// search, Z draws it by rejection sampling from a close-fitting envelope
+// distribution, costing O(1) random numbers per replacement regardless of
+// stream position. Following Vitter, the sampler runs Algorithm X's
+// search until t exceeds thresholdFactor·n, after which the skip lengths
+// are large enough for rejection to win.
+//
+// It exists as the high-throughput unbiased baseline; the statistical tests
+// assert it is exactly Algorithm R in distribution.
+type ZReservoir struct {
+	capacity int
+	pts      []stream.Point
+	t        uint64
+	skip     uint64
+	w        float64 // Vitter's W state for the envelope
+	rng      *xrand.Source
+}
+
+// thresholdFactor is Vitter's T: switch from X-style search to rejection
+// once t > T·n. Vitter recommends T = 22.
+const thresholdFactor = 22
+
+var _ Sampler = (*ZReservoir)(nil)
+
+// NewZReservoir returns an Algorithm Z reservoir of the given capacity.
+func NewZReservoir(capacity int, rng *xrand.Source) (*ZReservoir, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("core: Z reservoir needs capacity > 0, got %d", capacity)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("core: Z reservoir needs a random source")
+	}
+	return &ZReservoir{
+		capacity: capacity,
+		pts:      make([]stream.Point, 0, capacity),
+		rng:      rng,
+	}, nil
+}
+
+// Add implements Sampler.
+func (z *ZReservoir) Add(p stream.Point) {
+	z.t++
+	if len(z.pts) < z.capacity {
+		z.pts = append(z.pts, p)
+		if len(z.pts) == z.capacity {
+			z.w = math.Exp(-math.Log(z.u01()) / float64(z.capacity))
+			z.skip = z.drawSkip()
+		}
+		return
+	}
+	if z.skip > 0 {
+		z.skip--
+		return
+	}
+	z.pts[z.rng.Intn(z.capacity)] = p
+	z.skip = z.drawSkip()
+}
+
+// u01 returns a uniform variate in (0, 1].
+func (z *ZReservoir) u01() float64 {
+	for {
+		if u := z.rng.Float64(); u > 0 {
+			return u
+		}
+	}
+}
+
+// drawSkip generates the number of arrivals to pass over before the next
+// replacement, given t arrivals processed so far.
+func (z *ZReservoir) drawSkip() uint64 {
+	n := float64(z.capacity)
+	if z.t <= uint64(thresholdFactor*z.capacity) {
+		return z.searchSkip()
+	}
+	// Vitter's Algorithm Z rejection step.
+	t := float64(z.t)
+	term := t - n + 1
+	for {
+		// Generate X from the envelope g(x) = (n/(t+x))·(t/(t+x))^n
+		// via the maintained W.
+		x := t * (z.w - 1)
+		skip := math.Floor(x)
+		// Quick acceptance test against a cheaper function h.
+		u := z.u01()
+		lhs := math.Exp(math.Log(u*(t+1)/term*(t+1)/term*(term+skip)/(t+x)) / n)
+		rhs := (t + x) / (term + skip) * term / t
+		if lhs <= rhs {
+			z.w = rhs / lhs
+			return uint64(skip)
+		}
+		// Full acceptance test against the exact distribution.
+		var denom, numerLim float64
+		if n > skip {
+			denom = t
+			numerLim = term + skip
+		} else {
+			denom = t - n + skip
+			numerLim = t + 1
+		}
+		y := u * (t + 1) / term * (t + skip + 1) / (t + x)
+		for numer := t + skip; numer >= numerLim; numer-- {
+			y *= numer / denom
+			denom--
+		}
+		z.w = math.Exp(-math.Log(z.u01()) / n)
+		if math.Exp(math.Log(y)/n) <= (t+x)/t {
+			return uint64(skip)
+		}
+		// Rejected: redraw with a fresh envelope variate.
+	}
+}
+
+// searchSkip is Algorithm X's sequential inversion, used below the
+// threshold where rejection would be wasteful.
+func (z *ZReservoir) searchSkip() uint64 {
+	u := z.rng.Float64()
+	n := float64(z.capacity)
+	t := float64(z.t)
+	var skip uint64
+	quot := (t + 1 - n) / (t + 1)
+	for quot > u {
+		skip++
+		tt := t + float64(skip) + 1
+		quot *= (tt - n) / tt
+	}
+	return skip
+}
+
+// Points implements Sampler.
+func (z *ZReservoir) Points() []stream.Point { return z.pts }
+
+// Sample implements Sampler.
+func (z *ZReservoir) Sample() []stream.Point { return copyPoints(z.pts) }
+
+// Len implements Sampler.
+func (z *ZReservoir) Len() int { return len(z.pts) }
+
+// Capacity implements Sampler.
+func (z *ZReservoir) Capacity() int { return z.capacity }
+
+// Processed implements Sampler.
+func (z *ZReservoir) Processed() uint64 { return z.t }
+
+// InclusionProb implements Sampler (Property 2.1).
+func (z *ZReservoir) InclusionProb(r uint64) float64 {
+	if r == 0 || r > z.t || z.t == 0 {
+		return 0
+	}
+	p := float64(z.capacity) / float64(z.t)
+	if p > 1 {
+		return 1
+	}
+	return p
+}

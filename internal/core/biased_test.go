@@ -1,0 +1,294 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"biasedres/internal/stream"
+	"biasedres/internal/xrand"
+)
+
+func TestBiasedValidation(t *testing.T) {
+	if _, err := NewBiasedReservoir(0, xrand.New(1)); err == nil {
+		t.Error("λ=0 accepted")
+	}
+	if _, err := NewBiasedReservoir(2, xrand.New(1)); err == nil {
+		t.Error("λ>1 accepted")
+	}
+	if _, err := NewBiasedReservoir(0.01, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestConstrainedValidation(t *testing.T) {
+	if _, err := NewConstrainedReservoir(0.001, 0, xrand.New(1)); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	if _, err := NewConstrainedReservoir(0, 10, xrand.New(1)); err == nil {
+		t.Error("λ=0 accepted")
+	}
+	if _, err := NewConstrainedReservoir(0.001, 2000, xrand.New(1)); err == nil {
+		t.Error("n·λ=2 > 1 accepted")
+	}
+	if _, err := NewConstrainedReservoir(0.001, 100, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestBiasedCapacityFromLambda(t *testing.T) {
+	b, err := NewBiasedReservoir(0.01, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Capacity() != 100 {
+		t.Fatalf("capacity = %d, want 100 = ⌊1/λ⌋", b.Capacity())
+	}
+	if b.PIn() != 1 {
+		t.Fatalf("Algorithm 2.1 p_in = %v, want 1", b.PIn())
+	}
+	if b.Lambda() != 0.01 {
+		t.Fatalf("Lambda = %v", b.Lambda())
+	}
+}
+
+func TestConstrainedPIn(t *testing.T) {
+	b, err := NewConstrainedReservoir(0.0001, 1000, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b.PIn()-0.1) > 1e-12 {
+		t.Fatalf("p_in = %v, want n·λ = 0.1", b.PIn())
+	}
+	// Degenerate constrained = Algorithm 2.1.
+	b2, err := NewConstrainedReservoir(0.01, 100, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.PIn() != 1 {
+		t.Fatalf("n·λ = 1 should give p_in = 1, got %v", b2.PIn())
+	}
+}
+
+func TestBiasedNeverExceedsCapacity(t *testing.T) {
+	check := func(seed uint32, lamRaw uint8) bool {
+		lambda := 0.01 + float64(lamRaw%50)/100 // 0.01..0.50
+		b, err := NewBiasedReservoir(lambda, xrand.New(uint64(seed)))
+		if err != nil {
+			return false
+		}
+		for i := 1; i <= 500; i++ {
+			b.Add(stream.Point{Index: uint64(i), Weight: 1})
+			if b.Len() > b.Capacity() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBiasedFullReservoirStaysFull(t *testing.T) {
+	b, _ := NewBiasedReservoir(0.05, xrand.New(2)) // capacity 20
+	feed(b, 2000)
+	if b.Len() != b.Capacity() {
+		t.Fatalf("after 2000 points len = %d, capacity %d", b.Len(), b.Capacity())
+	}
+	before := b.Len()
+	feed(b, 100)
+	if b.Len() != before {
+		t.Fatalf("full reservoir changed size: %d -> %d", before, b.Len())
+	}
+}
+
+func TestBiasedAdmittedCounts(t *testing.T) {
+	b, _ := NewBiasedReservoir(0.1, xrand.New(3))
+	feed(b, 100)
+	if b.Admitted() != 100 {
+		t.Fatalf("Algorithm 2.1 admitted %d of 100 (insertion must be deterministic)", b.Admitted())
+	}
+	c, _ := NewConstrainedReservoir(0.001, 100, xrand.New(3)) // p_in = 0.1
+	feed(c, 10000)
+	frac := float64(c.Admitted()) / 10000
+	if math.Abs(frac-0.1) > 0.02 {
+		t.Fatalf("constrained admitted fraction %v, want ~p_in=0.1", frac)
+	}
+}
+
+func TestBiasedInclusionProbShape(t *testing.T) {
+	b, _ := NewConstrainedReservoir(0.001, 500, xrand.New(1)) // p_in = 0.5
+	feed(b, 1000)
+	if got := b.InclusionProb(1000); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("p(t,t) = %v, want p_in = 0.5", got)
+	}
+	want := 0.5 * math.Exp(-0.001*500)
+	if got := b.InclusionProb(500); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("p(500,1000) = %v, want %v", got, want)
+	}
+	if b.InclusionProb(0) != 0 || b.InclusionProb(1001) != 0 {
+		t.Fatal("out-of-range r must have probability 0")
+	}
+	// Exact form agrees with the exponential approximation for small λ.
+	exact := b.InclusionProbExact(500)
+	if math.Abs(exact-want)/want > 0.01 {
+		t.Fatalf("exact %v vs approx %v differ beyond 1%%", exact, want)
+	}
+}
+
+func TestBiasedProbMonotoneInRecency(t *testing.T) {
+	b, _ := NewBiasedReservoir(0.01, xrand.New(1))
+	feed(b, 300)
+	prev := -1.0
+	for r := uint64(1); r <= 300; r++ {
+		p := b.InclusionProb(r)
+		if p < prev {
+			t.Fatalf("p(r,t) decreased at r=%d: %v < %v", r, p, prev)
+		}
+		prev = p
+	}
+}
+
+// Theorem 2.2: empirical inclusion frequency of the r-th point at time t
+// must track e^{-(t-r)/n}. This is the paper's central claim.
+func TestTheorem22InclusionDistribution(t *testing.T) {
+	const (
+		lambda = 0.02 // capacity 50
+		total  = 300
+		trials = 4000
+	)
+	counts := make([]int, total+1)
+	rng := xrand.New(7)
+	for trial := 0; trial < trials; trial++ {
+		b, _ := NewBiasedReservoir(lambda, rng.Split())
+		feed(b, total)
+		for _, p := range b.Points() {
+			counts[p.Index]++
+		}
+	}
+	for _, r := range []uint64{50, 150, 250, 280, 299} {
+		got := float64(counts[r]) / trials
+		want := math.Exp(-lambda * float64(total-r))
+		sigma := math.Sqrt(want*(1-want)/trials) + 1e-9
+		// The theorem is approximate (1-1/n)^n vs 1/e), so allow the
+		// analytic gap plus sampling noise.
+		exact := math.Pow(1-lambda, float64(total-r))
+		tol := 5*sigma + math.Abs(want-exact) + 0.01
+		if math.Abs(got-want) > tol {
+			t.Errorf("p(%d,%d): empirical %.4f, theorem %.4f (tol %.4f)", r, total, got, want, tol)
+		}
+	}
+}
+
+// Theorem 3.1: with insertion probability p_in the inclusion frequency is
+// p_in·e^{-λ(t-r)}.
+func TestTheorem31InclusionDistribution(t *testing.T) {
+	const (
+		lambda   = 0.001
+		capacity = 100 // p_in = 0.1
+		total    = 2000
+		trials   = 4000
+	)
+	counts := make([]int, total+1)
+	rng := xrand.New(11)
+	for trial := 0; trial < trials; trial++ {
+		b, _ := NewConstrainedReservoir(lambda, capacity, rng.Split())
+		feed(b, total)
+		for _, p := range b.Points() {
+			counts[p.Index]++
+		}
+	}
+	pin := lambda * capacity
+	for _, r := range []uint64{500, 1000, 1500, 1900, 2000} {
+		got := float64(counts[r]) / trials
+		want := pin * math.Exp(-lambda*float64(total-r))
+		sigma := math.Sqrt(want*(1-want)/trials) + 1e-9
+		if math.Abs(got-want) > 5*sigma+0.01 {
+			t.Errorf("p(%d,%d): empirical %.4f, theorem %.4f", r, total, got, want)
+		}
+	}
+}
+
+// Theorem 3.2: expected points to fill the reservoir is O(n log n / p_in);
+// Corollary 3.1: filling to fraction f needs only O(n log(1/(1-f)) / p_in).
+func TestTheorem32FillTime(t *testing.T) {
+	const (
+		lambda   = 0.0001
+		capacity = 200 // p_in = 0.02
+	)
+	pin := lambda * capacity
+	rng := xrand.New(13)
+	const trials = 30
+	var fullAt, halfAt float64
+	for trial := 0; trial < trials; trial++ {
+		b, _ := NewConstrainedReservoir(lambda, capacity, rng.Split())
+		var i uint64
+		half := uint64(0)
+		for b.Len() < capacity {
+			i++
+			b.Add(stream.Point{Index: i, Weight: 1})
+			if half == 0 && b.Len() >= capacity/2 {
+				half = i
+			}
+		}
+		fullAt += float64(i)
+		halfAt += float64(half)
+	}
+	fullAt /= trials
+	halfAt /= trials
+	n := float64(capacity)
+	wantFull := n * math.Log(n) / pin // harmonic sum ≈ n ln n
+	if fullAt < 0.5*wantFull || fullAt > 2*wantFull {
+		t.Errorf("mean fill time %v, theorem predicts ~%v", fullAt, wantFull)
+	}
+	wantHalf := n * math.Log(2) / pin
+	if halfAt < 0.4*wantHalf || halfAt > 2.5*wantHalf {
+		t.Errorf("mean half-fill time %v, corollary predicts ~%v", halfAt, wantHalf)
+	}
+	// The gap: filling the last half costs far more than the first half.
+	if fullAt < 3*halfAt {
+		t.Errorf("full %v vs half %v: expected the tail to dominate", fullAt, halfAt)
+	}
+}
+
+func TestBiasedDeterministicWithSeed(t *testing.T) {
+	a, _ := NewBiasedReservoir(0.01, xrand.New(5))
+	b, _ := NewBiasedReservoir(0.01, xrand.New(5))
+	feed(a, 1000)
+	feed(b, 1000)
+	pa, pb := a.Points(), b.Points()
+	if len(pa) != len(pb) {
+		t.Fatal("same-seed reservoirs diverged in size")
+	}
+	for i := range pa {
+		if pa[i].Index != pb[i].Index {
+			t.Fatalf("same-seed reservoirs diverged at slot %d", i)
+		}
+	}
+}
+
+func TestBiasedSampleIsCopy(t *testing.T) {
+	b, _ := NewBiasedReservoir(0.1, xrand.New(1))
+	feed(b, 10)
+	s := b.Sample()
+	s[0].Index = 4242
+	if b.Points()[0].Index == 4242 {
+		t.Fatal("Sample shares storage with reservoir")
+	}
+}
+
+func TestFillHelper(t *testing.T) {
+	b, _ := NewBiasedReservoir(0.1, xrand.New(1)) // capacity 10
+	if Fill(b) != 0 {
+		t.Fatal("empty fill != 0")
+	}
+	feed(b, 3)
+	if f := Fill(b); f <= 0 || f > 1 {
+		t.Fatalf("fill = %v", f)
+	}
+	feed(b, 500)
+	if Fill(b) != 1 {
+		t.Fatalf("full fill = %v, want 1", Fill(b))
+	}
+}

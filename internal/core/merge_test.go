@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"biasedres/internal/stream"
+	"biasedres/internal/xrand"
+)
+
+func TestMergeValidation(t *testing.T) {
+	rng := xrand.New(1)
+	a, _ := NewUnbiasedReservoir(10, xrand.New(2))
+	feed(a, 100)
+	if _, err := MergeUnbiased(0, rng, a); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := MergeUnbiased(5, nil, a); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := MergeUnbiased(5, rng); err == nil {
+		t.Error("no sources accepted")
+	}
+	if _, err := MergeUnbiased(5, rng, a, nil); err == nil {
+		t.Error("nil source accepted")
+	}
+	if _, err := MergeUnbiased(20, rng, a); err == nil {
+		t.Error("n beyond source reservoir size accepted")
+	}
+}
+
+func feedRange(s Sampler, from, to int) {
+	for i := from; i <= to; i++ {
+		s.Add(stream.Point{Index: uint64(i), Values: []float64{float64(i)}, Weight: 1})
+	}
+}
+
+func TestMergeBasics(t *testing.T) {
+	rng := xrand.New(3)
+	a, _ := NewUnbiasedReservoir(20, xrand.New(4))
+	b, _ := NewUnbiasedReservoir(20, xrand.New(5))
+	feedRange(a, 1, 1000)    // shard A: indices 1..1000
+	feedRange(b, 1001, 4000) // shard B: indices 1001..4000
+	m, err := MergeUnbiased(10, rng, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 10 {
+		t.Fatalf("merged size %d", m.Len())
+	}
+	if m.Processed() != 4000 {
+		t.Fatalf("merged t = %d, want 4000", m.Processed())
+	}
+	if got := m.InclusionProb(500); math.Abs(got-10.0/4000) > 1e-12 {
+		t.Fatalf("merged p = %v", got)
+	}
+	seen := map[uint64]bool{}
+	for _, p := range m.Points() {
+		if p.Index == 0 || p.Index > 4000 {
+			t.Fatalf("merged point index %d", p.Index)
+		}
+		if seen[p.Index] {
+			t.Fatalf("duplicate point %d in merged sample", p.Index)
+		}
+		seen[p.Index] = true
+	}
+}
+
+// A merged sample must allocate points across shards proportionally to the
+// shards' stream lengths, and be uniform within each shard.
+func TestMergeUniformity(t *testing.T) {
+	const (
+		trials = 4000
+		n      = 10
+		tA     = 1000
+		tB     = 3000
+	)
+	rng := xrand.New(7)
+	counts := make([]int, tA+tB+1)
+	fromA := 0
+	for trial := 0; trial < trials; trial++ {
+		a, _ := NewUnbiasedReservoir(30, rng.Split())
+		b, _ := NewUnbiasedReservoir(30, rng.Split())
+		feedRange(a, 1, tA)
+		feedRange(b, tA+1, tA+tB)
+		m, err := MergeUnbiased(n, rng.Split(), a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range m.Points() {
+			counts[p.Index]++
+			if p.Index <= tA {
+				fromA++
+			}
+		}
+	}
+	// Shard share: expected fraction from A is tA/(tA+tB) = 0.25.
+	gotA := float64(fromA) / float64(trials*n)
+	if math.Abs(gotA-0.25) > 0.02 {
+		t.Errorf("shard A share %v, want 0.25", gotA)
+	}
+	// Per-point inclusion ~ n/(tA+tB) at representative positions in
+	// both shards.
+	want := float64(n) / float64(tA+tB)
+	sigma := math.Sqrt(want * (1 - want) / trials)
+	for _, r := range []int{10, 500, 999, 1500, 2500, 3999} {
+		got := float64(counts[r]) / trials
+		if math.Abs(got-want) > 6*sigma {
+			t.Errorf("p(%d) = %v, want %v ± %v", r, got, want, 6*sigma)
+		}
+	}
+}
+
+func TestMergeThreeWays(t *testing.T) {
+	rng := xrand.New(11)
+	var sources []*UnbiasedReservoir
+	next := 1
+	for i, length := range []int{500, 2000, 1500} {
+		s, _ := NewUnbiasedReservoir(25, xrand.New(uint64(20+i)))
+		feedRange(s, next, next+length-1)
+		next += length
+		sources = append(sources, s)
+	}
+	m, err := MergeUnbiased(15, rng, sources...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Processed() != 4000 || m.Len() != 15 {
+		t.Fatalf("merged t=%d len=%d", m.Processed(), m.Len())
+	}
+}
+
+// The merged reservoir keeps working as a live sampler.
+func TestMergeContinuesSampling(t *testing.T) {
+	rng := xrand.New(13)
+	a, _ := NewUnbiasedReservoir(20, xrand.New(14))
+	b, _ := NewUnbiasedReservoir(20, xrand.New(15))
+	feedRange(a, 1, 500)
+	feedRange(b, 501, 1000)
+	m, err := MergeUnbiased(10, rng, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedRange(m, 1001, 5000)
+	if m.Processed() != 5000 {
+		t.Fatalf("t = %d", m.Processed())
+	}
+	if m.Len() != 10 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	if got := m.InclusionProb(4000); math.Abs(got-10.0/5000) > 1e-12 {
+		t.Fatalf("post-merge p = %v", got)
+	}
+}

@@ -1,0 +1,348 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"biasedres/internal/stream"
+	"biasedres/internal/xrand"
+)
+
+// Snapshot/restore support. Every sampler implements
+// encoding.BinaryMarshaler and encoding.BinaryUnmarshaler, serializing its
+// complete state — reservoir contents, counters, policy parameters and the
+// random generator — so a stream processor can checkpoint mid-stream and,
+// after a restart, continue *identically* to an uninterrupted run. The
+// resume-identical property is what the tests assert.
+//
+// The wire format is a gob encoding of an exported state struct prefixed
+// with a one-byte kind tag, so a snapshot restored into the wrong sampler
+// type fails loudly instead of silently misbehaving.
+
+const (
+	kindBiased byte = 1 + iota
+	kindVariable
+	kindUnbiased
+	kindSkip
+	kindWindow
+	kindTimeDecay
+	kindZ
+)
+
+func marshalState(kind byte, state any) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteByte(kind)
+	if err := gob.NewEncoder(&buf).Encode(state); err != nil {
+		return nil, fmt.Errorf("core: encoding snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func unmarshalState(kind byte, data []byte, state any) error {
+	if len(data) == 0 {
+		return fmt.Errorf("core: empty snapshot")
+	}
+	if data[0] != kind {
+		return fmt.Errorf("core: snapshot kind %d does not match sampler kind %d", data[0], kind)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(data[1:])).Decode(state); err != nil {
+		return fmt.Errorf("core: decoding snapshot: %w", err)
+	}
+	return nil
+}
+
+type biasedState struct {
+	Lambda   float64
+	PIn      float64
+	Capacity int
+	T        uint64
+	Admitted uint64
+	Pts      []stream.Point
+	RNG      []byte
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (b *BiasedReservoir) MarshalBinary() ([]byte, error) {
+	rng, err := b.rng.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return marshalState(kindBiased, biasedState{
+		Lambda: b.lambda, PIn: b.pin, Capacity: b.capacity,
+		T: b.t, Admitted: b.admitted, Pts: b.pts, RNG: rng,
+	})
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (b *BiasedReservoir) UnmarshalBinary(data []byte) error {
+	var st biasedState
+	if err := unmarshalState(kindBiased, data, &st); err != nil {
+		return err
+	}
+	if st.Capacity <= 0 || len(st.Pts) > st.Capacity {
+		return fmt.Errorf("core: corrupt snapshot: %d points in capacity %d", len(st.Pts), st.Capacity)
+	}
+	rng := xrand.New(0)
+	if err := rng.UnmarshalBinary(st.RNG); err != nil {
+		return err
+	}
+	b.lambda, b.pin, b.capacity = st.Lambda, st.PIn, st.Capacity
+	b.t, b.admitted, b.pts, b.rng = st.T, st.Admitted, st.Pts, rng
+	return nil
+}
+
+type variableState struct {
+	Lambda    float64
+	Nmax      int
+	PIn       float64
+	TargetPIn float64
+	Reduce    float64
+	T         uint64
+	Phases    int
+	Pts       []stream.Point
+	RNG       []byte
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (v *VariableReservoir) MarshalBinary() ([]byte, error) {
+	rng, err := v.rng.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return marshalState(kindVariable, variableState{
+		Lambda: v.lambda, Nmax: v.nmax, PIn: v.pin, TargetPIn: v.targetPin,
+		Reduce: v.reduce, T: v.t, Phases: v.phases, Pts: v.pts, RNG: rng,
+	})
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (v *VariableReservoir) UnmarshalBinary(data []byte) error {
+	var st variableState
+	if err := unmarshalState(kindVariable, data, &st); err != nil {
+		return err
+	}
+	if st.Nmax <= 0 || len(st.Pts) > st.Nmax {
+		return fmt.Errorf("core: corrupt snapshot: %d points in budget %d", len(st.Pts), st.Nmax)
+	}
+	rng := xrand.New(0)
+	if err := rng.UnmarshalBinary(st.RNG); err != nil {
+		return err
+	}
+	v.lambda, v.nmax, v.pin, v.targetPin = st.Lambda, st.Nmax, st.PIn, st.TargetPIn
+	v.reduce, v.t, v.phases, v.pts, v.rng = st.Reduce, st.T, st.Phases, st.Pts, rng
+	return nil
+}
+
+type unbiasedState struct {
+	Capacity int
+	T        uint64
+	Pts      []stream.Point
+	RNG      []byte
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (u *UnbiasedReservoir) MarshalBinary() ([]byte, error) {
+	rng, err := u.rng.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return marshalState(kindUnbiased, unbiasedState{
+		Capacity: u.capacity, T: u.t, Pts: u.pts, RNG: rng,
+	})
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (u *UnbiasedReservoir) UnmarshalBinary(data []byte) error {
+	var st unbiasedState
+	if err := unmarshalState(kindUnbiased, data, &st); err != nil {
+		return err
+	}
+	if st.Capacity <= 0 || len(st.Pts) > st.Capacity {
+		return fmt.Errorf("core: corrupt snapshot: %d points in capacity %d", len(st.Pts), st.Capacity)
+	}
+	rng := xrand.New(0)
+	if err := rng.UnmarshalBinary(st.RNG); err != nil {
+		return err
+	}
+	u.capacity, u.t, u.pts, u.rng = st.Capacity, st.T, st.Pts, rng
+	return nil
+}
+
+type skipState struct {
+	Capacity int
+	T        uint64
+	Skip     uint64
+	Pts      []stream.Point
+	RNG      []byte
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s *SkipReservoir) MarshalBinary() ([]byte, error) {
+	rng, err := s.rng.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return marshalState(kindSkip, skipState{
+		Capacity: s.capacity, T: s.t, Skip: s.skip, Pts: s.pts, RNG: rng,
+	})
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (s *SkipReservoir) UnmarshalBinary(data []byte) error {
+	var st skipState
+	if err := unmarshalState(kindSkip, data, &st); err != nil {
+		return err
+	}
+	if st.Capacity <= 0 || len(st.Pts) > st.Capacity {
+		return fmt.Errorf("core: corrupt snapshot: %d points in capacity %d", len(st.Pts), st.Capacity)
+	}
+	rng := xrand.New(0)
+	if err := rng.UnmarshalBinary(st.RNG); err != nil {
+		return err
+	}
+	s.capacity, s.t, s.skip, s.pts, s.rng = st.Capacity, st.T, st.Skip, st.Pts, rng
+	return nil
+}
+
+type zState struct {
+	Capacity int
+	T        uint64
+	Skip     uint64
+	W        float64
+	Pts      []stream.Point
+	RNG      []byte
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (z *ZReservoir) MarshalBinary() ([]byte, error) {
+	rng, err := z.rng.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return marshalState(kindZ, zState{
+		Capacity: z.capacity, T: z.t, Skip: z.skip, W: z.w, Pts: z.pts, RNG: rng,
+	})
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (z *ZReservoir) UnmarshalBinary(data []byte) error {
+	var st zState
+	if err := unmarshalState(kindZ, data, &st); err != nil {
+		return err
+	}
+	if st.Capacity <= 0 || len(st.Pts) > st.Capacity {
+		return fmt.Errorf("core: corrupt snapshot: %d points in capacity %d", len(st.Pts), st.Capacity)
+	}
+	rng := xrand.New(0)
+	if err := rng.UnmarshalBinary(st.RNG); err != nil {
+		return err
+	}
+	z.capacity, z.t, z.skip, z.w, z.pts, z.rng = st.Capacity, st.T, st.Skip, st.W, st.Pts, rng
+	return nil
+}
+
+type windowChainState struct {
+	Chain []stream.Point
+	Next  uint64
+}
+
+type windowState struct {
+	Window   uint64
+	Capacity int
+	T        uint64
+	Slots    []windowChainState
+	RNG      []byte
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (w *WindowReservoir) MarshalBinary() ([]byte, error) {
+	rng, err := w.rng.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	slots := make([]windowChainState, len(w.slots))
+	for i, s := range w.slots {
+		slots[i] = windowChainState{Chain: s.chain, Next: s.next}
+	}
+	return marshalState(kindWindow, windowState{
+		Window: w.window, Capacity: w.capacity, T: w.t, Slots: slots, RNG: rng,
+	})
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (w *WindowReservoir) UnmarshalBinary(data []byte) error {
+	var st windowState
+	if err := unmarshalState(kindWindow, data, &st); err != nil {
+		return err
+	}
+	if st.Window == 0 || st.Capacity <= 0 || len(st.Slots) != st.Capacity {
+		return fmt.Errorf("core: corrupt snapshot: window %d capacity %d slots %d", st.Window, st.Capacity, len(st.Slots))
+	}
+	rng := xrand.New(0)
+	if err := rng.UnmarshalBinary(st.RNG); err != nil {
+		return err
+	}
+	w.window, w.capacity, w.t, w.rng = st.Window, st.Capacity, st.T, rng
+	w.slots = make([]windowChain, len(st.Slots))
+	for i, s := range st.Slots {
+		w.slots[i] = windowChain{chain: s.Chain, next: s.Next}
+	}
+	return nil
+}
+
+type timeDecayItemState struct {
+	P      stream.Point
+	TS     float64
+	Expiry float64
+}
+
+type timeDecayState struct {
+	Lambda   float64
+	Capacity int
+	PIn      float64
+	Now      float64
+	T        uint64
+	Items    []timeDecayItemState
+	RNG      []byte
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (d *TimeDecayReservoir) MarshalBinary() ([]byte, error) {
+	rng, err := d.rng.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	items := make([]timeDecayItemState, len(d.items))
+	for i, it := range d.items {
+		items[i] = timeDecayItemState{P: it.p, TS: it.ts, Expiry: it.expiry}
+	}
+	return marshalState(kindTimeDecay, timeDecayState{
+		Lambda: d.lambda, Capacity: d.capacity, PIn: d.pin,
+		Now: d.now, T: d.t, Items: items, RNG: rng,
+	})
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. The expiry heap
+// and index map are rebuilt from the serialized items.
+func (d *TimeDecayReservoir) UnmarshalBinary(data []byte) error {
+	var st timeDecayState
+	if err := unmarshalState(kindTimeDecay, data, &st); err != nil {
+		return err
+	}
+	if st.Capacity <= 0 || len(st.Items) > st.Capacity {
+		return fmt.Errorf("core: corrupt snapshot: %d items in capacity %d", len(st.Items), st.Capacity)
+	}
+	rng := xrand.New(0)
+	if err := rng.UnmarshalBinary(st.RNG); err != nil {
+		return err
+	}
+	d.lambda, d.capacity, d.pin, d.now, d.t, d.rng = st.Lambda, st.Capacity, st.PIn, st.Now, st.T, rng
+	d.items = d.items[:0]
+	d.heap = d.heap[:0]
+	d.byIdx = make(map[uint64]int, len(st.Items))
+	for _, it := range st.Items {
+		d.insert(timeItem{p: it.P, ts: it.TS, expiry: it.Expiry})
+	}
+	return nil
+}

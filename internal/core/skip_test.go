@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"biasedres/internal/xrand"
+)
+
+func TestSkipReservoirValidation(t *testing.T) {
+	if _, err := NewSkipReservoir(0, xrand.New(1)); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	if _, err := NewSkipReservoir(10, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestSkipReservoirBasics(t *testing.T) {
+	s, err := NewSkipReservoir(10, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(s, 5)
+	if s.Len() != 5 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	feed(s, 5000)
+	if s.Len() != 10 || s.Capacity() != 10 || s.Processed() != 5005 {
+		t.Fatalf("len/cap/t = %d/%d/%d", s.Len(), s.Capacity(), s.Processed())
+	}
+	if got := s.InclusionProb(100); math.Abs(got-10.0/5005) > 1e-12 {
+		t.Fatalf("p = %v", got)
+	}
+	if s.InclusionProb(0) != 0 || s.InclusionProb(6000) != 0 {
+		t.Fatal("out-of-range r")
+	}
+	cp := s.Sample()
+	cp[0].Index = 1
+	if s.Points()[0].Index == 1 && cp[0].Index == s.Points()[0].Index && &cp[0] == &s.Points()[0] {
+		t.Fatal("Sample aliases reservoir")
+	}
+}
+
+// Algorithm X must realize exactly the Algorithm R distribution
+// (Property 2.1): uniform inclusion probability n/t for every arrival.
+func TestSkipReservoirUniformity(t *testing.T) {
+	const (
+		capacity = 20
+		total    = 200
+		trials   = 3000
+	)
+	counts := make([]int, total+1)
+	rng := xrand.New(55)
+	for trial := 0; trial < trials; trial++ {
+		s, _ := NewSkipReservoir(capacity, rng.Split())
+		feed(s, total)
+		for _, p := range s.Points() {
+			counts[p.Index]++
+		}
+	}
+	want := float64(capacity) / float64(total)
+	sigma := math.Sqrt(want * (1 - want) / trials)
+	for _, r := range []int{1, 50, 100, 150, 200} {
+		got := float64(counts[r]) / trials
+		if math.Abs(got-want) > 5*sigma {
+			t.Errorf("p(%d,%d) empirical %v, want %v", r, total, got, want)
+		}
+	}
+}
+
+// Over a long stream, Algorithm X must touch the RNG far less often than
+// once per arrival (that is its whole point). We proxy this by checking
+// that two generators seeded identically but fed different-length tails
+// still agree: not directly observable, so instead check skip counts grow.
+func TestSkipReservoirSkipsGrow(t *testing.T) {
+	s, _ := NewSkipReservoir(10, xrand.New(3))
+	feed(s, 10)
+	firstSkip := s.skip
+	feed(s, 100000)
+	if s.skip <= firstSkip && s.skip < 100 {
+		// Late-stream skips are ~t/n ≈ 10000 in expectation; a tiny
+		// value here would indicate the schedule is not advancing.
+		t.Fatalf("late-stream skip = %d, early %d; expected growth", s.skip, firstSkip)
+	}
+}
+
+// Algorithm R and Algorithm X agree in distribution: compare mean resident
+// age over trials.
+func TestSkipMatchesAlgorithmR(t *testing.T) {
+	const capacity, total, trials = 50, 2000, 300
+	rng := xrand.New(77)
+	meanAge := func(mk func(src *xrand.Source) Sampler) float64 {
+		var sum float64
+		var n int
+		for i := 0; i < trials; i++ {
+			s := mk(rng.Split())
+			feed(s, total)
+			for _, p := range s.Points() {
+				sum += float64(total) - float64(p.Index)
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+	ageR := meanAge(func(src *xrand.Source) Sampler {
+		u, _ := NewUnbiasedReservoir(capacity, src)
+		return u
+	})
+	ageX := meanAge(func(src *xrand.Source) Sampler {
+		u, _ := NewSkipReservoir(capacity, src)
+		return u
+	})
+	// Uniform over 1..2000: mean age ≈ 1000.
+	if math.Abs(ageR-ageX) > 0.08*ageR {
+		t.Fatalf("Algorithm R mean age %v vs Algorithm X %v", ageR, ageX)
+	}
+}

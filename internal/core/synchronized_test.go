@@ -1,0 +1,81 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"biasedres/internal/stream"
+	"biasedres/internal/xrand"
+)
+
+func TestSynchronizedBasics(t *testing.T) {
+	b, _ := NewBiasedReservoir(0.1, xrand.New(1))
+	s := NewSynchronized(b)
+	feed(s, 100)
+	if s.Len() != b.Len() || s.Capacity() != 10 || s.Processed() != 100 {
+		t.Fatalf("wrapper state mismatch: len=%d cap=%d t=%d", s.Len(), s.Capacity(), s.Processed())
+	}
+	if got := s.InclusionProb(100); got != b.InclusionProb(100) {
+		t.Fatalf("InclusionProb mismatch: %v", got)
+	}
+	pts := s.Points()
+	pts[0].Index = 777
+	if b.Points()[0].Index == 777 {
+		t.Fatal("Synchronized.Points leaked shared storage")
+	}
+}
+
+func TestSynchronizedConcurrentAdds(t *testing.T) {
+	b, _ := NewBiasedReservoir(0.001, xrand.New(2))
+	s := NewSynchronized(b)
+	const goroutines, perG = 8, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				s.Add(stream.Point{Index: uint64(g*perG + i + 1), Weight: 1})
+			}
+		}(g)
+	}
+	// Concurrent readers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			_ = s.Sample()
+			_ = s.Len()
+			_, _, _ = s.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if s.Processed() != goroutines*perG {
+		t.Fatalf("Processed = %d, want %d", s.Processed(), goroutines*perG)
+	}
+	if s.Len() > s.Capacity() {
+		t.Fatalf("capacity exceeded under concurrency: %d > %d", s.Len(), s.Capacity())
+	}
+}
+
+func TestSnapshotConsistency(t *testing.T) {
+	b, _ := NewBiasedReservoir(0.01, xrand.New(3))
+	s := NewSynchronized(b)
+	feed(s, 500)
+	pts, tt, prob := s.Snapshot()
+	if tt != 500 {
+		t.Fatalf("snapshot t = %d", tt)
+	}
+	for _, p := range pts {
+		if prob(p.Index) <= 0 {
+			t.Fatalf("snapshot probability for resident point %d is %v", p.Index, prob(p.Index))
+		}
+	}
+	// Probabilities stay bound to the snapshot even after more Adds.
+	before := prob(pts[0].Index)
+	feed(s, 1000)
+	if prob(pts[0].Index) != before {
+		t.Fatal("snapshot probability function changed after subsequent Adds")
+	}
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"biasedres/internal/stream"
+	"biasedres/internal/xrand"
+)
+
+func TestTimeDecayValidation(t *testing.T) {
+	if _, err := NewTimeDecayReservoir(0, 10, xrand.New(1)); err == nil {
+		t.Error("λ=0 accepted")
+	}
+	if _, err := NewTimeDecayReservoir(math.Inf(1), 10, xrand.New(1)); err == nil {
+		t.Error("λ=+Inf accepted")
+	}
+	if _, err := NewTimeDecayReservoir(0.1, 0, xrand.New(1)); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	if _, err := NewTimeDecayReservoir(0.1, 10, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestTimeDecayRejectsOutOfOrder(t *testing.T) {
+	d, _ := NewTimeDecayReservoir(0.1, 10, xrand.New(1))
+	if err := d.AddAt(stream.Point{Index: 1}, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddAt(stream.Point{Index: 2}, 4); err == nil {
+		t.Fatal("out-of-order timestamp accepted")
+	}
+	if err := d.AddAt(stream.Point{Index: 3}, 5); err != nil {
+		t.Fatalf("equal timestamp rejected: %v", err)
+	}
+}
+
+func TestTimeDecayCapacityRespected(t *testing.T) {
+	d, _ := NewTimeDecayReservoir(1e-4, 50, xrand.New(2))
+	for i := 1; i <= 20000; i++ {
+		d.Add(stream.Point{Index: uint64(i), Weight: 1})
+		if d.Len() > 50 {
+			t.Fatalf("capacity exceeded at %d: %d", i, d.Len())
+		}
+	}
+	if d.Processed() != 20000 {
+		t.Fatalf("processed = %d", d.Processed())
+	}
+	if d.Capacity() != 50 {
+		t.Fatalf("capacity = %d", d.Capacity())
+	}
+	if d.Now() != 20000 {
+		t.Fatalf("clock = %v (unit-spaced Add)", d.Now())
+	}
+	if d.PIn() >= 1 {
+		t.Fatalf("p_in = %v, expected reduced below 1 by evictions", d.PIn())
+	}
+}
+
+func TestTimeDecayExpiryEmptiesReservoir(t *testing.T) {
+	d, _ := NewTimeDecayReservoir(1.0, 100, xrand.New(3))
+	for i := 1; i <= 50; i++ {
+		if err := d.AddAt(stream.Point{Index: uint64(i), Weight: 1}, float64(i)*0.01); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Len() == 0 {
+		t.Fatal("reservoir empty immediately after inserts")
+	}
+	// Advance the clock far beyond every lifetime (mean 1/λ = 1).
+	if err := d.AddAt(stream.Point{Index: 51, Weight: 1}, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 1 {
+		t.Fatalf("after long gap len = %d, want only the newest point", d.Len())
+	}
+	if d.Points()[0].Index != 51 {
+		t.Fatalf("survivor = %d, want 51", d.Points()[0].Index)
+	}
+}
+
+// Survival must follow e^{-λΔt}: insert a cohort, advance the clock by Δ,
+// and compare the surviving fraction.
+func TestTimeDecaySurvivalCurve(t *testing.T) {
+	const lambda, cohort, trials = 0.1, 200, 60
+	rng := xrand.New(5)
+	for _, dt := range []float64{2, 5, 10} {
+		var survived, total float64
+		for trial := 0; trial < trials; trial++ {
+			d, _ := NewTimeDecayReservoir(lambda, 10*cohort, rng.Split())
+			for i := 1; i <= cohort; i++ {
+				if err := d.AddAt(stream.Point{Index: uint64(i), Weight: 1}, 0); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := d.AddAt(stream.Point{Index: cohort + 1, Weight: 1}, dt); err != nil {
+				t.Fatal(err)
+			}
+			total += cohort
+			survived += float64(d.Len() - 1) // exclude the probe point
+		}
+		got := survived / total
+		want := math.Exp(-lambda * dt)
+		sigma := math.Sqrt(want * (1 - want) / total)
+		if math.Abs(got-want) > 5*sigma+0.01 {
+			t.Errorf("Δt=%v: survival %v, want e^{-λΔt}=%v", dt, got, want)
+		}
+	}
+}
+
+func TestTimeDecayInclusionProb(t *testing.T) {
+	d, _ := NewTimeDecayReservoir(0.01, 1000, xrand.New(7))
+	for i := 1; i <= 100; i++ {
+		if err := d.AddAt(stream.Point{Index: uint64(i), Weight: 1}, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range d.Points() {
+		got := d.InclusionProb(p.Index)
+		want := d.PIn() * math.Exp(-0.01*(d.Now()-float64(p.Index)))
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("resident %d: p = %v, want %v", p.Index, got, want)
+		}
+	}
+	if d.InclusionProb(99999) != 0 {
+		t.Fatal("non-resident must have probability 0")
+	}
+}
+
+// Fed with unit-spaced Add, the time-decay reservoir realizes the same age
+// distribution as the arrival-indexed BiasedReservoir with equal λ and
+// capacity — they are the same policy expressed in different clocks.
+func TestTimeDecayMatchesBiasedOnUnitSpacing(t *testing.T) {
+	const lambda, capacity, total, trials = 0.01, 100, 3000, 200
+	rng := xrand.New(9)
+	meanAge := func(mk func(src *xrand.Source) Sampler) float64 {
+		var sum float64
+		var n int
+		for i := 0; i < trials; i++ {
+			s := mk(rng.Split())
+			feed(s, total)
+			for _, p := range s.Points() {
+				sum += float64(total) - float64(p.Index)
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+	ageBiased := meanAge(func(src *xrand.Source) Sampler {
+		b, _ := NewBiasedReservoir(lambda, src)
+		return b
+	})
+	ageTime := meanAge(func(src *xrand.Source) Sampler {
+		d, _ := NewTimeDecayReservoir(lambda, capacity, src)
+		return d
+	})
+	if math.Abs(ageBiased-ageTime) > 0.12*ageBiased {
+		t.Fatalf("biased mean age %v vs time-decay %v", ageBiased, ageTime)
+	}
+}
+
+// Heavy churn across expiry, eviction and bursts of equal timestamps must
+// keep the internal heap/slice/index structures consistent.
+func TestTimeDecayStructuralIntegrity(t *testing.T) {
+	d, _ := NewTimeDecayReservoir(0.05, 30, xrand.New(11))
+	rng := xrand.New(12)
+	ts := 0.0
+	for i := 1; i <= 20000; i++ {
+		if rng.Bernoulli(0.7) {
+			ts += rng.ExpFloat64() * 2
+		}
+		if err := d.AddAt(stream.Point{Index: uint64(i), Weight: 1}, ts); err != nil {
+			t.Fatal(err)
+		}
+		if d.Len() > 30 {
+			t.Fatalf("capacity exceeded: %d", d.Len())
+		}
+	}
+	// Every resident must be resolvable through InclusionProb and carry a
+	// plausible probability.
+	for _, p := range d.Points() {
+		pr := d.InclusionProb(p.Index)
+		if pr <= 0 || pr > 1 {
+			t.Fatalf("resident %d has probability %v", p.Index, pr)
+		}
+	}
+}

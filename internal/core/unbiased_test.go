@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"biasedres/internal/stream"
+	"biasedres/internal/xrand"
+)
+
+func feed(s Sampler, n int) {
+	for i := 1; i <= n; i++ {
+		s.Add(stream.Point{Index: uint64(i), Values: []float64{float64(i)}, Weight: 1})
+	}
+}
+
+func TestUnbiasedValidation(t *testing.T) {
+	if _, err := NewUnbiasedReservoir(0, xrand.New(1)); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	if _, err := NewUnbiasedReservoir(10, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestUnbiasedFillsThenCaps(t *testing.T) {
+	u, err := NewUnbiasedReservoir(10, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(u, 5)
+	if u.Len() != 5 {
+		t.Fatalf("Len after 5 = %d", u.Len())
+	}
+	feed(u, 1000)
+	if u.Len() != 10 {
+		t.Fatalf("Len after 1005 = %d, want capacity 10", u.Len())
+	}
+	if u.Capacity() != 10 {
+		t.Fatalf("Capacity = %d", u.Capacity())
+	}
+	if u.Processed() != 1005 {
+		t.Fatalf("Processed = %d", u.Processed())
+	}
+	if got := len(u.Sample()); got != 10 {
+		t.Fatalf("Sample len = %d", got)
+	}
+}
+
+func TestUnbiasedSampleIsCopy(t *testing.T) {
+	u, _ := NewUnbiasedReservoir(4, xrand.New(1))
+	feed(u, 4)
+	s := u.Sample()
+	s[0].Index = 9999
+	if u.Points()[0].Index == 9999 {
+		t.Fatal("Sample shares storage with the reservoir")
+	}
+}
+
+func TestUnbiasedInclusionProb(t *testing.T) {
+	u, _ := NewUnbiasedReservoir(10, xrand.New(1))
+	if u.InclusionProb(1) != 0 {
+		t.Fatal("prob before any arrivals must be 0")
+	}
+	feed(u, 5)
+	if got := u.InclusionProb(3); got != 1 {
+		t.Fatalf("p(3,5) = %v, want 1 while under capacity", got)
+	}
+	feed(u, 95) // t = 100
+	if got := u.InclusionProb(50); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("p(50,100) = %v, want 0.1", got)
+	}
+	if u.InclusionProb(0) != 0 || u.InclusionProb(101) != 0 {
+		t.Fatal("out-of-range r must have probability 0")
+	}
+}
+
+// Property 2.1: after t arrivals every point is present with probability
+// n/t, independent of its position. This is the statistical contract the
+// whole estimator stack relies on for the baseline.
+func TestUnbiasedUniformity(t *testing.T) {
+	const (
+		capacity = 20
+		total    = 200
+		trials   = 3000
+	)
+	counts := make([]int, total+1)
+	rng := xrand.New(99)
+	for trial := 0; trial < trials; trial++ {
+		u, _ := NewUnbiasedReservoir(capacity, rng.Split())
+		feed(u, total)
+		for _, p := range u.Points() {
+			counts[p.Index]++
+		}
+	}
+	want := float64(capacity) / float64(total) // 0.1
+	sigma := math.Sqrt(want * (1 - want) / trials)
+	// Check early, middle and late arrivals; 5σ per check keeps the
+	// false-positive rate negligible.
+	for _, r := range []int{1, 2, 50, 100, 150, 199, 200} {
+		got := float64(counts[r]) / trials
+		if math.Abs(got-want) > 5*sigma {
+			t.Errorf("p(%d,%d) empirical %v, want %v ± %v", r, total, got, want, 5*sigma)
+		}
+	}
+}

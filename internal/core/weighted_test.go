@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"biasedres/internal/stream"
+	"biasedres/internal/xrand"
+)
+
+func TestWeightedValidation(t *testing.T) {
+	if _, err := NewWeightedReservoir(0, xrand.New(1)); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	if _, err := NewWeightedReservoir(10, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestWeightedIgnoresBadWeights(t *testing.T) {
+	w, _ := NewWeightedReservoir(10, xrand.New(1))
+	w.Add(stream.Point{Index: 1, Weight: 0})
+	w.Add(stream.Point{Index: 2, Weight: -1})
+	w.Add(stream.Point{Index: 3, Weight: math.NaN()})
+	w.Add(stream.Point{Index: 4, Weight: math.Inf(1)})
+	if w.Len() != 0 {
+		t.Fatalf("bad-weight points entered the sample: %d", w.Len())
+	}
+	if w.Processed() != 4 {
+		t.Fatalf("processed = %d", w.Processed())
+	}
+	w.Add(stream.Point{Index: 5, Weight: 1})
+	if w.Len() != 1 {
+		t.Fatalf("valid point rejected")
+	}
+}
+
+func TestWeightedCapacity(t *testing.T) {
+	w, _ := NewWeightedReservoir(5, xrand.New(2))
+	for i := 1; i <= 100; i++ {
+		w.Add(stream.Point{Index: uint64(i), Weight: 1})
+		if w.Len() > 5 {
+			t.Fatalf("capacity exceeded: %d", w.Len())
+		}
+	}
+	if w.Len() != 5 || w.Capacity() != 5 {
+		t.Fatalf("len/cap = %d/%d", w.Len(), w.Capacity())
+	}
+}
+
+// With capacity 1, A-Res must pick each point with probability proportional
+// to its weight.
+func TestWeightedProportionalSelection(t *testing.T) {
+	const trials = 30000
+	rng := xrand.New(3)
+	counts := make(map[uint64]int)
+	weights := []float64{1, 2, 3, 4} // total 10
+	for trial := 0; trial < trials; trial++ {
+		w, _ := NewWeightedReservoir(1, rng.Split())
+		for i, wt := range weights {
+			w.Add(stream.Point{Index: uint64(i + 1), Weight: wt})
+		}
+		counts[w.Points()[0].Index]++
+	}
+	for i, wt := range weights {
+		got := float64(counts[uint64(i+1)]) / trials
+		want := wt / 10
+		sigma := math.Sqrt(want * (1 - want) / trials)
+		if math.Abs(got-want) > 5*sigma {
+			t.Errorf("point %d selected with freq %v, want %v", i+1, got, want)
+		}
+	}
+}
+
+// With equal weights A-Res degenerates to uniform reservoir sampling.
+func TestWeightedUniformWhenEqualWeights(t *testing.T) {
+	const capacity, total, trials = 10, 100, 4000
+	counts := make([]int, total+1)
+	rng := xrand.New(5)
+	for trial := 0; trial < trials; trial++ {
+		w, _ := NewWeightedReservoir(capacity, rng.Split())
+		for i := 1; i <= total; i++ {
+			w.Add(stream.Point{Index: uint64(i), Weight: 2.5})
+		}
+		for _, p := range w.Points() {
+			counts[p.Index]++
+		}
+	}
+	want := float64(capacity) / float64(total)
+	sigma := math.Sqrt(want * (1 - want) / trials)
+	for _, r := range []int{1, 25, 50, 75, 100} {
+		got := float64(counts[r]) / trials
+		if math.Abs(got-want) > 5*sigma {
+			t.Errorf("p(%d) = %v, want %v", r, got, want)
+		}
+	}
+}
+
+// Heavy points must dominate the sample: with weights 10 vs 1 at a 1:1
+// arrival ratio and a small reservoir, heavy points should fill most slots.
+func TestWeightedHeavyDominates(t *testing.T) {
+	const trials = 400
+	rng := xrand.New(7)
+	var heavy, total float64
+	for trial := 0; trial < trials; trial++ {
+		w, _ := NewWeightedReservoir(10, rng.Split())
+		for i := 1; i <= 200; i++ {
+			wt := 1.0
+			label := 0
+			if i%2 == 0 {
+				wt = 10
+				label = 1
+			}
+			w.Add(stream.Point{Index: uint64(i), Weight: wt, Label: label})
+		}
+		for _, p := range w.Points() {
+			total++
+			if p.Label == 1 {
+				heavy++
+			}
+		}
+	}
+	if frac := heavy / total; frac < 0.75 {
+		t.Fatalf("heavy fraction %v, expected heavy points to dominate", frac)
+	}
+}
+
+func TestWeightedSampleIsCopy(t *testing.T) {
+	w, _ := NewWeightedReservoir(4, xrand.New(9))
+	for i := 1; i <= 4; i++ {
+		w.Add(stream.Point{Index: uint64(i), Weight: 1})
+	}
+	s := w.Sample()
+	s[0].Index = 999
+	for _, p := range w.Points() {
+		if p.Index == 999 {
+			t.Fatal("Sample aliases reservoir")
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"biasedres/internal/xrand"
+)
+
+func TestWindowValidation(t *testing.T) {
+	if _, err := NewWindowReservoir(0, 10, xrand.New(1)); err == nil {
+		t.Error("window 0 accepted")
+	}
+	if _, err := NewWindowReservoir(100, 0, xrand.New(1)); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	if _, err := NewWindowReservoir(100, 10, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestWindowMembersAreInWindow(t *testing.T) {
+	const window, capacity, total = 100, 20, 5000
+	w, err := NewWindowReservoir(window, capacity, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(w, total)
+	pts := w.Points()
+	if len(pts) == 0 {
+		t.Fatal("empty window sample")
+	}
+	if len(pts) > capacity {
+		t.Fatalf("sample size %d exceeds capacity %d", len(pts), capacity)
+	}
+	for _, p := range pts {
+		if age := uint64(total) - p.Index; age >= window {
+			t.Fatalf("sampled point age %d >= window %d", age, window)
+		}
+	}
+	if w.Window() != window {
+		t.Fatalf("Window() = %d", w.Window())
+	}
+}
+
+func TestWindowInclusionProb(t *testing.T) {
+	w, _ := NewWindowReservoir(100, 10, xrand.New(2))
+	feed(w, 50)
+	// Before t reaches W, probability is 1/t.
+	if got := w.InclusionProb(10); math.Abs(got-1.0/50) > 1e-12 {
+		t.Fatalf("p(10,50) = %v, want 1/50", got)
+	}
+	feed(w, 150) // t = 200
+	if got := w.InclusionProb(150); math.Abs(got-0.01) > 1e-12 {
+		t.Fatalf("p(150,200) = %v, want 1/W = 0.01", got)
+	}
+	if got := w.InclusionProb(50); got != 0 {
+		t.Fatalf("expired point probability = %v, want 0", got)
+	}
+	if w.InclusionProb(0) != 0 || w.InclusionProb(201) != 0 {
+		t.Fatal("out-of-range r must have probability 0")
+	}
+}
+
+// Each slot must hold a uniform sample of the window: every in-window
+// arrival index equally likely.
+func TestWindowUniformity(t *testing.T) {
+	const (
+		window = 50
+		total  = 300
+		trials = 4000
+	)
+	counts := make([]int, total+1)
+	rng := xrand.New(23)
+	for trial := 0; trial < trials; trial++ {
+		w, _ := NewWindowReservoir(window, 1, rng.Split())
+		feed(w, total)
+		for _, p := range w.Points() {
+			counts[p.Index]++
+		}
+	}
+	want := 1.0 / window
+	sigma := math.Sqrt(want * (1 - want) / trials)
+	for _, r := range []int{251, 260, 275, 290, 300} {
+		got := float64(counts[r]) / trials
+		if math.Abs(got-want) > 5*sigma {
+			t.Errorf("window slot holds r=%d with freq %v, want %v", r, got, want)
+		}
+	}
+	for r := 1; r <= total-window; r++ {
+		if counts[r] != 0 {
+			t.Fatalf("expired point %d appeared in %d samples", r, counts[r])
+		}
+	}
+}
+
+func TestWindowSlotsStayPopulated(t *testing.T) {
+	const window, capacity = 200, 10
+	w, _ := NewWindowReservoir(window, capacity, xrand.New(5))
+	feed(w, 10000)
+	// Chains mean a slot is only ever empty in rare corner cases; over a
+	// long stream all slots should be populated.
+	if got := w.Len(); got < capacity-1 {
+		t.Fatalf("only %d of %d slots populated after long stream", got, capacity)
+	}
+	if w.Processed() != 10000 {
+		t.Fatalf("Processed = %d", w.Processed())
+	}
+}

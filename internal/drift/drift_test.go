@@ -1,0 +1,133 @@
+package drift
+
+import (
+	"testing"
+
+	"biasedres/internal/core"
+	"biasedres/internal/stream"
+	"biasedres/internal/xrand"
+)
+
+func TestNewDetectorValidation(t *testing.T) {
+	b, _ := core.NewBiasedReservoir(0.01, xrand.New(1))
+	if _, err := NewDetector(nil, 10, 100, 1, 3); err == nil {
+		t.Error("nil sampler accepted")
+	}
+	if _, err := NewDetector(b, 0, 100, 1, 3); err == nil {
+		t.Error("shortH 0 accepted")
+	}
+	if _, err := NewDetector(b, 100, 100, 1, 3); err == nil {
+		t.Error("shortH == longH accepted")
+	}
+	if _, err := NewDetector(b, 10, 100, 0, 3); err == nil {
+		t.Error("dim 0 accepted")
+	}
+	if _, err := NewDetector(b, 10, 100, 1, 0); err == nil {
+		t.Error("threshold 0 accepted")
+	}
+}
+
+func TestCheckEmptyReservoir(t *testing.T) {
+	b, _ := core.NewBiasedReservoir(0.01, xrand.New(1))
+	d, _ := NewDetector(b, 10, 100, 1, 3)
+	if _, err := d.Check(); err == nil {
+		t.Fatal("empty reservoir produced a report")
+	}
+}
+
+// On a stationary stream the detector must (almost) never fire.
+func TestNoDriftOnStationaryStream(t *testing.T) {
+	const trials = 20
+	rng := xrand.New(3)
+	fired := 0
+	for trial := 0; trial < trials; trial++ {
+		gen, err := stream.NewUniformGenerator(3, 20000, rng.Uint64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := core.NewBiasedReservoir(0.002, rng.Split()) // reservoir 500
+		stream.Drive(gen, func(p stream.Point) bool {
+			b.Add(p)
+			return true
+		})
+		det, err := NewDetector(b, 500, 3000, 3, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := det.Check()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Drift {
+			fired++
+		}
+	}
+	if fired > 2 {
+		t.Fatalf("false alarms on stationary stream: %d/%d", fired, trials)
+	}
+}
+
+// After a sharp mean shift well inside the short horizon, the detector must
+// fire.
+func TestDetectsRegimeShift(t *testing.T) {
+	const trials = 10
+	rng := xrand.New(5)
+	fired := 0
+	for trial := 0; trial < trials; trial++ {
+		// 20k points, mean steps by +3 every 10k: the second regime
+		// starts at 10k, so at the end the short horizon (500) is all
+		// regime 2 while the long horizon (5000) mixes both.
+		gen, err := stream.NewRegimeGenerator(2, 19500, 3, 1, 20000, false, rng.Uint64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := core.NewBiasedReservoir(0.002, rng.Split())
+		stream.Drive(gen, func(p stream.Point) bool {
+			b.Add(p)
+			return true
+		})
+		det, _ := NewDetector(b, 300, 5000, 2, 4)
+		rep, err := det.Check()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Drift {
+			fired++
+			if rep.MaxDim < 0 || rep.MaxDim >= 2 {
+				t.Fatalf("MaxDim = %d", rep.MaxDim)
+			}
+		}
+	}
+	if fired < 8 {
+		t.Fatalf("detected regime shift only %d/%d times", fired, trials)
+	}
+}
+
+func TestReportFields(t *testing.T) {
+	gen, _ := stream.NewUniformGenerator(2, 10000, 7)
+	b, _ := core.NewBiasedReservoir(0.005, xrand.New(8))
+	stream.Drive(gen, func(p stream.Point) bool { b.Add(p); return true })
+	det, _ := NewDetector(b, 200, 1000, 2, 3)
+	if s, l := det.Horizons(); s != 200 || l != 1000 {
+		t.Fatalf("Horizons = %d,%d", s, l)
+	}
+	if det.Thresh() != 3 {
+		t.Fatalf("Thresh = %v", det.Thresh())
+	}
+	rep, err := det.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.ShortMean) != 2 || len(rep.LongMean) != 2 || len(rep.Z) != 2 {
+		t.Fatalf("report vectors sized %d/%d/%d", len(rep.ShortMean), len(rep.LongMean), len(rep.Z))
+	}
+	for d := 0; d < 2; d++ {
+		if rep.Z[d] < 0 {
+			t.Fatalf("negative z at %d", d)
+		}
+		// Uniform [0,1): means near 0.5.
+		if rep.ShortMean[d] < 0.2 || rep.ShortMean[d] > 0.8 {
+			t.Fatalf("short mean %v implausible", rep.ShortMean[d])
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Package evolution provides the reservoir evolution-analysis tools behind
+// the paper's Figure 9: two-dimensional projections of reservoir contents at
+// checkpoints during stream progression, and quantitative summaries — a
+// class-mixing index and per-class centroid statistics — that replace the
+// paper's visual scatter-plot comparison with numbers an automated
+// experiment can assert on.
+//
+// The paper's qualitative claim: under evolution, the clusters in a biased
+// reservoir stay sharply separated (tracking the current stream state)
+// while an unbiased reservoir shows "greater diffusion and mixing of the
+// points from different clusters".
+package evolution
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"biasedres/internal/stats"
+	"biasedres/internal/stream"
+)
+
+// Projected is one reservoir point projected onto two dimensions.
+type Projected struct {
+	X, Y  float64
+	Label int
+}
+
+// Snapshot is a 2-D projection of a reservoir at one stream position.
+type Snapshot struct {
+	// T is the stream position at which the snapshot was taken.
+	T uint64
+	// Points holds the projected reservoir contents.
+	Points []Projected
+}
+
+// Project captures a snapshot of pts at stream position t using dimensions
+// dimX and dimY (the paper projects onto the first two dimensions). Points
+// lacking either dimension are skipped.
+func Project(pts []stream.Point, t uint64, dimX, dimY int) (Snapshot, error) {
+	if dimX < 0 || dimY < 0 {
+		return Snapshot{}, fmt.Errorf("evolution: negative projection dimensions (%d, %d)", dimX, dimY)
+	}
+	snap := Snapshot{T: t, Points: make([]Projected, 0, len(pts))}
+	for _, p := range pts {
+		if dimX >= len(p.Values) || dimY >= len(p.Values) {
+			continue
+		}
+		snap.Points = append(snap.Points, Projected{X: p.Values[dimX], Y: p.Values[dimY], Label: p.Label})
+	}
+	return snap, nil
+}
+
+// MixingIndex returns the fraction of reservoir points whose nearest other
+// reservoir point (in the full-dimensional space) carries a different
+// label. A well-separated reservoir scores near 0; a fully diffused one
+// approaches 1 - 1/k for k balanced classes. It is O(n²) on the sample
+// size, which the paper bounds at 1/λ.
+func MixingIndex(pts []stream.Point) (float64, error) {
+	if len(pts) < 2 {
+		return 0, fmt.Errorf("evolution: mixing index needs at least 2 points, got %d", len(pts))
+	}
+	mixed := 0
+	for i := range pts {
+		best := -1
+		bestD := math.Inf(1)
+		for j := range pts {
+			if i == j {
+				continue
+			}
+			if d := stats.SquaredDistance(pts[i].Values, pts[j].Values); d < bestD {
+				bestD, best = d, j
+			}
+		}
+		if pts[best].Label != pts[i].Label {
+			mixed++
+		}
+	}
+	return float64(mixed) / float64(len(pts)), nil
+}
+
+// ClassCentroids returns the per-label centroid of the reservoir points.
+// All points must share one dimensionality.
+func ClassCentroids(pts []stream.Point) (map[int][]float64, error) {
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("evolution: no points")
+	}
+	dim := len(pts[0].Values)
+	sums := make(map[int][]float64)
+	counts := make(map[int]int)
+	for _, p := range pts {
+		if len(p.Values) != dim {
+			return nil, fmt.Errorf("evolution: mixed dimensionality (%d vs %d)", len(p.Values), dim)
+		}
+		c, ok := sums[p.Label]
+		if !ok {
+			c = make([]float64, dim)
+			sums[p.Label] = c
+		}
+		for d, v := range p.Values {
+			c[d] += v
+		}
+		counts[p.Label]++
+	}
+	for label, c := range sums {
+		for d := range c {
+			c[d] /= float64(counts[label])
+		}
+	}
+	return sums, nil
+}
+
+// CentroidSpread returns the mean pairwise Euclidean distance between class
+// centroids — the quantity that grows over time in the paper's synthetic
+// workload as clusters drift apart, and that the biased reservoir tracks.
+func CentroidSpread(pts []stream.Point) (float64, error) {
+	cents, err := ClassCentroids(pts)
+	if err != nil {
+		return 0, err
+	}
+	if len(cents) < 2 {
+		return 0, fmt.Errorf("evolution: centroid spread needs >= 2 classes, got %d", len(cents))
+	}
+	labels := make([]int, 0, len(cents))
+	for l := range cents {
+		labels = append(labels, l)
+	}
+	var sum float64
+	var pairs int
+	for i := 0; i < len(labels); i++ {
+		for j := i + 1; j < len(labels); j++ {
+			sum += stats.EuclideanDistance(cents[labels[i]], cents[labels[j]])
+			pairs++
+		}
+	}
+	return sum / float64(pairs), nil
+}
+
+// markers are the scatter glyphs per label, mirroring the paper's "circle,
+// cross, plus, and triangle".
+var markers = []byte{'o', 'x', '+', '^', '*', '#', '@', '%'}
+
+// RenderASCII draws the snapshot as an ASCII scatter plot of the given
+// character dimensions, one glyph per class (cycling after 8 classes).
+// When multiple points land on one cell the latest-drawn label wins; the
+// plot is a qualitative aid, the numbers come from MixingIndex.
+func RenderASCII(s Snapshot, width, height int) (string, error) {
+	if width < 8 || height < 4 {
+		return "", fmt.Errorf("evolution: plot must be at least 8x4, got %dx%d", width, height)
+	}
+	if len(s.Points) == 0 {
+		return "", fmt.Errorf("evolution: empty snapshot")
+	}
+	minX, maxX := s.Points[0].X, s.Points[0].X
+	minY, maxY := s.Points[0].Y, s.Points[0].Y
+	for _, p := range s.Points {
+		minX = math.Min(minX, p.X)
+		maxX = math.Max(maxX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxY = math.Max(maxY, p.Y)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, p := range s.Points {
+		col := int(float64(width-1) * (p.X - minX) / (maxX - minX))
+		row := int(float64(height-1) * (p.Y - minY) / (maxY - minY))
+		row = height - 1 - row // y grows upward
+		m := markers[((p.Label%len(markers))+len(markers))%len(markers)]
+		grid[row][col] = m
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "t=%d  n=%d  x:[%.2f,%.2f] y:[%.2f,%.2f]\n", s.T, len(s.Points), minX, maxX, minY, maxY)
+	for _, row := range grid {
+		b.WriteByte('|')
+		b.Write(row)
+		b.WriteString("|\n")
+	}
+	return b.String(), nil
+}

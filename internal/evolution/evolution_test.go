@@ -1,0 +1,160 @@
+package evolution
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"biasedres/internal/stream"
+)
+
+func twoClusters(n int, sep float64) []stream.Point {
+	pts := make([]stream.Point, 0, 2*n)
+	for i := 0; i < n; i++ {
+		off := 0.01 * float64(i%7)
+		pts = append(pts,
+			stream.Point{Index: uint64(2*i + 1), Values: []float64{off, off}, Label: 0},
+			stream.Point{Index: uint64(2*i + 2), Values: []float64{sep + off, sep + off}, Label: 1},
+		)
+	}
+	return pts
+}
+
+func TestProject(t *testing.T) {
+	pts := []stream.Point{
+		{Values: []float64{1, 2, 3}, Label: 0},
+		{Values: []float64{4, 5, 6}, Label: 1},
+		{Values: []float64{7}, Label: 2}, // lacks dim 1
+	}
+	snap, err := Project(pts, 42, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.T != 42 {
+		t.Fatalf("T = %d", snap.T)
+	}
+	if len(snap.Points) != 2 {
+		t.Fatalf("projected %d points, want 2 (short point skipped)", len(snap.Points))
+	}
+	if snap.Points[0].X != 1 || snap.Points[0].Y != 2 {
+		t.Fatalf("projection = %+v", snap.Points[0])
+	}
+	if _, err := Project(pts, 0, -1, 0); err == nil {
+		t.Error("negative dim accepted")
+	}
+}
+
+func TestMixingIndexSeparated(t *testing.T) {
+	pts := twoClusters(20, 100)
+	idx, err := MixingIndex(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 0 {
+		t.Fatalf("mixing index of well-separated clusters = %v, want 0", idx)
+	}
+}
+
+func TestMixingIndexInterleaved(t *testing.T) {
+	// Perfectly interleaved points: every nearest neighbour has the
+	// other label.
+	var pts []stream.Point
+	for i := 0; i < 20; i++ {
+		pts = append(pts, stream.Point{Values: []float64{float64(i)}, Label: i % 2})
+	}
+	idx, err := MixingIndex(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 1 {
+		t.Fatalf("mixing index of interleaved labels = %v, want 1", idx)
+	}
+}
+
+func TestMixingIndexValidation(t *testing.T) {
+	if _, err := MixingIndex(nil); err == nil {
+		t.Error("empty slice accepted")
+	}
+	if _, err := MixingIndex(twoClusters(1, 1)[:1]); err == nil {
+		t.Error("single point accepted")
+	}
+}
+
+func TestClassCentroids(t *testing.T) {
+	pts := []stream.Point{
+		{Values: []float64{0, 0}, Label: 0},
+		{Values: []float64{2, 4}, Label: 0},
+		{Values: []float64{10, 10}, Label: 1},
+	}
+	cents, err := ClassCentroids(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cents[0][0] != 1 || cents[0][1] != 2 {
+		t.Fatalf("centroid 0 = %v", cents[0])
+	}
+	if cents[1][0] != 10 || cents[1][1] != 10 {
+		t.Fatalf("centroid 1 = %v", cents[1])
+	}
+	if _, err := ClassCentroids(nil); err == nil {
+		t.Error("no points accepted")
+	}
+	bad := []stream.Point{{Values: []float64{1}}, {Values: []float64{1, 2}}}
+	if _, err := ClassCentroids(bad); err == nil {
+		t.Error("mixed dimensionality accepted")
+	}
+}
+
+func TestCentroidSpread(t *testing.T) {
+	pts := twoClusters(10, 5)
+	spread, err := CentroidSpread(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 5 * math.Sqrt2
+	if math.Abs(spread-want) > 0.2 {
+		t.Fatalf("spread = %v, want ~%v", spread, want)
+	}
+	one := []stream.Point{{Values: []float64{0}, Label: 0}}
+	if _, err := CentroidSpread(one); err == nil {
+		t.Error("single class accepted")
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	snap, _ := Project(twoClusters(30, 10), 500, 0, 1)
+	out, err := RenderASCII(snap, 40, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "t=500") {
+		t.Fatalf("header missing: %q", out)
+	}
+	if !strings.Contains(out, "o") || !strings.Contains(out, "x") {
+		t.Fatalf("markers missing from plot:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 13 { // header + 12 rows
+		t.Fatalf("plot has %d lines", len(lines))
+	}
+	if _, err := RenderASCII(snap, 2, 2); err == nil {
+		t.Error("tiny plot accepted")
+	}
+	if _, err := RenderASCII(Snapshot{}, 40, 12); err == nil {
+		t.Error("empty snapshot accepted")
+	}
+}
+
+func TestRenderASCIIDegenerateRange(t *testing.T) {
+	snap := Snapshot{T: 1, Points: []Projected{{X: 5, Y: 5, Label: 0}, {X: 5, Y: 5, Label: 1}}}
+	if _, err := RenderASCII(snap, 20, 6); err != nil {
+		t.Fatalf("degenerate range failed: %v", err)
+	}
+}
+
+func TestRenderASCIINegativeLabel(t *testing.T) {
+	snap := Snapshot{T: 1, Points: []Projected{{X: 0, Y: 0, Label: -3}, {X: 1, Y: 1, Label: 0}}}
+	if _, err := RenderASCII(snap, 20, 6); err != nil {
+		t.Fatalf("negative label failed: %v", err)
+	}
+}

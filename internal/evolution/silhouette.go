@@ -1,0 +1,70 @@
+package evolution
+
+import (
+	"fmt"
+
+	"biasedres/internal/stats"
+	"biasedres/internal/stream"
+)
+
+// Silhouette returns the mean silhouette coefficient of the reservoir's
+// points with respect to their class labels: for each point, a = its mean
+// distance to same-label points, b = the smallest mean distance to any
+// other label's points, and s = (b-a)/max(a,b) ∈ [-1, 1]. High values mean
+// the labels form tight, well-separated groups in the reservoir — the
+// quantitative form of the paper's Figure 9 "sharp distinctions among
+// different classes". It is O(n²) in the sample size; labels with a single
+// point contribute s = 0 (their within-class distance is undefined).
+//
+// It requires at least two points and at least two distinct labels.
+func Silhouette(pts []stream.Point) (float64, error) {
+	if len(pts) < 2 {
+		return 0, fmt.Errorf("evolution: silhouette needs at least 2 points, got %d", len(pts))
+	}
+	labels := make(map[int][]int) // label -> indices
+	for i, p := range pts {
+		labels[p.Label] = append(labels[p.Label], i)
+	}
+	if len(labels) < 2 {
+		return 0, fmt.Errorf("evolution: silhouette needs >= 2 labels, got %d", len(labels))
+	}
+	// Pairwise mean distance from each point to each label group.
+	var total float64
+	for i, p := range pts {
+		var a float64
+		aDefined := false
+		b := -1.0
+		for label, members := range labels {
+			var sum float64
+			count := 0
+			for _, j := range members {
+				if j == i {
+					continue
+				}
+				sum += stats.EuclideanDistance(p.Values, pts[j].Values)
+				count++
+			}
+			if count == 0 {
+				continue // singleton own-class: a undefined
+			}
+			mean := sum / float64(count)
+			if label == p.Label {
+				a = mean
+				aDefined = true
+			} else if b < 0 || mean < b {
+				b = mean
+			}
+		}
+		if !aDefined || b < 0 {
+			continue // contributes 0
+		}
+		max := a
+		if b > max {
+			max = b
+		}
+		if max > 0 {
+			total += (b - a) / max
+		}
+	}
+	return total / float64(len(pts)), nil
+}

@@ -1,0 +1,60 @@
+package evolution
+
+import (
+	"testing"
+
+	"biasedres/internal/stream"
+)
+
+func TestSilhouetteValidation(t *testing.T) {
+	if _, err := Silhouette(nil); err == nil {
+		t.Error("empty accepted")
+	}
+	one := []stream.Point{{Values: []float64{0}, Label: 0}, {Values: []float64{1}, Label: 0}}
+	if _, err := Silhouette(one); err == nil {
+		t.Error("single label accepted")
+	}
+}
+
+func TestSilhouetteSeparated(t *testing.T) {
+	pts := twoClusters(15, 100) // far apart
+	s, err := Silhouette(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 0.95 {
+		t.Fatalf("silhouette of well-separated clusters = %v, want ~1", s)
+	}
+}
+
+func TestSilhouetteMixed(t *testing.T) {
+	// Interleaved labels on a line: silhouette near or below 0.
+	var pts []stream.Point
+	for i := 0; i < 30; i++ {
+		pts = append(pts, stream.Point{Values: []float64{float64(i)}, Label: i % 2})
+	}
+	s, err := Silhouette(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s > 0.1 {
+		t.Fatalf("silhouette of interleaved labels = %v, want <= ~0", s)
+	}
+}
+
+func TestSilhouetteOrdering(t *testing.T) {
+	// Closer clusters must score lower than distant ones.
+	far, _ := Silhouette(twoClusters(15, 50))
+	near, _ := Silhouette(twoClusters(15, 0.1))
+	if near >= far {
+		t.Fatalf("silhouette near %v >= far %v", near, far)
+	}
+}
+
+func TestSilhouetteSingletonClass(t *testing.T) {
+	pts := twoClusters(10, 10)
+	pts = append(pts, stream.Point{Values: []float64{500, 500}, Label: 99})
+	if _, err := Silhouette(pts); err != nil {
+		t.Fatalf("singleton class broke silhouette: %v", err)
+	}
+}

@@ -1,0 +1,129 @@
+// Package exact provides an oracle realization of the paper's Definition
+// 2.1: a biased sample whose inclusion probabilities are *exactly*
+// proportional to an arbitrary bias function f(r,t).
+//
+// The paper notes that one-pass maintenance for general bias functions is an
+// open problem and that an exact policy would need Ω(n) re-distribution work
+// per arrival. This package embraces that cost: it stores the whole (test
+// scale) stream prefix and materializes a fresh sample on demand with one
+// independent Bernoulli draw per stored point. It exists as ground truth —
+// the statistical reference the one-pass samplers in internal/core and the
+// estimators in internal/query are validated against — and as the "ideal"
+// baseline for ablation benchmarks. It is not a streaming algorithm: memory
+// is O(t).
+package exact
+
+import (
+	"fmt"
+
+	"biasedres/internal/core"
+	"biasedres/internal/stream"
+	"biasedres/internal/xrand"
+)
+
+// Oracle stores a stream prefix and draws exact biased samples from it.
+type Oracle struct {
+	f      core.BiasFunction
+	target int
+	pts    []stream.Point
+}
+
+// New returns an oracle for bias function f targeting an expected sample
+// size of target points. target must be positive and f non-nil.
+func New(f core.BiasFunction, target int) (*Oracle, error) {
+	if f == nil {
+		return nil, fmt.Errorf("exact: nil bias function")
+	}
+	if target <= 0 {
+		return nil, fmt.Errorf("exact: target sample size must be positive, got %d", target)
+	}
+	return &Oracle{f: f, target: target}, nil
+}
+
+// Add appends the next stream point. Points must arrive in order.
+func (o *Oracle) Add(p stream.Point) { o.pts = append(o.pts, p) }
+
+// Processed returns t, the number of points stored.
+func (o *Oracle) Processed() uint64 { return uint64(len(o.pts)) }
+
+// Probabilities returns the exact inclusion probabilities p(r,t) for
+// r = 1..t per Equation 6 of the paper: p(r,t) = n·f(r,t)/Σ_i f(i,t),
+// clipped at the feasibility bound. When the requested sample size n
+// exceeds the maximum reservoir requirement R(t) (Theorem 2.1), no sample
+// of size n can satisfy the bias function; the oracle then returns the
+// *maximum relevant sample* probabilities f(r,t)/f(t,t), the largest
+// bias-satisfying assignment (the newest point is included with
+// probability 1).
+func (o *Oracle) Probabilities() []float64 {
+	t := uint64(len(o.pts))
+	probs := make([]float64, len(o.pts))
+	if t == 0 {
+		return probs
+	}
+	var sum float64
+	for i, p := range o.pts {
+		probs[i] = o.f.Weight(p.Index, t)
+		sum += probs[i]
+	}
+	newest := o.f.Weight(o.pts[len(o.pts)-1].Index, t)
+	if newest <= 0 || sum <= 0 {
+		for i := range probs {
+			probs[i] = 0
+		}
+		return probs
+	}
+	requirement := sum / newest // R(t), Theorem 2.1
+	var scale float64
+	if float64(o.target) >= requirement {
+		// Maximum relevant sample: proportionality constant makes the
+		// newest point certain.
+		scale = 1 / newest
+	} else {
+		scale = float64(o.target) / sum
+	}
+	for i := range probs {
+		probs[i] *= scale
+		if probs[i] > 1 {
+			probs[i] = 1 // numeric safety; cannot exceed 1 analytically
+		}
+	}
+	return probs
+}
+
+// InclusionProb returns p(r,t) for one arrival index (1-based position in
+// the stored prefix). It returns 0 for out-of-range r.
+func (o *Oracle) InclusionProb(r uint64) float64 {
+	if r == 0 || r > uint64(len(o.pts)) {
+		return 0
+	}
+	return o.Probabilities()[r-1]
+}
+
+// Draw materializes one exact biased sample by independent Bernoulli draws.
+// Successive draws with the same rng are independent samples from the same
+// distribution.
+func (o *Oracle) Draw(rng *xrand.Source) []stream.Point {
+	probs := o.Probabilities()
+	var out []stream.Point
+	for i, p := range probs {
+		if rng.Bernoulli(p) {
+			out = append(out, o.pts[i])
+		}
+	}
+	return out
+}
+
+// ExpectedSize returns E[|S(t)|] = Σ p(r,t) under the current prefix.
+func (o *Oracle) ExpectedSize() float64 {
+	var sum float64
+	for _, p := range o.Probabilities() {
+		sum += p
+	}
+	return sum
+}
+
+// Requirement returns R(t), the maximum reservoir requirement of the bias
+// function at the current prefix length (Theorem 2.1).
+func (o *Oracle) Requirement() float64 {
+	return core.MaxReservoirRequirement(o.f, uint64(len(o.pts)))
+}

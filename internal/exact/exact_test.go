@@ -1,0 +1,172 @@
+package exact
+
+import (
+	"math"
+	"testing"
+
+	"biasedres/internal/core"
+	"biasedres/internal/stream"
+	"biasedres/internal/xrand"
+)
+
+func fill(o *Oracle, n int) {
+	for i := 1; i <= n; i++ {
+		o.Add(stream.Point{Index: uint64(i), Weight: 1})
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 10); err == nil {
+		t.Error("nil bias function accepted")
+	}
+	e, _ := core.NewExponential(0.01)
+	if _, err := New(e, 0); err == nil {
+		t.Error("target 0 accepted")
+	}
+}
+
+func TestEmptyOracle(t *testing.T) {
+	e, _ := core.NewExponential(0.01)
+	o, _ := New(e, 10)
+	if len(o.Probabilities()) != 0 {
+		t.Fatal("empty oracle has probabilities")
+	}
+	if o.InclusionProb(1) != 0 {
+		t.Fatal("empty oracle nonzero probability")
+	}
+	if got := o.Draw(xrand.New(1)); len(got) != 0 {
+		t.Fatal("empty oracle drew points")
+	}
+}
+
+// Equation 6: probabilities are proportional to f(r,t) and sum to the
+// target size when feasible.
+func TestProbabilitiesProportional(t *testing.T) {
+	const lambda, target, total = 0.01, 20, 1000
+	e, _ := core.NewExponential(lambda)
+	o, _ := New(e, target)
+	fill(o, total)
+	probs := o.Probabilities()
+	var sum float64
+	for _, p := range probs {
+		sum += p
+	}
+	if math.Abs(sum-target) > 1e-9 {
+		t.Fatalf("Σp = %v, want target %d", sum, target)
+	}
+	// Proportionality: p(r)/p(r') = f(r,t)/f(r',t).
+	ratio := probs[999] / probs[500]
+	want := math.Exp(-lambda*0) / math.Exp(-lambda*499)
+	if math.Abs(ratio-want) > 1e-9*want {
+		t.Fatalf("proportionality violated: ratio %v want %v", ratio, want)
+	}
+	if got := o.ExpectedSize(); math.Abs(got-target) > 1e-9 {
+		t.Fatalf("ExpectedSize = %v", got)
+	}
+}
+
+// When the target exceeds R(t), the oracle returns the maximum relevant
+// sample: newest point certain, everything proportional to f.
+func TestMaximumRelevantSample(t *testing.T) {
+	const lambda, total = 0.1, 200 // R(t) ≈ 10.5
+	e, _ := core.NewExponential(lambda)
+	o, _ := New(e, 1000)
+	fill(o, total)
+	probs := o.Probabilities()
+	if got := probs[total-1]; math.Abs(got-1) > 1e-12 {
+		t.Fatalf("newest probability = %v, want 1", got)
+	}
+	if got, want := o.ExpectedSize(), o.Requirement(); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("expected size %v != requirement %v", got, want)
+	}
+	for i := 1; i < total; i++ {
+		if probs[i] < probs[i-1] {
+			t.Fatalf("probabilities not monotone at %d", i)
+		}
+	}
+}
+
+func TestInclusionProbBounds(t *testing.T) {
+	e, _ := core.NewExponential(0.05)
+	o, _ := New(e, 10)
+	fill(o, 100)
+	if o.InclusionProb(0) != 0 || o.InclusionProb(101) != 0 {
+		t.Fatal("out-of-range r must be 0")
+	}
+	if got := o.InclusionProb(100); got <= 0 || got > 1 {
+		t.Fatalf("p(100,100) = %v", got)
+	}
+}
+
+// Draw must realize the probabilities: empirical inclusion frequencies over
+// many draws match Probabilities().
+func TestDrawMatchesProbabilities(t *testing.T) {
+	const lambda, target, total, draws = 0.02, 15, 400, 5000
+	e, _ := core.NewExponential(lambda)
+	o, _ := New(e, target)
+	fill(o, total)
+	probs := o.Probabilities()
+	counts := make([]int, total)
+	rng := xrand.New(42)
+	var sizeSum float64
+	for d := 0; d < draws; d++ {
+		s := o.Draw(rng)
+		sizeSum += float64(len(s))
+		for _, p := range s {
+			counts[p.Index-1]++
+		}
+	}
+	if mean := sizeSum / draws; math.Abs(mean-target) > 0.5 {
+		t.Fatalf("mean drawn size %v, want ~%d", mean, target)
+	}
+	for _, r := range []int{100, 250, 399} {
+		got := float64(counts[r]) / draws
+		want := probs[r]
+		sigma := math.Sqrt(want*(1-want)/draws) + 1e-9
+		if math.Abs(got-want) > 5*sigma {
+			t.Errorf("draw frequency at r=%d: %v, want %v", r+1, got, want)
+		}
+	}
+}
+
+// The oracle accepts non-memory-less bias functions — the case the one-pass
+// algorithms cannot handle.
+func TestPolynomialBiasOracle(t *testing.T) {
+	p, _ := core.NewPolynomial(1.5)
+	o, _ := New(p, 10)
+	fill(o, 500)
+	probs := o.Probabilities()
+	var sum float64
+	for _, v := range probs {
+		if v < 0 || v > 1 {
+			t.Fatalf("probability out of range: %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-10) > 1e-9 && math.Abs(sum-o.Requirement()) > 1e-6 {
+		t.Fatalf("Σp = %v matches neither target nor requirement", sum)
+	}
+}
+
+// Cross-validation: the closed-form inclusion probability the BiasedReservoir
+// reports must be proportional to the oracle's exact Definition-2.1
+// probabilities at equal ages (same f up to the p_in factor).
+func TestOracleVsReservoirProportionality(t *testing.T) {
+	const lambda = 0.01
+	e, _ := core.NewExponential(lambda)
+	o, _ := New(e, 50)
+	fill(o, 2000)
+	b, err := core.NewConstrainedReservoir(lambda, 50, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 2000; i++ {
+		b.Add(stream.Point{Index: uint64(i), Weight: 1})
+	}
+	// Ratios across two ages must agree.
+	or := o.InclusionProb(1900) / o.InclusionProb(1500)
+	br := b.InclusionProb(1900) / b.InclusionProb(1500)
+	if math.Abs(or-br) > 1e-6*or {
+		t.Fatalf("oracle ratio %v vs reservoir ratio %v", or, br)
+	}
+}

@@ -1,0 +1,276 @@
+package experiments
+
+import "fmt"
+
+// Claims encode each figure's qualitative result — the thing a reader
+// checks a reproduction against — as executable assertions over a Result.
+// `cmd/experiments -check` evaluates them after regenerating a figure, so
+// "does the reproduction still hold?" is a command, not a judgement call.
+//
+// Claims are deliberately about orderings and trends, not absolute values:
+// absolute errors depend on the simulated data (DESIGN.md §5), orderings
+// do not.
+
+// Claim is one verifiable statement about a figure.
+type Claim struct {
+	// Text states the claim in the paper's language.
+	Text string
+	// Holds evaluates the claim against a regenerated Result.
+	Holds func(*Result) bool
+}
+
+// ClaimOutcome pairs a claim with its evaluation.
+type ClaimOutcome struct {
+	Text string
+	OK   bool
+}
+
+// claims maps figure/extension ids to their claims.
+var claims = map[string][]Claim{
+	"fig1": {
+		{
+			Text: "the variable scheme fills the reservoir within the chart (final fill >= 95%)",
+			Holds: func(r *Result) bool {
+				v, ok := r.Get("variable")
+				return ok && last(v.Y) >= 0.95
+			},
+		},
+		{
+			Text: "the fixed scheme is far from full at the end of the chart (fill <= 50%)",
+			Holds: func(r *Result) bool {
+				f, ok := r.Get("fixed")
+				return ok && last(f.Y) <= 0.5
+			},
+		},
+		{
+			Text: "variable utilization dominates fixed at every checkpoint",
+			Holds: func(r *Result) bool {
+				v, okV := r.Get("variable")
+				f, okF := r.Get("fixed")
+				if !okV || !okF || len(v.Y) != len(f.Y) {
+					return false
+				}
+				for i := range v.Y {
+					if v.Y[i]+1e-9 < f.Y[i] {
+						return false
+					}
+				}
+				return true
+			},
+		},
+	},
+	"fig2": horizonClaims(),
+	"fig3": horizonClaims(),
+	// Figure 4's class-estimation error "shows considerable random
+	// variations because of the skewed nature of the class
+	// distributions" (paper) — the stability claim is not asserted.
+	"fig4": horizonClaims()[:2],
+	"fig5": horizonClaims(),
+	"fig6": {
+		{
+			Text: "at the final checkpoint the unbiased error exceeds the biased error",
+			Holds: func(r *Result) bool {
+				b, okB := r.Get("biased")
+				u, okU := r.Get("unbiased")
+				return okB && okU && last(u.Y) > last(b.Y)
+			},
+		},
+		{
+			Text: "the unbiased error deteriorates with progression (late half above early half)",
+			Holds: func(r *Result) bool {
+				u, ok := r.Get("unbiased")
+				if !ok || len(u.Y) < 4 {
+					return false
+				}
+				half := len(u.Y) / 2
+				return mean(u.Y[half:]) > mean(u.Y[:half])
+			},
+		},
+		{
+			Text: "the biased error stays flat (late half within 2x of early half)",
+			Holds: func(r *Result) bool {
+				b, ok := r.Get("biased")
+				if !ok || len(b.Y) < 4 {
+					return false
+				}
+				half := len(b.Y) / 2
+				early := mean(b.Y[:half])
+				return early == 0 || mean(b.Y[half:]) <= 2*early
+			},
+		},
+	},
+	"fig7": accuracyClaims(),
+	"fig8": accuracyClaims(),
+	"fig9": {
+		{
+			Text: "at the final checkpoint the unbiased reservoir mixes classes more than the biased one",
+			Holds: func(r *Result) bool {
+				b, okB := r.Get("mixing-biased")
+				u, okU := r.Get("mixing-unbiased")
+				return okB && okU && last(u.Y) > last(b.Y)
+			},
+		},
+		{
+			Text: "the biased reservoir tracks the growing centroid spread at least as closely as the unbiased one",
+			Holds: func(r *Result) bool {
+				b, okB := r.Get("spread-biased")
+				u, okU := r.Get("spread-unbiased")
+				return okB && okU && last(b.Y) >= last(u.Y)
+			},
+		},
+		{
+			Text: "the biased reservoir's centroid spread grows with stream progression",
+			Holds: func(r *Result) bool {
+				b, ok := r.Get("spread-biased")
+				return ok && len(b.Y) >= 2 && last(b.Y) > b.Y[0]
+			},
+		},
+	},
+	"extlambda": {
+		{
+			Text: "error at λ·h = 1 is below both sweep extremes (U-shape)",
+			Holds: func(r *Result) bool {
+				s, ok := r.Get("biased")
+				if !ok || len(s.Y) < 5 {
+					return false
+				}
+				midIdx := 0
+				for i, x := range s.X {
+					if x == 1 {
+						midIdx = i
+					}
+				}
+				return s.Y[midIdx] < s.Y[0] && s.Y[midIdx] < last(s.Y)
+			},
+		},
+	},
+	"extwindow": {
+		{
+			Text: "beyond its window the window sampler's error exceeds the biased sampler's",
+			Holds: func(r *Result) bool {
+				b, okB := r.Get("biased")
+				w, okW := r.Get("window")
+				if !okB || !okW || len(b.Y) < 2 || len(w.Y) != len(b.Y) {
+					return false
+				}
+				n := len(b.Y)
+				return w.Y[n-1] > b.Y[n-1] && w.Y[n-2] > b.Y[n-2]
+			},
+		},
+		{
+			Text: "at the smallest horizon the biased sampler beats the unbiased one",
+			Holds: func(r *Result) bool {
+				b, okB := r.Get("biased")
+				u, okU := r.Get("unbiased")
+				return okB && okU && len(b.Y) > 0 && b.Y[0] < u.Y[0]
+			},
+		},
+	},
+	"exttime": {
+		{
+			Text: "past the cold start, the time-decay reservoir answers time horizons better than the average-rate index conversion",
+			Holds: func(r *Result) bool {
+				td, okT := r.Get("time-decay")
+				avg, okA := r.Get("index-avgrate")
+				if !okT || !okA || len(td.Y) < 4 || len(avg.Y) != len(td.Y) {
+					return false
+				}
+				return mean(td.Y[2:]) < mean(avg.Y[2:])
+			},
+		},
+	},
+}
+
+// horizonClaims is the shared claim set of Figures 2-5.
+func horizonClaims() []Claim {
+	return []Claim{
+		{
+			Text: "at the smallest horizon the biased scheme's error is below the unbiased scheme's",
+			Holds: func(r *Result) bool {
+				b, okB := r.Get("biased")
+				u, okU := r.Get("unbiased")
+				return okB && okU && len(b.Y) > 0 && len(u.Y) > 0 && b.Y[0] < u.Y[0]
+			},
+		},
+		{
+			Text: "averaged over the smaller half of the horizons, biased error is below unbiased error",
+			Holds: func(r *Result) bool {
+				b, okB := r.Get("biased")
+				u, okU := r.Get("unbiased")
+				if !okB || !okU || len(b.Y) < 4 || len(u.Y) != len(b.Y) {
+					return false
+				}
+				half := len(b.Y) / 2
+				return mean(b.Y[:half]) < mean(u.Y[:half])
+			},
+		},
+		{
+			Text: "the biased error is stable across horizons (max within 8x of min)",
+			Holds: func(r *Result) bool {
+				b, ok := r.Get("biased")
+				if !ok || len(b.Y) == 0 {
+					return false
+				}
+				lo, hi := b.Y[0], b.Y[0]
+				for _, y := range b.Y {
+					if y < lo {
+						lo = y
+					}
+					if y > hi {
+						hi = y
+					}
+				}
+				return lo > 0 && hi/lo <= 8
+			},
+		},
+	}
+}
+
+// accuracyClaims is the shared claim set of Figures 7-8.
+func accuracyClaims() []Claim {
+	return []Claim{
+		{
+			Text: "mean windowed accuracy of the biased reservoir is at least the unbiased one's",
+			Holds: func(r *Result) bool {
+				b, okB := r.Get("biased")
+				u, okU := r.Get("unbiased")
+				return okB && okU && mean(b.Y) >= mean(u.Y)
+			},
+		},
+		{
+			Text: "all accuracies are valid probabilities",
+			Holds: func(r *Result) bool {
+				for _, s := range r.Series {
+					for _, y := range s.Y {
+						if y < 0 || y > 1 {
+							return false
+						}
+					}
+				}
+				return true
+			},
+		},
+	}
+}
+
+// CheckClaims evaluates the registered claims of a figure or extension
+// against a regenerated result. It returns an error for ids without
+// claims.
+func CheckClaims(id string, res *Result) ([]ClaimOutcome, error) {
+	cs, ok := claims[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: no claims registered for %q", id)
+	}
+	out := make([]ClaimOutcome, len(cs))
+	for i, c := range cs {
+		out[i] = ClaimOutcome{Text: c.Text, OK: c.Holds(res)}
+	}
+	return out, nil
+}
+
+func last(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return xs[len(xs)-1]
+}

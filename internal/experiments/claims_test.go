@@ -1,0 +1,68 @@
+package experiments
+
+import "testing"
+
+func TestClaimsRegisteredForEveryExperiment(t *testing.T) {
+	for _, id := range append(IDs(), ExtIDs()...) {
+		if _, ok := claims[id]; !ok {
+			t.Errorf("no claims registered for %q", id)
+		}
+	}
+	if _, err := CheckClaims("nope", &Result{}); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+// Each figure's claims must PASS on its own regenerated result — the
+// executable form of "the reproduction holds".
+func TestClaimsHoldAtTestScale(t *testing.T) {
+	cases := []struct {
+		id    string
+		run   func(string, Config) (*Result, error)
+		scale float64
+	}{
+		{"fig1", Run, 0.05},
+		{"fig2", Run, 0.05},
+		{"fig3", Run, 0.05},
+		{"fig4", Run, 0.05},
+		{"fig5", Run, 0.05},
+		{"fig6", Run, 0.05},
+		{"fig7", Run, 0.1},
+		{"fig8", Run, 0.1},
+		{"fig9", Run, 0.1},
+		{"extlambda", RunExt, 0.08},
+		{"extwindow", RunExt, 0.08},
+		{"exttime", RunExt, 0.5},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.id, func(t *testing.T) {
+			t.Parallel()
+			res, err := tc.run(tc.id, Config{Scale: tc.scale, Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			outcomes, err := CheckClaims(tc.id, res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(outcomes) == 0 {
+				t.Fatal("no outcomes")
+			}
+			for _, o := range outcomes {
+				if !o.OK {
+					t.Errorf("claim failed: %s", o.Text)
+				}
+			}
+		})
+	}
+}
+
+func TestLastHelper(t *testing.T) {
+	if last(nil) != 0 {
+		t.Error("last(nil) != 0")
+	}
+	if last([]float64{1, 2, 3}) != 3 {
+		t.Error("last wrong")
+	}
+}

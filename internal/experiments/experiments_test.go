@@ -1,0 +1,250 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func testCfg(scale float64) Config {
+	return Config{Scale: scale, Seed: 7}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, bad := range []float64{0, -1} {
+		if _, err := Fig1(Config{Scale: bad}); err == nil {
+			t.Errorf("scale %v accepted", bad)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 9 {
+		t.Fatalf("registry has %d figures, want 9", len(ids))
+	}
+	for i, id := range ids {
+		want := "fig" + string(rune('1'+i))
+		if id != want {
+			t.Fatalf("ids[%d] = %q, want %q", i, id, want)
+		}
+		if _, err := Lookup(id); err != nil {
+			t.Fatalf("Lookup(%q): %v", id, err)
+		}
+	}
+	if _, err := Lookup("fig99"); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+	if _, err := Run("fig99", DefaultConfig()); err == nil {
+		t.Fatal("Run of unknown figure accepted")
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	r := &Result{ID: "x", Title: "t", XLabel: "x", YLabel: "y"}
+	r.AddPoint("a", 1, 2)
+	r.AddPoint("a", 3, 4)
+	r.AddPoint("b", 1, 5)
+	s, ok := r.Get("a")
+	if !ok || len(s.X) != 2 || s.Y[1] != 4 {
+		t.Fatalf("series a = %+v, ok=%v", s, ok)
+	}
+	if _, ok := r.Get("zzz"); ok {
+		t.Fatal("missing series found")
+	}
+	var buf bytes.Buffer
+	r.Notes = append(r.Notes, "a note")
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== x: t ==", "a note", "a", "b"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Figure 1 shape: variable sampling fills the reservoir almost immediately;
+// fixed sampling is far from full at the end of the chart.
+func TestFig1Shape(t *testing.T) {
+	res, err := Fig1(testCfg(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := res.Get("variable")
+	if !ok || len(v.Y) == 0 {
+		t.Fatal("missing variable series")
+	}
+	f, ok := res.Get("fixed")
+	if !ok || len(f.Y) != len(v.Y) {
+		t.Fatal("missing or misaligned fixed series")
+	}
+	if last := v.Y[len(v.Y)-1]; last < 0.95 {
+		t.Errorf("variable fill at chart end = %v, want ~1", last)
+	}
+	if last := f.Y[len(f.Y)-1]; last > 0.5 {
+		t.Errorf("fixed fill at chart end = %v, expected far from full", last)
+	}
+	// Variable dominates fixed at every checkpoint.
+	for i := range v.Y {
+		if v.Y[i]+1e-9 < f.Y[i] {
+			t.Errorf("checkpoint %d: variable %v below fixed %v", i, v.Y[i], f.Y[i])
+		}
+	}
+	if len(res.Notes) < 2 {
+		t.Error("fig1 notes missing")
+	}
+}
+
+// Shared shape of Figures 2-5: at the smallest horizon the biased scheme's
+// error is (much) lower than the unbiased scheme's.
+func checkHorizonShape(t *testing.T, res *Result, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := res.Get("biased")
+	if !ok {
+		t.Fatal("missing biased series")
+	}
+	u, ok := res.Get("unbiased")
+	if !ok {
+		t.Fatal("missing unbiased series")
+	}
+	if len(b.Y) != len(u.Y) || len(b.Y) < 5 {
+		t.Fatalf("series lengths %d/%d", len(b.Y), len(u.Y))
+	}
+	if b.Y[0] >= u.Y[0] {
+		t.Errorf("smallest horizon: biased error %v not below unbiased %v", b.Y[0], u.Y[0])
+	}
+	// Average over the smaller half of the horizons — the critical case.
+	half := len(b.Y) / 2
+	if mb, mu := mean(b.Y[:half]), mean(u.Y[:half]); mb >= mu {
+		t.Errorf("small horizons: biased mean error %v not below unbiased %v", mb, mu)
+	}
+	for i, y := range b.Y {
+		if y < 0 {
+			t.Errorf("negative error at %d: %v", i, y)
+		}
+	}
+}
+
+func TestFig2Shape(t *testing.T) { res, err := Fig2(testCfg(0.05)); checkHorizonShape(t, res, err) }
+func TestFig3Shape(t *testing.T) { res, err := Fig3(testCfg(0.05)); checkHorizonShape(t, res, err) }
+func TestFig4Shape(t *testing.T) { res, err := Fig4(testCfg(0.05)); checkHorizonShape(t, res, err) }
+func TestFig5Shape(t *testing.T) { res, err := Fig5(testCfg(0.05)); checkHorizonShape(t, res, err) }
+
+// Figure 6 shape: with stream progression at fixed horizon, the unbiased
+// error deteriorates relative to the biased error.
+func TestFig6Shape(t *testing.T) {
+	res, err := Fig6(testCfg(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := res.Get("biased")
+	u, _ := res.Get("unbiased")
+	if len(b.Y) < 4 || len(u.Y) != len(b.Y) {
+		t.Fatalf("series lengths %d/%d", len(b.Y), len(u.Y))
+	}
+	last := len(b.Y) - 1
+	if b.Y[last] >= u.Y[last] {
+		t.Errorf("at end of stream: biased error %v not below unbiased %v", b.Y[last], u.Y[last])
+	}
+	// Unbiased late-stream error above its early-stream error (deterioration),
+	// compared on halves to smooth noise.
+	half := len(u.Y) / 2
+	if early, late := mean(u.Y[:half]), mean(u.Y[half:]); late <= early {
+		t.Logf("note: unbiased error early %v late %v (deterioration expected at full scale)", early, late)
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	res, err := Fig7(testCfg(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAccuracySeries(t, res, false)
+}
+
+func TestFig8Shape(t *testing.T) {
+	res, err := Fig8(testCfg(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAccuracySeries(t, res, true)
+}
+
+func checkAccuracySeries(t *testing.T, res *Result, strict bool) {
+	t.Helper()
+	b, ok := res.Get("biased")
+	if !ok || len(b.Y) < 5 {
+		t.Fatalf("biased accuracy series missing or short: %v", b.Y)
+	}
+	u, ok := res.Get("unbiased")
+	if !ok || len(u.Y) != len(b.Y) {
+		t.Fatalf("unbiased accuracy series missing or misaligned")
+	}
+	for i := range b.Y {
+		if b.Y[i] < 0 || b.Y[i] > 1 || u.Y[i] < 0 || u.Y[i] > 1 {
+			t.Fatalf("accuracy out of range at %d: %v / %v", i, b.Y[i], u.Y[i])
+		}
+	}
+	mb, mu := mean(b.Y), mean(u.Y)
+	t.Logf("mean accuracy: biased %.4f unbiased %.4f", mb, mu)
+	if strict && mb <= mu {
+		t.Errorf("biased mean accuracy %v not above unbiased %v", mb, mu)
+	}
+}
+
+// Figure 9 shape: the unbiased reservoir mixes classes more than the biased
+// one by the end of the stream, and the biased reservoir tracks the growing
+// centroid spread at least as well.
+func TestFig9Shape(t *testing.T) {
+	res, err := Fig9(testCfg(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := res.Get("mixing-biased")
+	mu, _ := res.Get("mixing-unbiased")
+	if len(mb.Y) != 3 || len(mu.Y) != 3 {
+		t.Fatalf("mixing series lengths %d/%d, want 3 checkpoints", len(mb.Y), len(mu.Y))
+	}
+	if mb.Y[2] >= mu.Y[2] {
+		t.Errorf("final mixing: biased %v not below unbiased %v", mb.Y[2], mu.Y[2])
+	}
+	sb, _ := res.Get("spread-biased")
+	su, _ := res.Get("spread-unbiased")
+	if sb.Y[2] < su.Y[2] {
+		t.Errorf("final spread: biased %v below unbiased %v (biased should track drift)", sb.Y[2], su.Y[2])
+	}
+	// The notes must contain the six scatter plots.
+	plots := 0
+	for _, n := range res.Notes {
+		if strings.Contains(n, "reservoir at t=") {
+			plots++
+		}
+	}
+	if plots != 6 {
+		t.Errorf("expected 6 scatter plots in notes, found %d", plots)
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in long mode only")
+	}
+	for _, id := range IDs() {
+		res, err := Run(id, testCfg(0.03))
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		var buf bytes.Buffer
+		if err := res.Render(&buf); err != nil {
+			t.Fatalf("%s render: %v", id, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s rendered nothing", id)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import "testing"
+
+func TestExtRegistry(t *testing.T) {
+	ids := ExtIDs()
+	if len(ids) != 3 {
+		t.Fatalf("extension ids = %v", ids)
+	}
+	for _, id := range ids {
+		if _, ok := extRegistry[id]; !ok {
+			t.Errorf("id %q not in registry", id)
+		}
+	}
+	if _, err := RunExt("nope", DefaultConfig()); err == nil {
+		t.Fatal("unknown extension accepted")
+	}
+}
+
+// Time-decay answers time-horizon queries under bursty arrivals better
+// than an arrival-indexed reservoir using a rate conversion.
+func TestExtTimeShape(t *testing.T) {
+	res, err := ExtTime(testCfg(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, _ := res.Get("time-decay")
+	avg, _ := res.Get("index-avgrate")
+	if len(td.Y) < 6 || len(avg.Y) != len(td.Y) {
+		t.Fatalf("series lengths %d/%d", len(td.Y), len(avg.Y))
+	}
+	// Skip the first two phases (cold start) and compare means.
+	mtd, mavg := mean(td.Y[2:]), mean(avg.Y[2:])
+	t.Logf("mean error: time-decay %.4f, index-avgrate %.4f", mtd, mavg)
+	if mtd >= mavg {
+		t.Errorf("time-decay error %v not below index-avgrate %v", mtd, mavg)
+	}
+}
+
+// The λ sweep must show the documented U-shape: the λ·h ≈ 1 region beats
+// both extremes.
+func TestExtLambdaShape(t *testing.T) {
+	res, err := ExtLambda(testCfg(0.08))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := res.Get("biased")
+	if !ok || len(s.Y) < 7 {
+		t.Fatalf("series missing or short: %v", s.Y)
+	}
+	// Index of λ·h = 1 in the sweep {0.05,0.1,0.2,0.5,1,2,5,10,20}.
+	mid := 4
+	first, last := s.Y[0], s.Y[len(s.Y)-1]
+	if s.Y[mid] >= first {
+		t.Errorf("λ·h=1 error %v not below λ·h=0.05 error %v", s.Y[mid], first)
+	}
+	if s.Y[mid] >= last {
+		t.Errorf("λ·h=1 error %v not below λ·h=20 error %v", s.Y[mid], last)
+	}
+}
+
+// The window sampler must win (or at least compete) at its own horizon but
+// be unable to answer deeper horizons, where the biased reservoir still
+// can.
+func TestExtWindowShape(t *testing.T) {
+	res, err := ExtWindow(testCfg(0.08))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := res.Get("biased")
+	w, _ := res.Get("window")
+	u, _ := res.Get("unbiased")
+	if len(b.Y) != 6 || len(w.Y) != 6 || len(u.Y) != 6 {
+		t.Fatalf("series lengths %d/%d/%d", len(b.Y), len(w.Y), len(u.Y))
+	}
+	// Beyond its window (h = 2W, 4W) the window sampler's error must
+	// exceed the biased sampler's: it has no points there at all.
+	for _, i := range []int{4, 5} {
+		if w.Y[i] <= b.Y[i] {
+			t.Errorf("h=%v: window error %v not above biased %v (window cannot see past W)",
+				b.X[i], w.Y[i], b.Y[i])
+		}
+	}
+	// At small horizons the biased reservoir beats unbiased as usual.
+	if b.Y[0] >= u.Y[0] {
+		t.Errorf("smallest horizon: biased %v not below unbiased %v", b.Y[0], u.Y[0])
+	}
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"biasedres/internal/query"
+	"biasedres/internal/stream"
+)
+
+// intrusionStream builds the network-intrusion workload at the configured
+// scale.
+func intrusionStream(cfg Config) func(seed uint64) (stream.Stream, error) {
+	total := cfg.scaled(int(stream.KDD99Size), 5000)
+	return func(seed uint64) (stream.Stream, error) {
+		return stream.NewIntrusionGenerator(stream.IntrusionConfig{Total: uint64(total), Seed: seed})
+	}
+}
+
+// clusterStream builds the synthetic evolving-cluster workload at the
+// configured scale.
+func clusterStream(cfg Config) func(seed uint64) (stream.Stream, error) {
+	ccfg := stream.DefaultClusterConfig()
+	ccfg.Total = uint64(cfg.scaled(400000, 5000))
+	return func(seed uint64) (stream.Stream, error) {
+		c := ccfg
+		c.Seed = seed
+		return stream.NewClusterGenerator(c)
+	}
+}
+
+// Fig2 reproduces Figure 2: sum-query estimation accuracy versus
+// user-defined horizon on the network-intrusion stream. The query is the
+// per-dimension average over the last h arrivals; the error is the mean
+// absolute error across dimensions. Biased and unbiased reservoirs have
+// identical size (paper: 1000 points, λ = 10⁻⁴).
+func Fig2(cfg Config) (*Result, error) {
+	n, lambda := queryParams(cfg)
+	return runHorizonSweep(cfg, sweepSpec{
+		id:        "fig2",
+		title:     "Sum query estimation accuracy vs user-defined horizon (network intrusion)",
+		yLabel:    "absolute error",
+		mkStream:  intrusionStream(cfg),
+		horizons:  horizonGrid(cfg),
+		eval:      averageEval(34),
+		trials:    3,
+		reservoir: n,
+		lambda:    lambda,
+	})
+}
+
+// Fig3 reproduces Figure 3: the same sum-query sweep on the synthetic
+// evolving-cluster stream.
+func Fig3(cfg Config) (*Result, error) {
+	n, lambda := queryParams(cfg)
+	return runHorizonSweep(cfg, sweepSpec{
+		id:        "fig3",
+		title:     "Sum query estimation accuracy vs user-defined horizon (synthetic)",
+		yLabel:    "absolute error",
+		mkStream:  clusterStream(cfg),
+		horizons:  horizonGrid(cfg),
+		eval:      averageEval(10),
+		trials:    3,
+		reservoir: n,
+		lambda:    lambda,
+	})
+}
+
+// Fig4 reproduces Figure 4: count-query (fractional class distribution)
+// estimation accuracy versus horizon on the network-intrusion stream, with
+// the paper's Equation 21 error over classes.
+func Fig4(cfg Config) (*Result, error) {
+	n, lambda := queryParams(cfg)
+	return runHorizonSweep(cfg, sweepSpec{
+		id:        "fig4",
+		title:     "Count query (class distribution) estimation accuracy vs user-defined horizon (network intrusion)",
+		yLabel:    "absolute error (eq. 21)",
+		mkStream:  intrusionStream(cfg),
+		horizons:  horizonGrid(cfg),
+		eval:      classDistEval(),
+		trials:    3,
+		reservoir: n,
+		lambda:    lambda,
+	})
+}
+
+// Fig5 reproduces Figure 5: range-selectivity estimation accuracy versus
+// horizon on the synthetic stream. The predicate fixes two dimensions to a
+// sub-range of the unit cube, as in the paper's "predefined set of
+// dimensions ... user defined range".
+func Fig5(cfg Config) (*Result, error) {
+	rect, err := query.NewRect([]int{0, 1}, []float64{0.2, 0.2}, []float64{0.8, 0.8})
+	if err != nil {
+		return nil, err
+	}
+	n, lambda := queryParams(cfg)
+	return runHorizonSweep(cfg, sweepSpec{
+		id:        "fig5",
+		title:     "Range selectivity estimation accuracy vs user-defined horizon (synthetic)",
+		yLabel:    "absolute error",
+		mkStream:  clusterStream(cfg),
+		horizons:  horizonGrid(cfg),
+		eval:      selectivityEval(rect),
+		trials:    3,
+		reservoir: n,
+		lambda:    lambda,
+	})
+}

@@ -1,0 +1,240 @@
+// Package experiments contains one driver per figure of the paper's
+// evaluation (Section 5, Figures 1-9). Each driver re-runs the figure's
+// workload on this library's samplers and returns the same x/y series the
+// paper plots, rendered as aligned text tables.
+//
+// Every driver accepts a Config whose Scale field shrinks the workload
+// proportionally (stream lengths, reservoir sizes and horizons all scale
+// together, keeping the dimensionless products λ·h and p_in fixed), so the
+// same code serves full paper-scale reproduction, quick CLI runs and unit
+// tests. Shape claims — who wins, where, by how much — are preserved under
+// scaling; absolute error magnitudes change.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Scale multiplies every workload size; 1.0 reproduces the paper's
+	// scale. Must be positive; values much below ~0.02 make reservoirs
+	// degenerate.
+	Scale float64
+	// Seed drives all randomness in the run.
+	Seed uint64
+	// Trials averages stochastic experiments over this many independent
+	// repetitions (0 means a per-figure default).
+	Trials int
+}
+
+// DefaultConfig returns the paper-scale configuration.
+func DefaultConfig() Config { return Config{Scale: 1, Seed: 1} }
+
+func (c *Config) validate() error {
+	if !(c.Scale > 0) || math.IsNaN(c.Scale) || math.IsInf(c.Scale, 0) {
+		return fmt.Errorf("experiments: scale must be positive and finite, got %v", c.Scale)
+	}
+	return nil
+}
+
+// scaled returns max(min, round(base*Scale)).
+func (c Config) scaled(base, min int) int {
+	v := int(math.Round(float64(base) * c.Scale))
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+func (c Config) trials(def int) int {
+	if c.Trials > 0 {
+		return c.Trials
+	}
+	return def
+}
+
+// Series is one named curve: parallel X/Y slices.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Result is the output of one experiment driver.
+type Result struct {
+	// ID is the figure identifier, e.g. "fig2".
+	ID string
+	// Title describes the experiment, matching the paper's caption.
+	Title string
+	// XLabel and YLabel name the axes.
+	XLabel, YLabel string
+	// Series holds the curves; all series of one result share X values.
+	Series []Series
+	// Notes carries extra free-form lines (checkpoint summaries, ASCII
+	// scatter plots for Figure 9).
+	Notes []string
+}
+
+// AddPoint appends (x, y) to the named series, creating it on first use.
+func (r *Result) AddPoint(series string, x, y float64) {
+	for i := range r.Series {
+		if r.Series[i].Name == series {
+			r.Series[i].X = append(r.Series[i].X, x)
+			r.Series[i].Y = append(r.Series[i].Y, y)
+			return
+		}
+	}
+	r.Series = append(r.Series, Series{Name: series, X: []float64{x}, Y: []float64{y}})
+}
+
+// Get returns the named series and whether it exists.
+func (r *Result) Get(series string) (Series, bool) {
+	for _, s := range r.Series {
+		if s.Name == series {
+			return s, true
+		}
+	}
+	return Series{}, false
+}
+
+// Render writes the result as an aligned text table: the shared X column
+// followed by one column per series, then any notes.
+func (r *Result) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	if len(r.Series) > 0 {
+		cols := make([]string, 0, len(r.Series)+1)
+		cols = append(cols, r.XLabel)
+		for _, s := range r.Series {
+			cols = append(cols, s.Name)
+		}
+		if _, err := fmt.Fprintf(w, "%s\n", strings.Join(pad(cols), "  ")); err != nil {
+			return err
+		}
+		n := 0
+		for _, s := range r.Series {
+			if len(s.X) > n {
+				n = len(s.X)
+			}
+		}
+		for i := 0; i < n; i++ {
+			row := make([]string, 0, len(r.Series)+1)
+			x := math.NaN()
+			for _, s := range r.Series {
+				if i < len(s.X) {
+					x = s.X[i]
+					break
+				}
+			}
+			row = append(row, formatNum(x))
+			for _, s := range r.Series {
+				if i < len(s.Y) {
+					row = append(row, formatNum(s.Y[i]))
+				} else {
+					row = append(row, "-")
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s\n", strings.Join(pad(row), "  ")); err != nil {
+				return err
+			}
+		}
+	}
+	for _, note := range r.Notes {
+		if _, err := fmt.Fprintf(w, "%s\n", note); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteCSV writes the result's series as CSV — one x column followed by
+// one column per series — for external plotting tools. Notes are not
+// included.
+func (r *Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(r.Series)+1)
+	header = append(header, r.XLabel)
+	for _, s := range r.Series {
+		header = append(header, s.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("experiments: writing CSV header: %w", err)
+	}
+	n := 0
+	for _, s := range r.Series {
+		if len(s.X) > n {
+			n = len(s.X)
+		}
+	}
+	for i := 0; i < n; i++ {
+		row := make([]string, 0, len(r.Series)+1)
+		x := math.NaN()
+		for _, s := range r.Series {
+			if i < len(s.X) {
+				x = s.X[i]
+				break
+			}
+		}
+		row = append(row, strconv.FormatFloat(x, 'g', -1, 64))
+		for _, s := range r.Series {
+			if i < len(s.Y) {
+				row = append(row, strconv.FormatFloat(s.Y[i], 'g', -1, 64))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("experiments: writing CSV row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("experiments: flushing CSV: %w", err)
+	}
+	return nil
+}
+
+func formatNum(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case v == math.Trunc(v) && math.Abs(v) < 1e12:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 0.001:
+		return fmt.Sprintf("%.5f", v)
+	default:
+		return fmt.Sprintf("%.3e", v)
+	}
+}
+
+func pad(cols []string) []string {
+	const width = 14
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		if len(c) < width {
+			c = c + strings.Repeat(" ", width-len(c))
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// mean returns the arithmetic mean of xs (0 for empty input).
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFormatNum(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{math.NaN(), "-"},
+		{0, "0"},
+		{42, "42"},
+		{-7, "-7"},
+		{0.5, "0.50000"},
+		{1234.25, "1234.25000"},
+		{0.0001, "1.000e-04"},
+		{-0.25, "-0.25000"},
+	}
+	for _, tc := range cases {
+		if got := formatNum(tc.in); got != tc.want {
+			t.Errorf("formatNum(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestPad(t *testing.T) {
+	out := pad([]string{"a", strings.Repeat("x", 20)})
+	if len(out[0]) != 14 {
+		t.Fatalf("short column padded to %d", len(out[0]))
+	}
+	if out[1] != strings.Repeat("x", 20) {
+		t.Fatalf("long column truncated: %q", out[1])
+	}
+}
+
+func TestMeanHelper(t *testing.T) {
+	if mean(nil) != 0 {
+		t.Error("mean(nil) != 0")
+	}
+	if got := mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestRenderMisalignedSeries(t *testing.T) {
+	r := &Result{ID: "t", Title: "misaligned", XLabel: "x"}
+	r.AddPoint("long", 1, 10)
+	r.AddPoint("long", 2, 20)
+	r.AddPoint("long", 3, 30)
+	r.AddPoint("short", 1, 5)
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Rows beyond the short series must render a dash, not panic.
+	if !strings.Contains(out, "-") {
+		t.Fatalf("missing placeholder for short series:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// header line + column header + 3 data rows
+	if len(lines) != 5 {
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderNotesOnly(t *testing.T) {
+	r := &Result{ID: "n", Title: "notes only", Notes: []string{"just a note"}}
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "just a note") {
+		t.Fatal("note missing")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := &Result{ID: "t", Title: "csv", XLabel: "x"}
+	r.AddPoint("a", 1, 10)
+	r.AddPoint("a", 2, 20)
+	r.AddPoint("b", 1, 5)
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %v", lines)
+	}
+	if lines[0] != "x,a,b" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "1,10,5" {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+	if lines[2] != "2,20," {
+		t.Fatalf("row 2 = %q (short series must leave an empty cell)", lines[2])
+	}
+}
+
+func TestScaledHelper(t *testing.T) {
+	cfg := Config{Scale: 0.1}
+	if got := cfg.scaled(1000, 50); got != 100 {
+		t.Fatalf("scaled = %d", got)
+	}
+	if got := cfg.scaled(100, 50); got != 50 {
+		t.Fatalf("scaled floor = %d", got)
+	}
+	if got := (Config{Scale: 1}).trials(3); got != 3 {
+		t.Fatalf("default trials = %d", got)
+	}
+	if got := (Config{Scale: 1, Trials: 7}).trials(3); got != 7 {
+		t.Fatalf("override trials = %d", got)
+	}
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Driver regenerates one figure of the paper at the given configuration.
+type Driver func(Config) (*Result, error)
+
+// registry maps figure ids to drivers.
+var registry = map[string]Driver{
+	"fig1": Fig1,
+	"fig2": Fig2,
+	"fig3": Fig3,
+	"fig4": Fig4,
+	"fig5": Fig5,
+	"fig6": Fig6,
+	"fig7": Fig7,
+	"fig8": Fig8,
+	"fig9": Fig9,
+}
+
+// IDs returns all figure identifiers in order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the driver for a figure id.
+func Lookup(id string) (Driver, error) {
+	d, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown figure %q (have %v)", id, IDs())
+	}
+	return d, nil
+}
+
+// Run executes one figure driver by id.
+func Run(id string, cfg Config) (*Result, error) {
+	d, err := Lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	return d(cfg)
+}

@@ -1,0 +1,266 @@
+// Package multi manages biased reservoirs for many independent streams
+// under one global memory budget — the deployment scenario Section 3 of the
+// paper motivates its space-constrained algorithm with: "thousands of
+// independent streams, and the amount of space allocated for each is
+// relatively small".
+//
+// Each registered stream gets its own variable reservoir (Theorem 3.3), so
+// every per-stream sample fills quickly and stays near capacity while
+// respecting its allocated share of the global budget. The manager is safe
+// for concurrent use: a typical deployment feeds each stream from its own
+// goroutine.
+package multi
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"biasedres/internal/core"
+	"biasedres/internal/query"
+	"biasedres/internal/stream"
+	"biasedres/internal/xrand"
+)
+
+// Manager owns the global budget and the per-stream reservoirs.
+type Manager struct {
+	mu      sync.RWMutex
+	budget  int
+	used    int
+	lambda  float64
+	rng     *xrand.Source
+	streams map[string]*entry
+}
+
+type entry struct {
+	mu      sync.Mutex
+	sampler *core.VariableReservoir
+	share   int
+}
+
+// NewManager returns a manager distributing `budget` total reservoir slots
+// across streams, each stream biased with rate lambda. Seed drives the
+// independent per-stream random sources.
+func NewManager(budget int, lambda float64, seed uint64) (*Manager, error) {
+	if budget <= 0 {
+		return nil, fmt.Errorf("multi: budget must be positive, got %d", budget)
+	}
+	if !(lambda > 0) {
+		return nil, fmt.Errorf("multi: lambda must be positive, got %v", lambda)
+	}
+	return &Manager{
+		budget:  budget,
+		lambda:  lambda,
+		rng:     xrand.New(seed),
+		streams: make(map[string]*entry),
+	}, nil
+}
+
+// Register allocates `share` reservoir slots to a new stream. The share is
+// capped by the bias function's maximum requirement ⌊1/λ⌋ (a larger
+// reservoir could not satisfy the bias, Corollary 2.1); it returns an error
+// when the name is taken, the share is not positive, or the remaining
+// budget is insufficient.
+func (m *Manager) Register(name string, share int) error {
+	if share <= 0 {
+		return fmt.Errorf("multi: share must be positive, got %d", share)
+	}
+	maxShare := int(1 / m.lambda)
+	if maxShare < 1 {
+		maxShare = 1
+	}
+	if share > maxShare {
+		return fmt.Errorf("multi: share %d exceeds the maximum requirement 1/λ = %d", share, maxShare)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.streams[name]; ok {
+		return fmt.Errorf("multi: stream %q already registered", name)
+	}
+	if m.used+share > m.budget {
+		return fmt.Errorf("multi: budget exhausted: %d used + %d requested > %d total", m.used, share, m.budget)
+	}
+	sampler, err := core.NewVariableReservoir(m.lambda, share, m.rng.Split())
+	if err != nil {
+		return fmt.Errorf("multi: creating reservoir for %q: %w", name, err)
+	}
+	m.streams[name] = &entry{sampler: sampler, share: share}
+	m.used += share
+	return nil
+}
+
+// RegisterEven registers all names with equal shares of the whole budget
+// (floor division; a remainder stays unallocated).
+func (m *Manager) RegisterEven(names []string) error {
+	if len(names) == 0 {
+		return fmt.Errorf("multi: no stream names")
+	}
+	share := m.budget / len(names)
+	if share == 0 {
+		return fmt.Errorf("multi: budget %d cannot cover %d streams", m.budget, len(names))
+	}
+	maxShare := int(1 / m.lambda)
+	if maxShare >= 1 && share > maxShare {
+		share = maxShare
+	}
+	for _, name := range names {
+		if err := m.Register(name, share); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Unregister removes a stream and returns its share to the budget.
+func (m *Manager) Unregister(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.streams[name]
+	if !ok {
+		return fmt.Errorf("multi: stream %q not registered", name)
+	}
+	delete(m.streams, name)
+	m.used -= e.share
+	return nil
+}
+
+// Add feeds one point to the named stream's reservoir.
+func (m *Manager) Add(name string, p stream.Point) error {
+	m.mu.RLock()
+	e, ok := m.streams[name]
+	m.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("multi: stream %q not registered", name)
+	}
+	e.mu.Lock()
+	e.sampler.Add(p)
+	e.mu.Unlock()
+	return nil
+}
+
+// Sample returns a copy of the named stream's current reservoir.
+func (m *Manager) Sample(name string) ([]stream.Point, error) {
+	m.mu.RLock()
+	e, ok := m.streams[name]
+	m.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("multi: stream %q not registered", name)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.sampler.Sample(), nil
+}
+
+// With evaluates fn against the named stream's sampler while holding its
+// lock — the safe way to run any estimator against a concurrently fed
+// reservoir. fn must not retain the sampler beyond the call.
+func (m *Manager) With(name string, fn func(core.Sampler) error) error {
+	m.mu.RLock()
+	e, ok := m.streams[name]
+	m.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("multi: stream %q not registered", name)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return fn(e.sampler)
+}
+
+// Average estimates the per-dimension average of the named stream's last h
+// arrivals (see query.HorizonAverage).
+func (m *Manager) Average(name string, h uint64, dim int) ([]float64, error) {
+	var out []float64
+	err := m.With(name, func(s core.Sampler) error {
+		var err error
+		out, err = query.HorizonAverage(s, h, dim)
+		return err
+	})
+	return out, err
+}
+
+// ClassDistribution estimates the fractional class distribution of the
+// named stream's last h arrivals.
+func (m *Manager) ClassDistribution(name string, h uint64) (map[int]float64, error) {
+	var out map[int]float64
+	err := m.With(name, func(s core.Sampler) error {
+		var err error
+		out, err = query.ClassDistribution(s, h)
+		return err
+	})
+	return out, err
+}
+
+// Estimate evaluates an arbitrary linear query against the named stream.
+func (m *Manager) Estimate(name string, q query.Linear) (float64, error) {
+	var out float64
+	err := m.With(name, func(s core.Sampler) error {
+		out = query.Estimate(s, q)
+		return nil
+	})
+	return out, err
+}
+
+// Stats describes one stream's reservoir state.
+type Stats struct {
+	Name      string
+	Share     int
+	Len       int
+	Processed uint64
+	PIn       float64
+	Fill      float64
+}
+
+// StreamStats returns per-stream reservoir statistics, sorted by name.
+func (m *Manager) StreamStats() []Stats {
+	m.mu.RLock()
+	names := make([]string, 0, len(m.streams))
+	for name := range m.streams {
+		names = append(names, name)
+	}
+	m.mu.RUnlock()
+	sort.Strings(names)
+	out := make([]Stats, 0, len(names))
+	for _, name := range names {
+		m.mu.RLock()
+		e, ok := m.streams[name]
+		m.mu.RUnlock()
+		if !ok {
+			continue
+		}
+		e.mu.Lock()
+		out = append(out, Stats{
+			Name:      name,
+			Share:     e.share,
+			Len:       e.sampler.Len(),
+			Processed: e.sampler.Processed(),
+			PIn:       e.sampler.PIn(),
+			Fill:      core.Fill(e.sampler),
+		})
+		e.mu.Unlock()
+	}
+	return out
+}
+
+// Budget returns the total slot budget.
+func (m *Manager) Budget() int { return m.budget }
+
+// Used returns the number of allocated slots.
+func (m *Manager) Used() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.used
+}
+
+// Remaining returns the unallocated budget.
+func (m *Manager) Remaining() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.budget - m.used
+}
+
+// Len returns the number of registered streams.
+func (m *Manager) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.streams)
+}

@@ -1,0 +1,230 @@
+package multi
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"biasedres/internal/core"
+	"biasedres/internal/query"
+	"biasedres/internal/stream"
+)
+
+func TestNewManagerValidation(t *testing.T) {
+	if _, err := NewManager(0, 0.01, 1); err == nil {
+		t.Error("budget 0 accepted")
+	}
+	if _, err := NewManager(100, 0, 1); err == nil {
+		t.Error("lambda 0 accepted")
+	}
+}
+
+func TestRegisterBudgetAccounting(t *testing.T) {
+	m, err := NewManager(100, 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register("a", 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register("b", 40); err != nil {
+		t.Fatal(err)
+	}
+	if m.Used() != 80 || m.Remaining() != 20 || m.Len() != 2 {
+		t.Fatalf("used/remaining/len = %d/%d/%d", m.Used(), m.Remaining(), m.Len())
+	}
+	if err := m.Register("c", 40); err == nil {
+		t.Error("over-budget registration accepted")
+	}
+	if err := m.Register("a", 10); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if err := m.Register("d", 0); err == nil {
+		t.Error("zero share accepted")
+	}
+	if err := m.Unregister("a"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Remaining() != 60 {
+		t.Fatalf("remaining after unregister = %d", m.Remaining())
+	}
+	if err := m.Unregister("a"); err == nil {
+		t.Error("double unregister accepted")
+	}
+}
+
+func TestRegisterShareCappedByRequirement(t *testing.T) {
+	m, _ := NewManager(1000, 0.1, 1) // max requirement 10
+	if err := m.Register("a", 11); err == nil {
+		t.Error("share beyond 1/λ accepted")
+	}
+	if err := m.Register("a", 10); err != nil {
+		t.Fatalf("legal share rejected: %v", err)
+	}
+}
+
+func TestRegisterEven(t *testing.T) {
+	m, _ := NewManager(100, 0.001, 1)
+	if err := m.RegisterEven([]string{"a", "b", "c", "d"}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Used() != 100 {
+		t.Fatalf("used = %d, want 100", m.Used())
+	}
+	for _, s := range m.StreamStats() {
+		if s.Share != 25 {
+			t.Fatalf("share = %d, want 25", s.Share)
+		}
+	}
+	if err := m.RegisterEven(nil); err == nil {
+		t.Error("empty name list accepted")
+	}
+	m2, _ := NewManager(3, 0.001, 1)
+	if err := m2.RegisterEven([]string{"a", "b", "c", "d"}); err == nil {
+		t.Error("budget smaller than stream count accepted")
+	}
+	// Even shares are capped by the requirement.
+	m3, _ := NewManager(1000, 0.1, 1) // requirement 10 < 1000/2
+	if err := m3.RegisterEven([]string{"x", "y"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range m3.StreamStats() {
+		if s.Share != 10 {
+			t.Fatalf("capped share = %d, want 10", s.Share)
+		}
+	}
+}
+
+func TestAddAndSample(t *testing.T) {
+	m, _ := NewManager(50, 0.01, 2)
+	if err := m.Register("s", 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add("nope", stream.Point{Index: 1}); err == nil {
+		t.Error("add to unregistered stream accepted")
+	}
+	for i := 1; i <= 500; i++ {
+		if err := m.Add("s", stream.Point{Index: uint64(i), Weight: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sample, err := m.Sample("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sample) == 0 || len(sample) > 50 {
+		t.Fatalf("sample size %d", len(sample))
+	}
+	if _, err := m.Sample("nope"); err == nil {
+		t.Error("sample of unregistered stream accepted")
+	}
+	st := m.StreamStats()
+	if len(st) != 1 || st[0].Name != "s" || st[0].Processed != 500 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st[0].Fill <= 0.9 {
+		t.Fatalf("variable reservoir fill = %v, want near full", st[0].Fill)
+	}
+}
+
+func TestManagerQueries(t *testing.T) {
+	m, _ := NewManager(200, 1e-3, 5)
+	if err := m.Register("s", 200); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5000; i++ {
+		label := 0
+		if i%4 == 0 {
+			label = 1
+		}
+		err := m.Add("s", stream.Point{
+			Index:  uint64(i),
+			Values: []float64{float64(i % 10)},
+			Label:  label,
+			Weight: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg, err := m.Average("s", 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg[0] < 2 || avg[0] > 7 {
+		t.Fatalf("average = %v, want ~4.5", avg[0])
+	}
+	dist, err := m.ClassDistribution("s", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist[0] < 0.5 || dist[0] > 0.95 {
+		t.Fatalf("class 0 fraction = %v, want ~0.75", dist[0])
+	}
+	cnt, err := m.Estimate("s", query.Count(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt < 300 || cnt > 3000 {
+		t.Fatalf("count estimate = %v, want ~1000", cnt)
+	}
+	// Unknown stream errors through every query path.
+	if _, err := m.Average("nope", 10, 1); err == nil {
+		t.Error("Average on unknown stream accepted")
+	}
+	if _, err := m.ClassDistribution("nope", 10); err == nil {
+		t.Error("ClassDistribution on unknown stream accepted")
+	}
+	if _, err := m.Estimate("nope", query.Count(10)); err == nil {
+		t.Error("Estimate on unknown stream accepted")
+	}
+	if err := m.With("nope", func(core.Sampler) error { return nil }); err == nil {
+		t.Error("With on unknown stream accepted")
+	}
+}
+
+func TestConcurrentStreams(t *testing.T) {
+	const streams, perStream = 16, 2000
+	m, _ := NewManager(streams*20, 0.05, 3)
+	names := make([]string, streams)
+	for i := range names {
+		names[i] = fmt.Sprintf("stream-%02d", i)
+	}
+	if err := m.RegisterEven(names); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for _, name := range names {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			for i := 1; i <= perStream; i++ {
+				if err := m.Add(name, stream.Point{Index: uint64(i), Weight: 1}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(name)
+	}
+	// Concurrent stats readers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = m.StreamStats()
+		}
+	}()
+	wg.Wait()
+	<-done
+	for _, s := range m.StreamStats() {
+		if s.Processed != perStream {
+			t.Fatalf("stream %s processed %d, want %d", s.Name, s.Processed, perStream)
+		}
+		if s.Len > s.Share {
+			t.Fatalf("stream %s exceeded its share: %d > %d", s.Name, s.Len, s.Share)
+		}
+	}
+	if m.Budget() != streams*20 {
+		t.Fatalf("budget = %d", m.Budget())
+	}
+}

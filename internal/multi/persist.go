@@ -1,0 +1,96 @@
+package multi
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"biasedres/internal/core"
+	"biasedres/internal/xrand"
+)
+
+// Fleet-level checkpointing: SaveTo serializes every registered stream's
+// reservoir (each via its own resume-identical binary snapshot) together
+// with the manager's budget accounting; LoadFrom reconstructs the whole
+// fleet. A collector can thus restart without losing any stream's sample.
+
+// fleetState is the gob wire form of a manager checkpoint.
+type fleetState struct {
+	Budget  int
+	Lambda  float64
+	Streams map[string]streamState
+}
+
+type streamState struct {
+	Share    int
+	Snapshot []byte
+}
+
+// SaveTo writes a checkpoint of the manager and every registered stream.
+// Concurrent Adds are safe during the call; each stream is snapshotted
+// under its own lock, so the checkpoint is per-stream consistent.
+func (m *Manager) SaveTo(w io.Writer) error {
+	m.mu.RLock()
+	names := make([]string, 0, len(m.streams))
+	for name := range m.streams {
+		names = append(names, name)
+	}
+	state := fleetState{
+		Budget:  m.budget,
+		Lambda:  m.lambda,
+		Streams: make(map[string]streamState, len(names)),
+	}
+	m.mu.RUnlock()
+	for _, name := range names {
+		m.mu.RLock()
+		e, ok := m.streams[name]
+		m.mu.RUnlock()
+		if !ok {
+			continue // unregistered mid-save
+		}
+		e.mu.Lock()
+		blob, err := e.sampler.MarshalBinary()
+		share := e.share
+		e.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("multi: snapshotting %q: %w", name, err)
+		}
+		state.Streams[name] = streamState{Share: share, Snapshot: blob}
+	}
+	if err := gob.NewEncoder(w).Encode(state); err != nil {
+		return fmt.Errorf("multi: encoding fleet checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadFrom reconstructs a manager from a SaveTo checkpoint. seed drives
+// the random sources of any streams registered *after* the restore;
+// restored streams resume with their checkpointed generator state.
+func LoadFrom(r io.Reader, seed uint64) (*Manager, error) {
+	var state fleetState
+	if err := gob.NewDecoder(r).Decode(&state); err != nil {
+		return nil, fmt.Errorf("multi: decoding fleet checkpoint: %w", err)
+	}
+	m, err := NewManager(state.Budget, state.Lambda, seed)
+	if err != nil {
+		return nil, fmt.Errorf("multi: restoring manager: %w", err)
+	}
+	for name, st := range state.Streams {
+		if st.Share <= 0 {
+			return nil, fmt.Errorf("multi: stream %q has share %d in checkpoint", name, st.Share)
+		}
+		if m.used+st.Share > m.budget {
+			return nil, fmt.Errorf("multi: checkpoint overcommits budget at stream %q", name)
+		}
+		sampler, err := core.NewVariableReservoir(state.Lambda, st.Share, xrand.New(0))
+		if err != nil {
+			return nil, fmt.Errorf("multi: rebuilding %q: %w", name, err)
+		}
+		if err := sampler.UnmarshalBinary(st.Snapshot); err != nil {
+			return nil, fmt.Errorf("multi: restoring %q: %w", name, err)
+		}
+		m.streams[name] = &entry{sampler: sampler, share: st.Share}
+		m.used += st.Share
+	}
+	return m, nil
+}

@@ -1,0 +1,139 @@
+package multi
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"biasedres/internal/stream"
+)
+
+func TestFleetCheckpointRoundTrip(t *testing.T) {
+	m, err := NewManager(300, 1e-3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"a", "b", "c"}
+	if err := m.RegisterEven(names); err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range names {
+		for j := 1; j <= 2000*(i+1); j++ {
+			if err := m.Add(name, stream.Point{Index: uint64(j), Values: []float64{float64(j)}, Weight: 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := m.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := LoadFrom(&buf, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Budget() != 300 || restored.Used() != m.Used() || restored.Len() != 3 {
+		t.Fatalf("restored budget/used/len = %d/%d/%d", restored.Budget(), restored.Used(), restored.Len())
+	}
+	// Every stream resumes with identical reservoir contents.
+	for _, name := range names {
+		want, err := m.Sample(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := restored.Sample(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want) != len(got) {
+			t.Fatalf("%s: restored %d points, want %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if want[i].Index != got[i].Index {
+				t.Fatalf("%s: slot %d diverged", name, i)
+			}
+		}
+	}
+	// And keeps sampling identically to the original.
+	for i := 0; i < 1000; i++ {
+		p := stream.Point{Index: uint64(10000 + i), Values: []float64{1}, Weight: 1}
+		if err := m.Add("a", p); err != nil {
+			t.Fatal(err)
+		}
+		if err := restored.Add("a", p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a1, _ := m.Sample("a")
+	a2, _ := restored.Sample("a")
+	for i := range a1 {
+		if a1[i].Index != a2[i].Index {
+			t.Fatalf("post-restore sampling diverged at slot %d", i)
+		}
+	}
+}
+
+func TestFleetCheckpointRejectsGarbage(t *testing.T) {
+	if _, err := LoadFrom(strings.NewReader("not a gob"), 1); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestFleetCheckpointBudgetValidation(t *testing.T) {
+	m, _ := NewManager(100, 1e-2, 1)
+	if err := m.Register("x", 50); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Tamper: decode-encode with an inflated share is awkward via gob,
+	// so instead verify a valid checkpoint loads and new registrations
+	// still respect the remaining budget.
+	restored, err := LoadFrom(&buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Register("y", 60); err == nil {
+		t.Fatal("over-budget registration accepted after restore")
+	}
+	if err := restored.Register("y", 50); err != nil {
+		t.Fatalf("legal registration rejected: %v", err)
+	}
+}
+
+func TestFleetCheckpointManyStreams(t *testing.T) {
+	m, _ := NewManager(2000, 1e-3, 3)
+	names := make([]string, 100)
+	for i := range names {
+		names[i] = fmt.Sprintf("s%03d", i)
+	}
+	if err := m.RegisterEven(names); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		for j := 1; j <= 200; j++ {
+			_ = m.Add(name, stream.Point{Index: uint64(j), Weight: 1})
+		}
+	}
+	var buf bytes.Buffer
+	if err := m.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadFrom(&buf, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != 100 {
+		t.Fatalf("restored %d streams", restored.Len())
+	}
+	for _, s := range restored.StreamStats() {
+		if s.Processed != 200 {
+			t.Fatalf("stream %s processed %d", s.Name, s.Processed)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package query
+
+import (
+	"math"
+	"testing"
+
+	"biasedres/internal/core"
+	"biasedres/internal/stream"
+	"biasedres/internal/xrand"
+)
+
+// twoClassStream: label 0 points sit at value v=0, label 1 at v=10; labels
+// alternate 3:1.
+func twoClassStream(n int) []stream.Point {
+	pts := make([]stream.Point, n)
+	for i := range pts {
+		label, v := 0, 0.0
+		if i%4 == 3 {
+			label, v = 1, 10.0
+		}
+		pts[i] = stream.Point{Index: uint64(i + 1), Values: []float64{v, v * 2}, Label: label, Weight: 1}
+	}
+	return pts
+}
+
+func TestGroupAverage(t *testing.T) {
+	b, _ := core.NewBiasedReservoir(0.002, xrand.New(3))
+	for _, p := range twoClassStream(20000) {
+		b.Add(p)
+	}
+	groups, err := GroupAverage(b, 1000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v", groups)
+	}
+	if math.Abs(groups[0][0]-0) > 0.5 || math.Abs(groups[0][1]-0) > 1 {
+		t.Fatalf("class 0 average = %v", groups[0])
+	}
+	if math.Abs(groups[1][0]-10) > 0.5 || math.Abs(groups[1][1]-20) > 1 {
+		t.Fatalf("class 1 average = %v", groups[1])
+	}
+}
+
+func TestGroupAverageValidation(t *testing.T) {
+	b, _ := core.NewBiasedReservoir(0.1, xrand.New(1))
+	if _, err := GroupAverage(b, 10, 0); err == nil {
+		t.Error("dim 0 accepted")
+	}
+	if _, err := GroupAverage(b, 10, 1); err == nil {
+		t.Error("empty reservoir accepted")
+	}
+}
+
+func TestGroupCountConsistency(t *testing.T) {
+	b, _ := core.NewBiasedReservoir(0.002, xrand.New(5))
+	for _, p := range twoClassStream(20000) {
+		b.Add(p)
+	}
+	const h = 1000
+	counts, err := GroupCount(b, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Σ group counts must equal the total count estimate exactly.
+	var sum float64
+	for _, c := range counts {
+		sum += c
+	}
+	total := Estimate(b, Count(h))
+	if math.Abs(sum-total) > 1e-9*(1+total) {
+		t.Fatalf("group counts sum %v != total %v", sum, total)
+	}
+	// And normalizing must reproduce ClassDistribution.
+	dist, err := ClassDistribution(b, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for label, c := range counts {
+		if math.Abs(c/sum-dist[label]) > 1e-9 {
+			t.Fatalf("label %d: normalized %v vs dist %v", label, c/sum, dist[label])
+		}
+	}
+	empty, _ := core.NewBiasedReservoir(0.1, xrand.New(1))
+	if _, err := GroupCount(empty, 10); err == nil {
+		t.Error("empty reservoir accepted")
+	}
+}

@@ -1,0 +1,93 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"biasedres/internal/core"
+	"biasedres/internal/stream"
+)
+
+// Quantile estimates the q-quantile (0 < q < 1) of dimension dim over the
+// last h arrivals from a reservoir sample. Each sampled point is weighted by
+// 1/p(r,t) exactly as in Equation 8, so the weighted empirical distribution
+// is an unbiased estimate of the horizon's value distribution; the quantile
+// of that weighted distribution estimates the true quantile. It returns an
+// error when no sample mass falls inside the horizon.
+func Quantile(s core.Sampler, h uint64, dim int, q float64) (float64, error) {
+	if !(q > 0 && q < 1) {
+		return 0, fmt.Errorf("query: quantile needs 0 < q < 1, got %v", q)
+	}
+	if dim < 0 {
+		return 0, fmt.Errorf("query: quantile needs dim >= 0, got %d", dim)
+	}
+	t := s.Processed()
+	horizon := horizonCoeff(h)
+	type wv struct {
+		v, w float64
+	}
+	var items []wv
+	var total float64
+	for _, p := range s.Points() {
+		if horizon(p, t) == 0 || dim >= len(p.Values) {
+			continue
+		}
+		pr := s.InclusionProb(p.Index)
+		if pr <= 0 {
+			continue
+		}
+		w := 1 / pr
+		items = append(items, wv{v: p.Values[dim], w: w})
+		total += w
+	}
+	if total <= 0 || len(items) == 0 {
+		return 0, fmt.Errorf("query: no sample mass in horizon %d", h)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].v < items[j].v })
+	target := q * total
+	var cum float64
+	for _, it := range items {
+		cum += it.w
+		if cum >= target {
+			return it.v, nil
+		}
+	}
+	return items[len(items)-1].v, nil
+}
+
+// Median estimates the 0.5-quantile over the last h arrivals.
+func Median(s core.Sampler, h uint64, dim int) (float64, error) {
+	return Quantile(s, h, dim, 0.5)
+}
+
+// TrueQuantile computes the exact q-quantile of dimension dim over the
+// points for which the horizon coefficient is 1 at stream position t; the
+// Truth type calls it with its retained suffix.
+func TrueQuantile(pts []stream.Point, t, h uint64, dim int, q float64) (float64, error) {
+	if !(q > 0 && q < 1) {
+		return 0, fmt.Errorf("query: quantile needs 0 < q < 1, got %v", q)
+	}
+	horizon := horizonCoeff(h)
+	var vals []float64
+	for _, p := range pts {
+		if horizon(p, t) == 0 || dim < 0 || dim >= len(p.Values) {
+			continue
+		}
+		vals = append(vals, p.Values[dim])
+	}
+	if len(vals) == 0 {
+		return 0, fmt.Errorf("query: no points in horizon %d", h)
+	}
+	sort.Float64s(vals)
+	idx := int(q * float64(len(vals)))
+	if idx >= len(vals) {
+		idx = len(vals) - 1
+	}
+	return vals[idx], nil
+}
+
+// Quantile returns the exact q-quantile over the last h arrivals retained
+// by the truth buffer.
+func (tr *Truth) Quantile(h uint64, dim int, q float64) (float64, error) {
+	return TrueQuantile(tr.buf.Snapshot(), tr.buf.Now(), h, dim, q)
+}

@@ -1,0 +1,139 @@
+// Package query implements the paper's Section 4: estimating linearly
+// separable queries G(t) = Σ c_i·h(X_i) over a data stream from a (biased or
+// unbiased) reservoir sample, using the inverse-probability estimator
+// H(t) = Σ I(r,t)·c_r·h(X_r)/p(r,t) of Equation 8, together with the
+// variance analysis of Lemma 4.1 and exact ground-truth evaluation for the
+// recent-horizon workloads of the paper's experiments.
+package query
+
+import (
+	"fmt"
+
+	"biasedres/internal/stream"
+)
+
+// Linear describes one query G(t) = Σ_{i=1..t} c_i·h(X_i). Coeff is the
+// c_r term (it may depend on the current stream position t, which is how
+// horizon restrictions are expressed); Value is h(X_r).
+type Linear struct {
+	// Name labels the query in experiment output.
+	Name string
+	// Coeff returns c_r for point p at stream position t.
+	Coeff func(p stream.Point, t uint64) float64
+	// Value returns h(X_r).
+	Value func(p stream.Point) float64
+}
+
+// horizonCoeff returns the paper's recent-horizon coefficient: 1 when the
+// point lies among the last h arrivals, else 0. h == 0 means no restriction.
+func horizonCoeff(h uint64) func(p stream.Point, t uint64) float64 {
+	return func(p stream.Point, t uint64) float64 {
+		if p.Index == 0 || p.Index > t {
+			return 0
+		}
+		if h > 0 && t-p.Index >= h {
+			return 0
+		}
+		return 1
+	}
+}
+
+// Count returns the count query over the last h arrivals (h == 0 counts the
+// whole stream): c_i = [age < h], h(X_i) = 1.
+func Count(h uint64) Linear {
+	return Linear{
+		Name:  fmt.Sprintf("count(h=%d)", h),
+		Coeff: horizonCoeff(h),
+		Value: func(stream.Point) float64 { return 1 },
+	}
+}
+
+// Sum returns the sum query over dimension dim of the last h arrivals:
+// c_i = [age < h], h(X_i) = X_i[dim].
+func Sum(h uint64, dim int) Linear {
+	return Linear{
+		Name:  fmt.Sprintf("sum(h=%d,dim=%d)", h, dim),
+		Coeff: horizonCoeff(h),
+		Value: func(p stream.Point) float64 {
+			if dim < 0 || dim >= len(p.Values) {
+				return 0
+			}
+			return p.Values[dim]
+		},
+	}
+}
+
+// ClassCount returns the count of points with the given label among the
+// last h arrivals — the building block of the paper's class-distribution
+// query (Figure 4).
+func ClassCount(h uint64, label int) Linear {
+	return Linear{
+		Name:  fmt.Sprintf("classcount(h=%d,label=%d)", h, label),
+		Coeff: horizonCoeff(h),
+		Value: func(p stream.Point) float64 {
+			if p.Label == label {
+				return 1
+			}
+			return 0
+		},
+	}
+}
+
+// Rect is an axis-aligned range predicate over a subset of dimensions: the
+// point must satisfy Lo[i] <= X[Dims[i]] <= Hi[i] for every i.
+type Rect struct {
+	Dims []int
+	Lo   []float64
+	Hi   []float64
+}
+
+// NewRect validates the predicate: the three slices must be non-empty, of
+// equal length, with Lo <= Hi and non-negative dimension indices.
+func NewRect(dims []int, lo, hi []float64) (Rect, error) {
+	if len(dims) == 0 {
+		return Rect{}, fmt.Errorf("query: rect needs at least one dimension")
+	}
+	if len(dims) != len(lo) || len(dims) != len(hi) {
+		return Rect{}, fmt.Errorf("query: rect slices disagree: %d dims, %d lo, %d hi", len(dims), len(lo), len(hi))
+	}
+	for i, d := range dims {
+		if d < 0 {
+			return Rect{}, fmt.Errorf("query: rect dimension %d is negative", d)
+		}
+		if lo[i] > hi[i] {
+			return Rect{}, fmt.Errorf("query: rect bound %d inverted: [%v, %v]", i, lo[i], hi[i])
+		}
+	}
+	return Rect{Dims: dims, Lo: lo, Hi: hi}, nil
+}
+
+// Contains reports whether p satisfies the predicate. Points lacking a
+// referenced dimension do not match.
+func (r Rect) Contains(p stream.Point) bool {
+	for i, d := range r.Dims {
+		if d >= len(p.Values) {
+			return false
+		}
+		v := p.Values[d]
+		if v < r.Lo[i] || v > r.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RangeCount returns the count of points inside rect among the last h
+// arrivals — the numerator of the paper's range selectivity query
+// (Figure 5).
+func RangeCount(h uint64, rect Rect) Linear {
+	return Linear{
+		Name:  fmt.Sprintf("rangecount(h=%d)", h),
+		Coeff: horizonCoeff(h),
+		Value: func(p stream.Point) float64 {
+			if rect.Contains(p) {
+				return 1
+			}
+			return 0
+		},
+	}
+}

@@ -1,0 +1,120 @@
+package query
+
+import (
+	"math"
+	"testing"
+
+	"biasedres/internal/stream"
+)
+
+func TestHorizonCoeff(t *testing.T) {
+	c := Count(10)
+	p := stream.Point{Index: 95}
+	if got := c.Coeff(p, 100); got != 1 {
+		t.Fatalf("age 5 < h 10 should count, got %v", got)
+	}
+	p.Index = 90
+	if got := c.Coeff(p, 100); got != 0 {
+		t.Fatalf("age 10 >= h 10 should not count, got %v", got)
+	}
+	p.Index = 0
+	if got := c.Coeff(p, 100); got != 0 {
+		t.Fatalf("index 0 should not count, got %v", got)
+	}
+	p.Index = 101
+	if got := c.Coeff(p, 100); got != 0 {
+		t.Fatalf("future point should not count, got %v", got)
+	}
+	// h == 0: whole stream.
+	whole := Count(0)
+	p.Index = 1
+	if got := whole.Coeff(p, 1000000); got != 1 {
+		t.Fatalf("h=0 should cover the whole stream, got %v", got)
+	}
+}
+
+func TestSumQueryValue(t *testing.T) {
+	q := Sum(0, 1)
+	p := stream.Point{Index: 1, Values: []float64{3, 7}}
+	if got := q.Value(p); got != 7 {
+		t.Fatalf("sum value = %v", got)
+	}
+	if got := Sum(0, 5).Value(p); got != 0 {
+		t.Fatalf("out-of-range dim value = %v, want 0", got)
+	}
+	if got := Sum(0, -1).Value(p); got != 0 {
+		t.Fatalf("negative dim value = %v, want 0", got)
+	}
+}
+
+func TestClassCountValue(t *testing.T) {
+	q := ClassCount(0, 3)
+	if got := q.Value(stream.Point{Label: 3}); got != 1 {
+		t.Fatalf("matching label = %v", got)
+	}
+	if got := q.Value(stream.Point{Label: 4}); got != 0 {
+		t.Fatalf("other label = %v", got)
+	}
+}
+
+func TestNewRectValidation(t *testing.T) {
+	if _, err := NewRect(nil, nil, nil); err == nil {
+		t.Error("empty rect accepted")
+	}
+	if _, err := NewRect([]int{0}, []float64{0, 1}, []float64{1}); err == nil {
+		t.Error("mismatched slices accepted")
+	}
+	if _, err := NewRect([]int{-1}, []float64{0}, []float64{1}); err == nil {
+		t.Error("negative dim accepted")
+	}
+	if _, err := NewRect([]int{0}, []float64{2}, []float64{1}); err == nil {
+		t.Error("inverted bounds accepted")
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r, err := NewRect([]int{0, 2}, []float64{0, 10}, []float64{1, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := stream.Point{Values: []float64{0.5, 99, 15}}
+	if !r.Contains(in) {
+		t.Fatal("point inside rect rejected")
+	}
+	out := stream.Point{Values: []float64{0.5, 99, 25}}
+	if r.Contains(out) {
+		t.Fatal("point outside rect accepted")
+	}
+	short := stream.Point{Values: []float64{0.5}}
+	if r.Contains(short) {
+		t.Fatal("point lacking dimensions accepted")
+	}
+	// Bounds are inclusive.
+	edge := stream.Point{Values: []float64{1, 0, 10}}
+	if !r.Contains(edge) {
+		t.Fatal("boundary point rejected")
+	}
+}
+
+func TestRangeCountQuery(t *testing.T) {
+	r, _ := NewRect([]int{0}, []float64{0}, []float64{1})
+	q := RangeCount(0, r)
+	if got := q.Value(stream.Point{Values: []float64{0.5}}); got != 1 {
+		t.Fatalf("in-range value = %v", got)
+	}
+	if got := q.Value(stream.Point{Values: []float64{2}}); got != 0 {
+		t.Fatalf("out-of-range value = %v", got)
+	}
+	if math.IsNaN(q.Coeff(stream.Point{Index: 1}, 10)) {
+		t.Fatal("coeff NaN")
+	}
+}
+
+func TestQueryNames(t *testing.T) {
+	r, _ := NewRect([]int{0}, []float64{0}, []float64{1})
+	for _, q := range []Linear{Count(5), Sum(5, 0), ClassCount(5, 1), RangeCount(5, r)} {
+		if q.Name == "" {
+			t.Errorf("query has empty name")
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package query
+
+import (
+	"math"
+	"testing"
+
+	"biasedres/internal/core"
+	"biasedres/internal/stream"
+	"biasedres/internal/xrand"
+)
+
+func TestTopKValidation(t *testing.T) {
+	b, _ := core.NewBiasedReservoir(0.1, xrand.New(1))
+	if _, err := TopK(b, 10, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := TopK(b, 10, 3); err == nil {
+		t.Error("empty reservoir accepted")
+	}
+}
+
+func TestTopKRanking(t *testing.T) {
+	// Labels with frequencies 0:60%, 1:30%, 2:9%, 3:1%.
+	b, _ := core.NewBiasedReservoir(0.002, xrand.New(3))
+	rng := xrand.New(4)
+	for i := 1; i <= 30000; i++ {
+		u := rng.Float64()
+		label := 0
+		switch {
+		case u > 0.99:
+			label = 3
+		case u > 0.90:
+			label = 2
+		case u > 0.60:
+			label = 1
+		}
+		b.Add(stream.Point{Index: uint64(i), Values: []float64{1}, Label: label, Weight: 1})
+	}
+	top, err := TopK(b, 1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 3 {
+		t.Fatalf("got %d entries", len(top))
+	}
+	if top[0].Label != 0 || top[1].Label != 1 {
+		t.Fatalf("ranking = %v", top)
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Count > top[i-1].Count {
+			t.Fatalf("not sorted: %v", top)
+		}
+	}
+	// Counts roughly match frequencies over the horizon.
+	if math.Abs(top[0].Count-600) > 250 {
+		t.Fatalf("top count %v, want ~600", top[0].Count)
+	}
+	for _, e := range top {
+		if e.Sigma <= 0 {
+			t.Fatalf("entry %v has no error bar", e)
+		}
+	}
+}
+
+func TestTopKFewerLabelsThanK(t *testing.T) {
+	b, _ := core.NewBiasedReservoir(0.01, xrand.New(5))
+	for i := 1; i <= 1000; i++ {
+		b.Add(stream.Point{Index: uint64(i), Label: i % 2, Weight: 1})
+	}
+	top, err := TopK(b, 500, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 {
+		t.Fatalf("got %d entries, want 2", len(top))
+	}
+}
+
+// TopK totals must agree with GroupCount (same estimator, different
+// presentation).
+func TestTopKMatchesGroupCount(t *testing.T) {
+	b, _ := core.NewBiasedReservoir(0.005, xrand.New(7))
+	for i := 1; i <= 10000; i++ {
+		b.Add(stream.Point{Index: uint64(i), Label: i % 4, Weight: 1})
+	}
+	top, err := TopK(b, 2000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := GroupCount(b, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range top {
+		if math.Abs(e.Count-counts[e.Label]) > 1e-9 {
+			t.Fatalf("label %d: topk %v vs groupcount %v", e.Label, e.Count, counts[e.Label])
+		}
+	}
+}

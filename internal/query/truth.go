@@ -1,0 +1,120 @@
+package query
+
+import (
+	"fmt"
+
+	"biasedres/internal/stream"
+)
+
+// Truth computes exact answers to the horizon queries from a
+// stream.HorizonBuffer that has observed every point. Experiment drivers
+// tee the stream into one Truth and one or more samplers, then compare
+// estimates against these exact values.
+type Truth struct {
+	buf *stream.HorizonBuffer
+}
+
+// NewTruth returns a Truth able to answer queries up to maxHorizon.
+func NewTruth(maxHorizon int) (*Truth, error) {
+	buf, err := stream.NewHorizonBuffer(maxHorizon)
+	if err != nil {
+		return nil, err
+	}
+	return &Truth{buf: buf}, nil
+}
+
+// Observe records one arriving point; call it for every stream point in
+// order.
+func (tr *Truth) Observe(p stream.Point) { tr.buf.Observe(p) }
+
+// Now returns the current stream position t.
+func (tr *Truth) Now() uint64 { return tr.buf.Now() }
+
+// Count returns the exact number of points among the last h arrivals.
+func (tr *Truth) Count(h uint64) (float64, error) {
+	n, err := tr.buf.Recent(h, func(stream.Point) {})
+	return float64(n), err
+}
+
+// Sum returns the exact Σ X[dim] over the last h arrivals.
+func (tr *Truth) Sum(h uint64, dim int) (float64, error) {
+	var sum float64
+	_, err := tr.buf.Recent(h, func(p stream.Point) {
+		if dim >= 0 && dim < len(p.Values) {
+			sum += p.Values[dim]
+		}
+	})
+	return sum, err
+}
+
+// Average returns the exact per-dimension average of the last h arrivals.
+func (tr *Truth) Average(h uint64, dim int) ([]float64, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("query: truth average needs dim > 0, got %d", dim)
+	}
+	sums := make([]float64, dim)
+	n, err := tr.buf.Recent(h, func(p stream.Point) {
+		for d := 0; d < dim && d < len(p.Values); d++ {
+			sums[d] += p.Values[d]
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("query: no points in horizon %d", h)
+	}
+	for d := range sums {
+		sums[d] /= float64(n)
+	}
+	return sums, nil
+}
+
+// ClassDistribution returns the exact fractional class distribution of the
+// last h arrivals.
+func (tr *Truth) ClassDistribution(h uint64) (map[int]float64, error) {
+	counts := make(map[int]float64)
+	n, err := tr.buf.Recent(h, func(p stream.Point) { counts[p.Label]++ })
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("query: no points in horizon %d", h)
+	}
+	for k := range counts {
+		counts[k] /= float64(n)
+	}
+	return counts, nil
+}
+
+// RangeSelectivity returns the exact fraction of the last h arrivals inside
+// rect.
+func (tr *Truth) RangeSelectivity(h uint64, rect Rect) (float64, error) {
+	var inside float64
+	n, err := tr.buf.Recent(h, func(p stream.Point) {
+		if rect.Contains(p) {
+			inside++
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("query: no points in horizon %d", h)
+	}
+	return inside / float64(n), nil
+}
+
+// Evaluate computes the exact value of an arbitrary linear query over the
+// retained suffix of the stream. The query's coefficients must vanish
+// outside the buffer's capacity, otherwise the result would be truncated;
+// horizon-restricted queries built by Count/Sum/ClassCount/RangeCount with
+// h <= capacity satisfy this.
+func (tr *Truth) Evaluate(q Linear) float64 {
+	t := tr.buf.Now()
+	var sum float64
+	for _, p := range tr.buf.Snapshot() {
+		sum += q.Coeff(p, t) * q.Value(p)
+	}
+	return sum
+}

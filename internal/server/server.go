@@ -1,0 +1,500 @@
+// Package server exposes the sampling library as an HTTP service: clients
+// create named streams, push points, and query the recent past — the
+// "repeatedly query recent behaviour while the stream runs forever" usage
+// the paper's introduction motivates. The reservoird command wraps it in a
+// binary; the package itself is transport-only so it is testable with
+// net/http/httptest.
+//
+// API (all bodies JSON unless noted):
+//
+//	PUT    /streams/{name}            create a stream   {"lambda":1e-4,"capacity":1000,"policy":"variable"}
+//	GET    /streams                   list streams
+//	GET    /streams/{name}            stream statistics
+//	DELETE /streams/{name}            drop a stream
+//	POST   /streams/{name}/points     ingest            {"points":[{"values":[...],"label":0,"weight":1}, ...]}
+//	GET    /streams/{name}/sample     current reservoir contents
+//	GET    /streams/{name}/query      estimate; see Query parameters below
+//	GET    /streams/{name}/snapshot   binary checkpoint (octet-stream)
+//	POST   /streams/{name}/restore    restore from a checkpoint body
+//
+// Query parameters: type=count|average|classdist|groupavg|selectivity|quantile,
+// h=<horizon>, dim=<dimension>, q=<quantile>, dims=<d0,d1,...> with
+// lo=<l0,l1,...> hi=<h0,h1,...> for selectivity rectangles.
+package server
+
+import (
+	"encoding"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"biasedres/internal/core"
+	"biasedres/internal/query"
+	"biasedres/internal/stream"
+	"biasedres/internal/xrand"
+)
+
+// maxBodyBytes bounds ingest and restore request bodies.
+const maxBodyBytes = 64 << 20
+
+// persistentSampler is a sampler that supports checkpointing.
+type persistentSampler interface {
+	core.Sampler
+	encoding.BinaryMarshaler
+	encoding.BinaryUnmarshaler
+}
+
+type managedStream struct {
+	mu      sync.Mutex
+	sampler persistentSampler
+	policy  string
+	lambda  float64
+	next    uint64 // next arrival index
+	dim     int    // fixed by the first ingested point; 0 = none yet
+}
+
+// Server is the HTTP handler. Create with New and mount it as an
+// http.Handler.
+type Server struct {
+	mu      sync.RWMutex
+	streams map[string]*managedStream
+	seeds   *xrand.Source
+	mux     *http.ServeMux
+}
+
+// New returns a Server; seed drives the samplers' randomness.
+func New(seed uint64) *Server {
+	s := &Server{
+		streams: make(map[string]*managedStream),
+		seeds:   xrand.New(seed),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /streams", s.handleList)
+	mux.HandleFunc("PUT /streams/{name}", s.handleCreate)
+	mux.HandleFunc("GET /streams/{name}", s.handleStats)
+	mux.HandleFunc("DELETE /streams/{name}", s.handleDelete)
+	mux.HandleFunc("POST /streams/{name}/points", s.handleIngest)
+	mux.HandleFunc("GET /streams/{name}/sample", s.handleSample)
+	mux.HandleFunc("GET /streams/{name}/query", s.handleQuery)
+	mux.HandleFunc("GET /streams/{name}/snapshot", s.handleSnapshot)
+	mux.HandleFunc("POST /streams/{name}/restore", s.handleRestore)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) lookup(name string) (*managedStream, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ms, ok := s.streams[name]
+	return ms, ok
+}
+
+// CreateRequest is the body of PUT /streams/{name}.
+type CreateRequest struct {
+	// Policy is one of "variable" (default), "biased", "constrained",
+	// "unbiased", "window".
+	Policy string `json:"policy"`
+	// Lambda is the bias rate (biased policies).
+	Lambda float64 `json:"lambda"`
+	// Capacity is the reservoir budget; 0 derives ⌊1/λ⌋ for "biased".
+	Capacity int `json:"capacity"`
+	// Window is the window length for the "window" policy.
+	Window uint64 `json:"window"`
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if name == "" {
+		httpError(w, http.StatusBadRequest, "empty stream name")
+		return
+	}
+	var req CreateRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Policy == "" {
+		req.Policy = "variable"
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.streams[name]; ok {
+		httpError(w, http.StatusConflict, "stream %q already exists", name)
+		return
+	}
+	rng := s.seeds.Split()
+	var sampler persistentSampler
+	var err error
+	switch req.Policy {
+	case "variable":
+		sampler, err = core.NewVariableReservoir(req.Lambda, req.Capacity, rng)
+	case "biased":
+		if req.Capacity == 0 {
+			sampler, err = core.NewBiasedReservoir(req.Lambda, rng)
+		} else {
+			sampler, err = core.NewConstrainedReservoir(req.Lambda, req.Capacity, rng)
+		}
+	case "constrained":
+		sampler, err = core.NewConstrainedReservoir(req.Lambda, req.Capacity, rng)
+	case "unbiased":
+		sampler, err = core.NewUnbiasedReservoir(req.Capacity, rng)
+	case "window":
+		sampler, err = core.NewWindowReservoir(req.Window, req.Capacity, rng)
+	case "timedecay":
+		sampler, err = core.NewTimeDecayReservoir(req.Lambda, req.Capacity, rng)
+	default:
+		httpError(w, http.StatusBadRequest, "unknown policy %q", req.Policy)
+		return
+	}
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "creating sampler: %v", err)
+		return
+	}
+	s.streams[name] = &managedStream{sampler: sampler, policy: req.Policy, lambda: req.Lambda}
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, map[string]any{"name": name, "policy": req.Policy, "capacity": sampler.Capacity()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	streams := len(s.streams)
+	var points uint64
+	for _, e := range s.streams {
+		e.mu.Lock()
+		points += e.sampler.Processed()
+		e.mu.Unlock()
+	}
+	s.mu.RUnlock()
+	writeJSON(w, map[string]any{"status": "ok", "streams": streams, "points": points})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.streams))
+	for name := range s.streams {
+		names = append(names, name)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	writeJSON(w, map[string]any{"streams": names})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.streams[name]; !ok {
+		httpError(w, http.StatusNotFound, "stream %q not found", name)
+		return
+	}
+	delete(s.streams, name)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// IngestPoint is one point in an ingest request; arrival indices are
+// assigned server-side in arrival order.
+type IngestPoint struct {
+	Values []float64 `json:"values"`
+	Label  *int      `json:"label,omitempty"`
+	Weight float64   `json:"weight,omitempty"`
+	// TS is the point's timestamp, honoured by "timedecay" streams
+	// (must be non-decreasing) and ignored by arrival-indexed policies.
+	TS *float64 `json:"ts,omitempty"`
+}
+
+// IngestRequest is the body of POST /streams/{name}/points.
+type IngestRequest struct {
+	Points []IngestPoint `json:"points"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	ms, ok := s.lookup(r.PathValue("name"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "stream %q not found", r.PathValue("name"))
+		return
+	}
+	var req IngestRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if len(req.Points) == 0 {
+		httpError(w, http.StatusBadRequest, "no points")
+		return
+	}
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	for i, ip := range req.Points {
+		if len(ip.Values) == 0 {
+			httpError(w, http.StatusBadRequest, "point %d has no values", i)
+			return
+		}
+		if ms.dim == 0 {
+			ms.dim = len(ip.Values)
+		} else if len(ip.Values) != ms.dim {
+			httpError(w, http.StatusBadRequest, "point %d has dim %d, stream has %d", i, len(ip.Values), ms.dim)
+			return
+		}
+	}
+	td, timed := ms.sampler.(*core.TimeDecayReservoir)
+	for i, ip := range req.Points {
+		ms.next++
+		label := -1
+		if ip.Label != nil {
+			label = *ip.Label
+		}
+		weight := ip.Weight
+		if weight == 0 {
+			weight = 1
+		}
+		p := stream.Point{Index: ms.next, Values: ip.Values, Label: label, Weight: weight}
+		if timed && ip.TS != nil {
+			if err := td.AddAt(p, *ip.TS); err != nil {
+				ms.next--
+				httpError(w, http.StatusBadRequest, "point %d: %v", i, err)
+				return
+			}
+			continue
+		}
+		ms.sampler.Add(p)
+	}
+	writeJSON(w, map[string]any{"ingested": len(req.Points), "processed": ms.sampler.Processed()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	ms, ok := s.lookup(r.PathValue("name"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "stream %q not found", r.PathValue("name"))
+		return
+	}
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	writeJSON(w, map[string]any{
+		"policy":    ms.policy,
+		"lambda":    ms.lambda,
+		"dim":       ms.dim,
+		"processed": ms.sampler.Processed(),
+		"size":      ms.sampler.Len(),
+		"capacity":  ms.sampler.Capacity(),
+		"fill":      core.Fill(ms.sampler),
+	})
+}
+
+// SamplePoint is one reservoir point in a sample response.
+type SamplePoint struct {
+	Index  uint64    `json:"index"`
+	Values []float64 `json:"values"`
+	Label  int       `json:"label"`
+	Prob   float64   `json:"prob"`
+}
+
+func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
+	ms, ok := s.lookup(r.PathValue("name"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "stream %q not found", r.PathValue("name"))
+		return
+	}
+	ms.mu.Lock()
+	pts := ms.sampler.Sample()
+	out := make([]SamplePoint, len(pts))
+	for i, p := range pts {
+		out[i] = SamplePoint{Index: p.Index, Values: p.Values, Label: p.Label, Prob: ms.sampler.InclusionProb(p.Index)}
+	}
+	t := ms.sampler.Processed()
+	ms.mu.Unlock()
+	writeJSON(w, map[string]any{"t": t, "points": out})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	ms, ok := s.lookup(r.PathValue("name"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "stream %q not found", r.PathValue("name"))
+		return
+	}
+	q := r.URL.Query()
+	h, err := parseUint(q.Get("h"), 0)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad horizon: %v", err)
+		return
+	}
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	switch q.Get("type") {
+	case "count":
+		est, variance := query.EstimateWithVariance(ms.sampler, query.Count(h))
+		writeJSON(w, map[string]any{"estimate": est, "variance": variance})
+	case "average":
+		dim := ms.dim
+		if dim == 0 {
+			httpError(w, http.StatusConflict, "stream has no points yet")
+			return
+		}
+		avg, err := query.HorizonAverage(ms.sampler, h, dim)
+		if err != nil {
+			httpError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		writeJSON(w, map[string]any{"average": avg})
+	case "classdist":
+		dist, err := query.ClassDistribution(ms.sampler, h)
+		if err != nil {
+			httpError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		out := make(map[string]float64, len(dist))
+		for k, v := range dist {
+			out[strconv.Itoa(k)] = v
+		}
+		writeJSON(w, map[string]any{"distribution": out})
+	case "groupavg":
+		dim := ms.dim
+		if dim == 0 {
+			httpError(w, http.StatusConflict, "stream has no points yet")
+			return
+		}
+		groups, err := query.GroupAverage(ms.sampler, h, dim)
+		if err != nil {
+			httpError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		out := make(map[string][]float64, len(groups))
+		for k, v := range groups {
+			out[strconv.Itoa(k)] = v
+		}
+		writeJSON(w, map[string]any{"groups": out})
+	case "selectivity":
+		rect, err := parseRect(q.Get("dims"), q.Get("lo"), q.Get("hi"))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		sel, err := query.RangeSelectivity(ms.sampler, h, rect)
+		if err != nil {
+			httpError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		writeJSON(w, map[string]any{"selectivity": sel})
+	case "quantile":
+		dim, err := parseUint(q.Get("dim"), 0)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad dim: %v", err)
+			return
+		}
+		qq, err := strconv.ParseFloat(q.Get("q"), 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad q: %v", err)
+			return
+		}
+		v, err := query.Quantile(ms.sampler, h, int(dim), qq)
+		if err != nil {
+			httpError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		writeJSON(w, map[string]any{"quantile": v})
+	default:
+		httpError(w, http.StatusBadRequest, "unknown query type %q", q.Get("type"))
+	}
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	ms, ok := s.lookup(r.PathValue("name"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "stream %q not found", r.PathValue("name"))
+		return
+	}
+	ms.mu.Lock()
+	blob, err := ms.sampler.MarshalBinary()
+	next := ms.next
+	ms.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "snapshot: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Biasedres-Next-Index", strconv.FormatUint(next, 10))
+	_, _ = w.Write(blob)
+}
+
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	ms, ok := s.lookup(r.PathValue("name"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "stream %q not found", r.PathValue("name"))
+		return
+	}
+	blob, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	if err := ms.sampler.UnmarshalBinary(blob); err != nil {
+		httpError(w, http.StatusBadRequest, "restore: %v", err)
+		return
+	}
+	ms.next = ms.sampler.Processed()
+	writeJSON(w, map[string]any{"processed": ms.sampler.Processed(), "size": ms.sampler.Len()})
+}
+
+func parseUint(s string, def uint64) (uint64, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.ParseUint(s, 10, 64)
+}
+
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseRect(dims, lo, hi string) (query.Rect, error) {
+	if dims == "" {
+		return query.Rect{}, fmt.Errorf("selectivity query needs dims/lo/hi")
+	}
+	df, err := parseFloats(dims)
+	if err != nil {
+		return query.Rect{}, err
+	}
+	lf, err := parseFloats(lo)
+	if err != nil {
+		return query.Rect{}, err
+	}
+	hf, err := parseFloats(hi)
+	if err != nil {
+		return query.Rect{}, err
+	}
+	di := make([]int, len(df))
+	for i, v := range df {
+		di[i] = int(v)
+	}
+	return query.NewRect(di, lf, hf)
+}

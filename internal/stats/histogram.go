@@ -1,0 +1,71 @@
+package stats
+
+import "fmt"
+
+// Histogram is a fixed-range equi-width histogram. Experiments use it to
+// summarize reservoir age distributions and per-dimension value spreads.
+type Histogram struct {
+	lo, hi  float64
+	buckets []uint64
+	under   uint64
+	over    uint64
+	total   uint64
+}
+
+// NewHistogram returns a histogram of `buckets` equal-width bins over
+// [lo, hi). Values below lo or at/above hi are tallied separately.
+func NewHistogram(lo, hi float64, buckets int) (*Histogram, error) {
+	if buckets <= 0 {
+		return nil, fmt.Errorf("stats: histogram needs buckets > 0, got %d", buckets)
+	}
+	if !(lo < hi) {
+		return nil, fmt.Errorf("stats: histogram needs lo < hi, got [%v, %v)", lo, hi)
+	}
+	return &Histogram{lo: lo, hi: hi, buckets: make([]uint64, buckets)}, nil
+}
+
+// Observe tallies one value.
+func (h *Histogram) Observe(x float64) {
+	h.total++
+	switch {
+	case x < h.lo:
+		h.under++
+	case x >= h.hi:
+		h.over++
+	default:
+		i := int(float64(len(h.buckets)) * (x - h.lo) / (h.hi - h.lo))
+		if i == len(h.buckets) { // guard against rounding at the top edge
+			i--
+		}
+		h.buckets[i]++
+	}
+}
+
+// Count returns the bucket counts (not including under/overflow).
+func (h *Histogram) Count(bucket int) uint64 { return h.buckets[bucket] }
+
+// Buckets returns the number of bins.
+func (h *Histogram) Buckets() int { return len(h.buckets) }
+
+// Total returns the number of observations including out-of-range ones.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Underflow returns the count of observations below the range.
+func (h *Histogram) Underflow() uint64 { return h.under }
+
+// Overflow returns the count of observations at or above the range.
+func (h *Histogram) Overflow() uint64 { return h.over }
+
+// Fraction returns the in-range fraction of mass in the given bucket.
+func (h *Histogram) Fraction(bucket int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.buckets[bucket]) / float64(h.total)
+}
+
+// BucketBounds returns the [lo, hi) interval of one bucket.
+func (h *Histogram) BucketBounds(bucket int) (float64, float64) {
+	w := (h.hi - h.lo) / float64(len(h.buckets))
+	return h.lo + float64(bucket)*w, h.lo + float64(bucket+1)*w
+}

@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// MeanAbsError returns the mean of |est[i] - truth[i]| across dimensions —
+// the paper's error metric for multi-dimensional sum/average queries. The
+// slices must have equal, non-zero length.
+func MeanAbsError(est, truth []float64) (float64, error) {
+	if len(est) != len(truth) {
+		return 0, fmt.Errorf("stats: length mismatch %d vs %d", len(est), len(truth))
+	}
+	if len(est) == 0 {
+		return 0, fmt.Errorf("stats: empty vectors")
+	}
+	var sum float64
+	for i := range est {
+		sum += math.Abs(est[i] - truth[i])
+	}
+	return sum / float64(len(est)), nil
+}
+
+// ClassDistributionError is the paper's Equation 21: for true class
+// fractions f and estimated fractions fhat over l classes,
+// er = Σ_i |f_i - fhat_i| / l. Both maps may omit zero entries; the class
+// universe is the union of keys, and l must end up non-zero.
+func ClassDistributionError(truth, est map[int]float64) (float64, error) {
+	classes := make(map[int]struct{}, len(truth)+len(est))
+	for k := range truth {
+		classes[k] = struct{}{}
+	}
+	for k := range est {
+		classes[k] = struct{}{}
+	}
+	if len(classes) == 0 {
+		return 0, fmt.Errorf("stats: no classes to compare")
+	}
+	var sum float64
+	for k := range classes {
+		sum += math.Abs(truth[k] - est[k])
+	}
+	return sum / float64(len(classes)), nil
+}
+
+// RelativeError returns |est-truth|/|truth|, or |est| when truth is zero.
+func RelativeError(est, truth float64) float64 {
+	if truth == 0 {
+		return math.Abs(est)
+	}
+	return math.Abs(est-truth) / math.Abs(truth)
+}
+
+// Normalize scales a non-negative histogram map into fractions summing to 1.
+// It returns an error when the total mass is not positive.
+func Normalize(counts map[int]float64) (map[int]float64, error) {
+	var total float64
+	for _, v := range counts {
+		if v < 0 {
+			return nil, fmt.Errorf("stats: negative mass %v", v)
+		}
+		total += v
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("stats: no mass to normalize")
+	}
+	out := make(map[int]float64, len(counts))
+	for k, v := range counts {
+		out[k] = v / total
+	}
+	return out, nil
+}
+
+// EuclideanDistance returns the L2 distance between two equal-length
+// vectors. It panics on length mismatch: callers control both sides, and
+// distance evaluation sits on the classifier's hot path.
+func EuclideanDistance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("stats: dimension mismatch %d vs %d", len(a), len(b)))
+	}
+	var sum float64
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// SquaredDistance returns the squared L2 distance (no square root); it
+// preserves distance ordering and is what nearest-neighbour search uses.
+func SquaredDistance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("stats: dimension mismatch %d vs %d", len(a), len(b)))
+	}
+	var sum float64
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return sum
+}

@@ -1,0 +1,261 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"biasedres/internal/xrand"
+)
+
+func TestRunningBasics(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Variance() != 0 || r.Count() != 0 {
+		t.Fatal("zero value not clean")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Observe(x)
+	}
+	if r.Count() != 8 {
+		t.Fatalf("count = %d", r.Count())
+	}
+	if math.Abs(r.Mean()-5) > 1e-12 {
+		t.Fatalf("mean = %v", r.Mean())
+	}
+	if math.Abs(r.Variance()-4) > 1e-12 {
+		t.Fatalf("variance = %v", r.Variance())
+	}
+	if math.Abs(r.StdDev()-2) > 1e-12 {
+		t.Fatalf("stddev = %v", r.StdDev())
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", r.Min(), r.Max())
+	}
+	if math.Abs(r.SampleVariance()-32.0/7) > 1e-12 {
+		t.Fatalf("sample variance = %v", r.SampleVariance())
+	}
+}
+
+func TestRunningSingleObservation(t *testing.T) {
+	var r Running
+	r.Observe(3)
+	if r.Variance() != 0 || r.SampleVariance() != 0 {
+		t.Fatal("variance of single observation must be 0")
+	}
+	if r.Min() != 3 || r.Max() != 3 {
+		t.Fatal("min/max wrong for single observation")
+	}
+}
+
+// Merging two Welford states must equal observing the concatenation.
+func TestRunningMergeProperty(t *testing.T) {
+	rng := xrand.New(1)
+	check := func(n1Raw, n2Raw uint8) bool {
+		n1, n2 := int(n1Raw%40), int(n2Raw%40)
+		var a, b, all Running
+		for i := 0; i < n1; i++ {
+			x := rng.NormFloat64() * 10
+			a.Observe(x)
+			all.Observe(x)
+		}
+		for i := 0; i < n2; i++ {
+			x := rng.NormFloat64()*3 + 5
+			b.Observe(x)
+			all.Observe(x)
+		}
+		a.Merge(b)
+		if a.Count() != all.Count() {
+			return false
+		}
+		if a.Count() == 0 {
+			return true
+		}
+		return math.Abs(a.Mean()-all.Mean()) < 1e-9 &&
+			math.Abs(a.Variance()-all.Variance()) < 1e-9 &&
+			a.Min() == all.Min() && a.Max() == all.Max()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunning2CovarianceCorrelation(t *testing.T) {
+	var r Running2
+	if _, ok := r.Correlation(); ok {
+		t.Fatal("correlation defined with no data")
+	}
+	// Perfectly linear: y = 2x + 1.
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		r.Observe(x, 2*x+1)
+	}
+	if r.Count() != 5 {
+		t.Fatalf("count = %d", r.Count())
+	}
+	corr, ok := r.Correlation()
+	if !ok || math.Abs(corr-1) > 1e-12 {
+		t.Fatalf("correlation = %v, %v", corr, ok)
+	}
+	// Covariance of x (var 2) with y = 2x: cov = 2*var(x) = 4.
+	if got := r.Covariance(); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("covariance = %v", got)
+	}
+	// Anti-correlated.
+	var r2 Running2
+	for _, x := range []float64{1, 2, 3, 4} {
+		r2.Observe(x, -x)
+	}
+	corr2, _ := r2.Correlation()
+	if math.Abs(corr2+1) > 1e-12 {
+		t.Fatalf("anti-correlation = %v", corr2)
+	}
+	// Degenerate: constant y.
+	var r3 Running2
+	r3.Observe(1, 5)
+	r3.Observe(2, 5)
+	if _, ok := r3.Correlation(); ok {
+		t.Fatal("correlation defined for constant series")
+	}
+}
+
+func TestRunning2Independent(t *testing.T) {
+	var r Running2
+	rng := xrand.New(31)
+	for i := 0; i < 100000; i++ {
+		r.Observe(rng.NormFloat64(), rng.NormFloat64())
+	}
+	corr, ok := r.Correlation()
+	if !ok || math.Abs(corr) > 0.02 {
+		t.Fatalf("independent correlation = %v", corr)
+	}
+}
+
+func TestVectorRunning(t *testing.T) {
+	v := NewVectorRunning(2)
+	v.Observe([]float64{1, 10})
+	v.Observe([]float64{3, 20})
+	if v.Dim() != 2 || v.Count() != 2 {
+		t.Fatalf("dim/count = %d/%d", v.Dim(), v.Count())
+	}
+	means := v.Means()
+	if means[0] != 2 || means[1] != 15 {
+		t.Fatalf("means = %v", means)
+	}
+	sds := v.StdDevs()
+	if math.Abs(sds[0]-1) > 1e-12 || math.Abs(sds[1]-5) > 1e-12 {
+		t.Fatalf("stddevs = %v", sds)
+	}
+}
+
+func TestMeanAbsError(t *testing.T) {
+	got, err := MeanAbsError([]float64{1, 2, 3}, []float64{2, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-12 {
+		t.Fatalf("MAE = %v, want 1", got)
+	}
+	if _, err := MeanAbsError([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := MeanAbsError(nil, nil); err == nil {
+		t.Error("empty vectors accepted")
+	}
+}
+
+func TestClassDistributionError(t *testing.T) {
+	truth := map[int]float64{0: 0.5, 1: 0.5}
+	est := map[int]float64{0: 0.7, 2: 0.3}
+	// union classes {0,1,2}: |0.5-0.7| + |0.5-0| + |0-0.3| = 1.0; /3
+	got, err := ClassDistributionError(truth, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("eq21 error = %v, want 1/3", got)
+	}
+	if _, err := ClassDistributionError(nil, nil); err == nil {
+		t.Error("empty class universe accepted")
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if got := RelativeError(11, 10); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("rel err = %v", got)
+	}
+	if got := RelativeError(0.5, 0); got != 0.5 {
+		t.Fatalf("rel err vs zero truth = %v", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got, err := Normalize(map[int]float64{1: 3, 2: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[1] != 0.75 || got[2] != 0.25 {
+		t.Fatalf("normalized = %v", got)
+	}
+	if _, err := Normalize(map[int]float64{1: -1}); err == nil {
+		t.Error("negative mass accepted")
+	}
+	if _, err := Normalize(map[int]float64{}); err == nil {
+		t.Error("empty map accepted")
+	}
+}
+
+func TestDistances(t *testing.T) {
+	a, b := []float64{0, 3}, []float64{4, 0}
+	if got := EuclideanDistance(a, b); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("euclidean = %v", got)
+	}
+	if got := SquaredDistance(a, b); math.Abs(got-25) > 1e-12 {
+		t.Fatalf("squared = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch did not panic")
+		}
+	}()
+	EuclideanDistance([]float64{1}, []float64{1, 2})
+}
+
+func TestHistogram(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("0 buckets accepted")
+	}
+	if _, err := NewHistogram(5, 5, 4); err == nil {
+		t.Error("lo==hi accepted")
+	}
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 15} {
+		h.Observe(x)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.Underflow() != 1 || h.Overflow() != 2 {
+		t.Fatalf("under/over = %d/%d", h.Underflow(), h.Overflow())
+	}
+	if h.Count(0) != 2 { // 0 and 1.9
+		t.Fatalf("bucket 0 = %d", h.Count(0))
+	}
+	if h.Count(1) != 1 { // 2
+		t.Fatalf("bucket 1 = %d", h.Count(1))
+	}
+	if h.Count(4) != 1 { // 9.99
+		t.Fatalf("bucket 4 = %d", h.Count(4))
+	}
+	lo, hi := h.BucketBounds(1)
+	if lo != 2 || hi != 4 {
+		t.Fatalf("bounds = [%v,%v)", lo, hi)
+	}
+	if got := h.Fraction(0); math.Abs(got-2.0/7) > 1e-12 {
+		t.Fatalf("fraction = %v", got)
+	}
+	if h.Buckets() != 5 {
+		t.Fatalf("buckets = %d", h.Buckets())
+	}
+}

@@ -1,0 +1,183 @@
+// Package stats provides the numeric utilities shared by the estimators,
+// experiments and tests: numerically stable running moments (Welford),
+// error metrics matching the paper's Equation 21, and simple histograms.
+package stats
+
+import "math"
+
+// Running accumulates count, mean, variance and extrema of a sequence using
+// Welford's numerically stable online algorithm. The zero value is ready to
+// use.
+type Running struct {
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Observe adds one value.
+func (r *Running) Observe(x float64) {
+	r.n++
+	if r.n == 1 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	delta := x - r.mean
+	r.mean += delta / float64(r.n)
+	r.m2 += delta * (x - r.mean)
+}
+
+// Count returns the number of observations.
+func (r *Running) Count() uint64 { return r.n }
+
+// Mean returns the running mean (0 with no observations).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Variance returns the population variance (0 with fewer than 2 samples).
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n)
+}
+
+// SampleVariance returns the unbiased (n-1) variance.
+func (r *Running) SampleVariance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// StdDev returns the population standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// Min returns the smallest observation (0 with no observations).
+func (r *Running) Min() float64 { return r.min }
+
+// Max returns the largest observation (0 with no observations).
+func (r *Running) Max() float64 { return r.max }
+
+// Merge folds other into r, as if r had observed every value other did.
+// It implements Chan et al.'s parallel combination of Welford states.
+func (r *Running) Merge(other Running) {
+	if other.n == 0 {
+		return
+	}
+	if r.n == 0 {
+		*r = other
+		return
+	}
+	n1, n2 := float64(r.n), float64(other.n)
+	delta := other.mean - r.mean
+	total := n1 + n2
+	r.mean += delta * n2 / total
+	r.m2 += other.m2 + delta*delta*n1*n2/total
+	r.n += other.n
+	if other.min < r.min {
+		r.min = other.min
+	}
+	if other.max > r.max {
+		r.max = other.max
+	}
+}
+
+// Running2 accumulates joint moments of a paired sequence (x, y) for online
+// covariance and Pearson correlation, numerically stable in the Welford
+// style. The zero value is ready to use.
+type Running2 struct {
+	n        uint64
+	meanX    float64
+	meanY    float64
+	m2x      float64
+	m2y      float64
+	coMoment float64
+}
+
+// Observe adds one (x, y) pair.
+func (r *Running2) Observe(x, y float64) {
+	r.n++
+	dx := x - r.meanX
+	r.meanX += dx / float64(r.n)
+	r.m2x += dx * (x - r.meanX)
+	dy := y - r.meanY
+	r.meanY += dy / float64(r.n)
+	r.m2y += dy * (y - r.meanY)
+	r.coMoment += dx * (y - r.meanY)
+}
+
+// Count returns the number of pairs observed.
+func (r *Running2) Count() uint64 { return r.n }
+
+// Covariance returns the population covariance (0 with fewer than 2 pairs).
+func (r *Running2) Covariance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.coMoment / float64(r.n)
+}
+
+// Correlation returns the Pearson correlation coefficient; ok is false
+// when it is undefined (fewer than 2 pairs or a degenerate variance).
+func (r *Running2) Correlation() (corr float64, ok bool) {
+	if r.n < 2 || r.m2x <= 0 || r.m2y <= 0 {
+		return 0, false
+	}
+	return r.coMoment / math.Sqrt(r.m2x*r.m2y), true
+}
+
+// VectorRunning tracks Running statistics independently per dimension; it is
+// how experiments compute the paper's "average absolute error over the
+// different dimensions".
+type VectorRunning struct {
+	dims []Running
+}
+
+// NewVectorRunning returns a tracker for dim dimensions.
+func NewVectorRunning(dim int) *VectorRunning {
+	return &VectorRunning{dims: make([]Running, dim)}
+}
+
+// Observe adds one vector; its length must equal the tracker's
+// dimensionality.
+func (v *VectorRunning) Observe(x []float64) {
+	for i := range v.dims {
+		v.dims[i].Observe(x[i])
+	}
+}
+
+// Dim returns the dimensionality.
+func (v *VectorRunning) Dim() int { return len(v.dims) }
+
+// Count returns the number of vectors observed.
+func (v *VectorRunning) Count() uint64 {
+	if len(v.dims) == 0 {
+		return 0
+	}
+	return v.dims[0].Count()
+}
+
+// Means returns the per-dimension means.
+func (v *VectorRunning) Means() []float64 {
+	out := make([]float64, len(v.dims))
+	for i := range v.dims {
+		out[i] = v.dims[i].Mean()
+	}
+	return out
+}
+
+// StdDevs returns the per-dimension standard deviations.
+func (v *VectorRunning) StdDevs() []float64 {
+	out := make([]float64, len(v.dims))
+	for i := range v.dims {
+		out[i] = v.dims[i].StdDev()
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package stream
+
+import (
+	"fmt"
+
+	"biasedres/internal/xrand"
+)
+
+// ClusterConfig describes the synthetic evolving-cluster stream of the
+// paper's Section 5.1: k Gaussian clusters whose centers start uniformly in
+// the unit cube and drift by a uniform amount in [-Drift, +Drift] along each
+// dimension after every epoch of points. The generating cluster id is used
+// as the class label, exactly as the paper does for its classification and
+// evolution-analysis experiments.
+type ClusterConfig struct {
+	// Dim is the dimensionality of each point. The paper uses a
+	// 10-dimensional data set.
+	Dim int
+	// K is the number of clusters (paper: 4).
+	K int
+	// Radius is the Gaussian standard deviation of each cluster along
+	// every dimension (paper: average radius 0.2).
+	Radius float64
+	// Drift bounds the per-dimension center movement applied after each
+	// epoch (paper: 0.05).
+	Drift float64
+	// EpochLen is the number of points generated between center moves.
+	// The paper moves centers "after generation of each set of data
+	// points"; we default to 1000.
+	EpochLen int
+	// Total limits the stream length; 0 means unbounded (paper: 4*10^5).
+	Total uint64
+	// Seed drives all randomness of the generator.
+	Seed uint64
+}
+
+// DefaultClusterConfig returns the configuration used by the paper's
+// synthetic experiments.
+func DefaultClusterConfig() ClusterConfig {
+	return ClusterConfig{
+		Dim:      10,
+		K:        4,
+		Radius:   0.2,
+		Drift:    0.05,
+		EpochLen: 1000,
+		Total:    400000,
+		Seed:     1,
+	}
+}
+
+// ClusterGenerator produces the evolving-cluster stream. It implements
+// Stream. Points are labeled with their generating cluster in [0, K).
+type ClusterGenerator struct {
+	cfg     ClusterConfig
+	rng     *xrand.Source
+	centers [][]float64
+	emitted uint64
+	inEpoch int
+}
+
+// NewClusterGenerator validates cfg and returns a generator. It returns an
+// error for non-positive dimensions, cluster counts, radii or epoch lengths.
+func NewClusterGenerator(cfg ClusterConfig) (*ClusterGenerator, error) {
+	if cfg.Dim <= 0 {
+		return nil, fmt.Errorf("stream: cluster generator needs Dim > 0, got %d", cfg.Dim)
+	}
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("stream: cluster generator needs K > 0, got %d", cfg.K)
+	}
+	if cfg.Radius < 0 {
+		return nil, fmt.Errorf("stream: cluster generator needs Radius >= 0, got %v", cfg.Radius)
+	}
+	if cfg.Drift < 0 {
+		return nil, fmt.Errorf("stream: cluster generator needs Drift >= 0, got %v", cfg.Drift)
+	}
+	if cfg.EpochLen <= 0 {
+		cfg.EpochLen = 1000
+	}
+	g := &ClusterGenerator{cfg: cfg, rng: xrand.New(cfg.Seed)}
+	g.centers = make([][]float64, cfg.K)
+	for i := range g.centers {
+		c := make([]float64, cfg.Dim)
+		for d := range c {
+			c[d] = g.rng.Float64() // uniform in the unit cube
+		}
+		g.centers[i] = c
+	}
+	return g, nil
+}
+
+// Next implements Stream.
+func (g *ClusterGenerator) Next() (Point, bool) {
+	if g.cfg.Total > 0 && g.emitted >= g.cfg.Total {
+		return Point{}, false
+	}
+	if g.inEpoch >= g.cfg.EpochLen {
+		g.driftCenters()
+		g.inEpoch = 0
+	}
+	k := g.rng.Intn(g.cfg.K)
+	vals := make([]float64, g.cfg.Dim)
+	for d := range vals {
+		vals[d] = g.centers[k][d] + g.rng.NormFloat64()*g.cfg.Radius
+	}
+	g.emitted++
+	g.inEpoch++
+	return Point{Index: g.emitted, Values: vals, Label: k, Weight: 1}, true
+}
+
+func (g *ClusterGenerator) driftCenters() {
+	for _, c := range g.centers {
+		for d := range c {
+			c[d] += (2*g.rng.Float64() - 1) * g.cfg.Drift
+		}
+	}
+}
+
+// Centers returns a deep copy of the current cluster centers; evolution
+// analysis uses it to compare reservoir contents against the true state.
+func (g *ClusterGenerator) Centers() [][]float64 {
+	out := make([][]float64, len(g.centers))
+	for i, c := range g.centers {
+		out[i] = append([]float64(nil), c...)
+	}
+	return out
+}
+
+// Emitted returns the number of points generated so far.
+func (g *ClusterGenerator) Emitted() uint64 { return g.emitted }

@@ -1,0 +1,128 @@
+package stream
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV layout: index,label,weight,v0,v1,...,v{d-1}. Index may be 0 in input
+// files, in which case the reader renumbers points by arrival order. All
+// rows must share one dimensionality.
+
+// WriteCSV writes every point of s to w and returns the number of rows
+// written.
+func WriteCSV(w io.Writer, s Stream) (int, error) {
+	cw := csv.NewWriter(w)
+	n := 0
+	for {
+		p, ok := s.Next()
+		if !ok {
+			break
+		}
+		row := make([]string, 0, 3+len(p.Values))
+		row = append(row,
+			strconv.FormatUint(p.Index, 10),
+			strconv.Itoa(p.Label),
+			strconv.FormatFloat(p.Weight, 'g', -1, 64),
+		)
+		for _, v := range p.Values {
+			row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return n, fmt.Errorf("stream: writing CSV row %d: %w", n+1, err)
+		}
+		n++
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return n, fmt.Errorf("stream: flushing CSV: %w", err)
+	}
+	return n, nil
+}
+
+// CSVReader streams points from CSV data. It implements Stream; after the
+// stream ends, Err reports whether it ended cleanly or on a parse error.
+type CSVReader struct {
+	r    *csv.Reader
+	dim  int // -1 until the first row fixes it
+	next uint64
+	err  error
+	done bool
+}
+
+// NewCSVReader returns a Stream reading the CSV layout above from r.
+func NewCSVReader(r io.Reader) *CSVReader {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // validated manually so we can report dimension mismatches
+	return &CSVReader{r: cr, dim: -1}
+}
+
+// Next implements Stream. On malformed input it stops the stream and
+// records the error for Err.
+func (c *CSVReader) Next() (Point, bool) {
+	if c.done {
+		return Point{}, false
+	}
+	row, err := c.r.Read()
+	if err == io.EOF {
+		c.done = true
+		return Point{}, false
+	}
+	if err != nil {
+		c.fail(fmt.Errorf("stream: reading CSV: %w", err))
+		return Point{}, false
+	}
+	if len(row) < 4 {
+		c.fail(fmt.Errorf("stream: CSV row has %d fields, need at least 4 (index,label,weight,v0)", len(row)))
+		return Point{}, false
+	}
+	if c.dim == -1 {
+		c.dim = len(row) - 3
+	} else if len(row)-3 != c.dim {
+		c.fail(fmt.Errorf("stream: CSV row has %d values, previous rows had %d", len(row)-3, c.dim))
+		return Point{}, false
+	}
+	idx, err := strconv.ParseUint(row[0], 10, 64)
+	if err != nil {
+		c.fail(fmt.Errorf("stream: bad index %q: %w", row[0], err))
+		return Point{}, false
+	}
+	label, err := strconv.Atoi(row[1])
+	if err != nil {
+		c.fail(fmt.Errorf("stream: bad label %q: %w", row[1], err))
+		return Point{}, false
+	}
+	weight, err := strconv.ParseFloat(row[2], 64)
+	if err != nil {
+		c.fail(fmt.Errorf("stream: bad weight %q: %w", row[2], err))
+		return Point{}, false
+	}
+	vals := make([]float64, c.dim)
+	for i := range vals {
+		v, err := strconv.ParseFloat(row[3+i], 64)
+		if err != nil {
+			c.fail(fmt.Errorf("stream: bad value %q in column %d: %w", row[3+i], 3+i, err))
+			return Point{}, false
+		}
+		vals[i] = v
+	}
+	c.next++
+	if idx == 0 {
+		idx = c.next
+	}
+	if weight == 0 {
+		weight = 1
+	}
+	return Point{Index: idx, Values: vals, Label: label, Weight: weight}, true
+}
+
+func (c *CSVReader) fail(err error) {
+	c.err = err
+	c.done = true
+}
+
+// Err returns the first error encountered while reading, or nil if the
+// stream ended at EOF.
+func (c *CSVReader) Err() error { return c.err }

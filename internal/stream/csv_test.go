@@ -1,0 +1,104 @@
+package stream
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	cfg := DefaultClusterConfig()
+	cfg.Total = 50
+	g, err := NewClusterGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := Collect(g, 0)
+
+	var buf bytes.Buffer
+	n, err := WriteCSV(&buf, FromSlice(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 50 {
+		t.Fatalf("wrote %d rows", n)
+	}
+
+	r := NewCSVReader(&buf)
+	got := Collect(r, 0)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("read %d points, want %d", len(got), len(orig))
+	}
+	for i := range got {
+		if got[i].Index != orig[i].Index || got[i].Label != orig[i].Label {
+			t.Fatalf("point %d metadata mismatch: %+v vs %+v", i, got[i], orig[i])
+		}
+		for d := range got[i].Values {
+			if got[i].Values[d] != orig[i].Values[d] {
+				t.Fatalf("point %d dim %d: %v vs %v", i, d, got[i].Values[d], orig[i].Values[d])
+			}
+		}
+	}
+}
+
+func TestCSVReaderRenumbersZeroIndex(t *testing.T) {
+	in := "0,1,1,0.5\n0,2,1,0.7\n"
+	r := NewCSVReader(strings.NewReader(in))
+	pts := Collect(r, 0)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].Index != 1 || pts[1].Index != 2 {
+		t.Fatalf("indices = %d,%d want 1,2", pts[0].Index, pts[1].Index)
+	}
+}
+
+func TestCSVReaderDefaultsWeight(t *testing.T) {
+	r := NewCSVReader(strings.NewReader("1,0,0,0.5\n"))
+	pts := Collect(r, 0)
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if pts[0].Weight != 1 {
+		t.Fatalf("weight = %v, want defaulted 1", pts[0].Weight)
+	}
+}
+
+func TestCSVReaderErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"too few fields", "1,2,3\n"},
+		{"bad index", "x,1,1,0.5\n"},
+		{"bad label", "1,x,1,0.5\n"},
+		{"bad weight", "1,1,x,0.5\n"},
+		{"bad value", "1,1,1,abc\n"},
+		{"dim mismatch", "1,1,1,0.5\n2,1,1,0.5,0.6\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewCSVReader(strings.NewReader(tc.in))
+			Collect(r, 0)
+			if r.Err() == nil {
+				t.Fatalf("input %q: expected error", tc.in)
+			}
+			// A failed reader stays failed.
+			if _, ok := r.Next(); ok {
+				t.Fatal("reader produced points after error")
+			}
+		})
+	}
+}
+
+func TestCSVReaderEmptyInput(t *testing.T) {
+	r := NewCSVReader(strings.NewReader(""))
+	if pts := Collect(r, 0); len(pts) != 0 {
+		t.Fatalf("empty input yielded %d points", len(pts))
+	}
+	if r.Err() != nil {
+		t.Fatalf("empty input is not an error, got %v", r.Err())
+	}
+}

@@ -1,0 +1,66 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+)
+
+// The CSV and KDD readers must never panic or loop on arbitrary input —
+// they either parse or fail with an error and stop.
+
+func FuzzCSVReader(f *testing.F) {
+	f.Add("1,0,1,0.5\n2,1,1,0.7\n")
+	f.Add("0,0,0,1,2,3\n")
+	f.Add("x,y,z\n")
+	f.Add("1,0,1,NaN\n")
+	f.Add(`"unterminated`)
+	f.Add("1,0,1,0.5\n1,0,1,0.5,0.6\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		r := NewCSVReader(strings.NewReader(input))
+		n := 0
+		for {
+			p, ok := r.Next()
+			if !ok {
+				break
+			}
+			if p.Index == 0 {
+				t.Fatal("emitted a point with index 0")
+			}
+			n++
+			if n > 1<<20 {
+				t.Fatal("reader did not terminate")
+			}
+		}
+		// After the stream ends it must stay ended.
+		if _, ok := r.Next(); ok {
+			t.Fatal("reader restarted after end")
+		}
+	})
+}
+
+func FuzzKDDReader(f *testing.F) {
+	f.Add(kddRow(1, "normal") + "\n")
+	f.Add("a,b,c\n")
+	f.Add(strings.Repeat("1,", 41) + "label.\n")
+	f.Add(strings.Repeat("0,", 40) + "0,.\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		r := NewKDDReader(strings.NewReader(input), false)
+		n := 0
+		for {
+			p, ok := r.Next()
+			if !ok {
+				break
+			}
+			if p.Dim() != 34 {
+				t.Fatalf("emitted %d-dimensional point", p.Dim())
+			}
+			n++
+			if n > 1<<20 {
+				t.Fatal("reader did not terminate")
+			}
+		}
+		if _, ok := r.Next(); ok {
+			t.Fatal("reader restarted after end")
+		}
+	})
+}

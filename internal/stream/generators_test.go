@@ -1,0 +1,259 @@
+package stream
+
+import (
+	"math"
+	"testing"
+)
+
+func TestClusterGeneratorValidation(t *testing.T) {
+	bad := []ClusterConfig{
+		{Dim: 0, K: 4, Radius: 0.2},
+		{Dim: 2, K: 0, Radius: 0.2},
+		{Dim: 2, K: 4, Radius: -1},
+		{Dim: 2, K: 4, Radius: 0.2, Drift: -0.1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewClusterGenerator(cfg); err == nil {
+			t.Errorf("config %d: expected error, got nil", i)
+		}
+	}
+}
+
+func TestClusterGeneratorBasics(t *testing.T) {
+	cfg := DefaultClusterConfig()
+	cfg.Total = 5000
+	g, err := NewClusterGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := Collect(g, 0)
+	if len(pts) != 5000 {
+		t.Fatalf("got %d points, want 5000", len(pts))
+	}
+	labels := make(map[int]int)
+	for i, p := range pts {
+		if p.Index != uint64(i+1) {
+			t.Fatalf("point %d has index %d", i, p.Index)
+		}
+		if p.Dim() != cfg.Dim {
+			t.Fatalf("point %d has dim %d, want %d", i, p.Dim(), cfg.Dim)
+		}
+		if p.Label < 0 || p.Label >= cfg.K {
+			t.Fatalf("point %d has label %d outside [0,%d)", i, p.Label, cfg.K)
+		}
+		labels[p.Label]++
+	}
+	for k := 0; k < cfg.K; k++ {
+		frac := float64(labels[k]) / float64(len(pts))
+		if math.Abs(frac-1.0/float64(cfg.K)) > 0.05 {
+			t.Errorf("cluster %d fraction = %v, want ~%v", k, frac, 1.0/float64(cfg.K))
+		}
+	}
+	if g.Emitted() != 5000 {
+		t.Fatalf("Emitted = %d", g.Emitted())
+	}
+}
+
+func TestClusterGeneratorDrift(t *testing.T) {
+	cfg := DefaultClusterConfig()
+	cfg.EpochLen = 100
+	cfg.Total = 0
+	g, err := NewClusterGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := g.Centers()
+	Collect(g, 1000) // crosses several epochs
+	after := g.Centers()
+	moved := 0.0
+	for k := range before {
+		for d := range before[k] {
+			moved += math.Abs(after[k][d] - before[k][d])
+		}
+	}
+	if moved == 0 {
+		t.Fatal("centers did not drift across epochs")
+	}
+	// Centers() must be a deep copy.
+	after[0][0] = 1e9
+	if g.Centers()[0][0] == 1e9 {
+		t.Fatal("Centers returned shared storage")
+	}
+}
+
+func TestClusterGeneratorDeterminism(t *testing.T) {
+	cfg := DefaultClusterConfig()
+	cfg.Total = 500
+	a, _ := NewClusterGenerator(cfg)
+	b, _ := NewClusterGenerator(cfg)
+	pa, pb := Collect(a, 0), Collect(b, 0)
+	for i := range pa {
+		if pa[i].Label != pb[i].Label || pa[i].Values[0] != pb[i].Values[0] {
+			t.Fatalf("same seed diverged at point %d", i)
+		}
+	}
+}
+
+func TestIntrusionGeneratorDefaults(t *testing.T) {
+	g, err := NewIntrusionGenerator(IntrusionConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumClasses() != 23 {
+		t.Fatalf("NumClasses = %d, want 23", g.NumClasses())
+	}
+	if g.ClassName(0) != "smurf" {
+		t.Fatalf("ClassName(0) = %q", g.ClassName(0))
+	}
+	if g.ClassName(-1) == "" || g.ClassName(99) == "" {
+		t.Fatal("out-of-range ClassName should still render")
+	}
+	p, ok := g.Next()
+	if !ok {
+		t.Fatal("empty stream")
+	}
+	if p.Dim() != 34 {
+		t.Fatalf("dim = %d, want 34", p.Dim())
+	}
+}
+
+func TestIntrusionGeneratorValidation(t *testing.T) {
+	if _, err := NewIntrusionGenerator(IntrusionConfig{Dim: -1}); err == nil {
+		t.Error("negative dim accepted")
+	}
+	if _, err := NewIntrusionGenerator(IntrusionConfig{
+		Classes: []IntrusionClass{{Name: "x", Weight: 0, MeanRun: 5}},
+	}); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := NewIntrusionGenerator(IntrusionConfig{
+		Classes: []IntrusionClass{{Name: "x", Weight: 1, MeanRun: 0.5}},
+	}); err == nil {
+		t.Error("mean run < 1 accepted")
+	}
+}
+
+// The simulator's long-run class frequencies must match the configured
+// weights despite very different run lengths — that is the property the
+// paper's skewed class-distribution experiments rely on.
+func TestIntrusionClassFrequencies(t *testing.T) {
+	g, err := NewIntrusionGenerator(IntrusionConfig{Total: 300000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, g.NumClasses())
+	n := 0
+	for {
+		p, ok := g.Next()
+		if !ok {
+			break
+		}
+		counts[p.Label]++
+		n++
+	}
+	classes := DefaultIntrusionClasses()
+	// Check the three dominant classes; rare ones are too noisy at this
+	// scale. Bursty arrivals make the effective sample of runs small, so
+	// tolerances are loose.
+	for i := 0; i < 3; i++ {
+		frac := float64(counts[i]) / float64(n)
+		if math.Abs(frac-classes[i].Weight) > 0.12 {
+			t.Errorf("class %s frequency %v, want ~%v", classes[i].Name, frac, classes[i].Weight)
+		}
+	}
+}
+
+// Bursts: consecutive points should share labels far more often than an
+// i.i.d. draw from the class distribution would.
+func TestIntrusionBurstiness(t *testing.T) {
+	g, err := NewIntrusionGenerator(IntrusionConfig{Total: 50000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1
+	same, total := 0, 0
+	for {
+		p, ok := g.Next()
+		if !ok {
+			break
+		}
+		if prev >= 0 {
+			total++
+			if p.Label == prev {
+				same++
+			}
+		}
+		prev = p.Label
+	}
+	if frac := float64(same) / float64(total); frac < 0.9 {
+		t.Fatalf("consecutive-same-label fraction %v, expected >0.9 (bursty arrivals)", frac)
+	}
+}
+
+func TestIntrusionTotalDefaultsToKDDSize(t *testing.T) {
+	g, err := NewIntrusionGenerator(IntrusionConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.cfg.Total != KDD99Size {
+		t.Fatalf("default Total = %d, want %d", g.cfg.Total, KDD99Size)
+	}
+}
+
+func TestUniformGenerator(t *testing.T) {
+	if _, err := NewUniformGenerator(0, 10, 1); err == nil {
+		t.Error("dim 0 accepted")
+	}
+	g, err := NewUniformGenerator(3, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := Collect(g, 0)
+	if len(pts) != 100 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		for _, v := range p.Values {
+			if v < 0 || v >= 1 {
+				t.Fatalf("uniform value %v out of range", v)
+			}
+		}
+	}
+}
+
+func TestRegimeGenerator(t *testing.T) {
+	if _, err := NewRegimeGenerator(0, 10, 1, 0.1, 0, false, 1); err == nil {
+		t.Error("dim 0 accepted")
+	}
+	if _, err := NewRegimeGenerator(1, 0, 1, 0.1, 0, false, 1); err == nil {
+		t.Error("every 0 accepted")
+	}
+	if _, err := NewRegimeGenerator(1, 10, 1, -0.1, 0, false, 1); err == nil {
+		t.Error("negative noise accepted")
+	}
+	g, err := NewRegimeGenerator(1, 100, 10, 0.1, 350, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := Collect(g, 0)
+	if len(pts) != 350 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// Means of the four regimes should be ~0, 10, 20, 30.
+	for r := 0; r < 3; r++ {
+		var sum float64
+		for i := r * 100; i < (r+1)*100; i++ {
+			sum += pts[i].Values[0]
+			if pts[i].Label != r {
+				t.Fatalf("point %d labeled %d, want regime %d", i, pts[i].Label, r)
+			}
+		}
+		mean := sum / 100
+		if math.Abs(mean-float64(10*r)) > 0.1 {
+			t.Fatalf("regime %d mean %v, want ~%d", r, mean, 10*r)
+		}
+	}
+	if g.Regime() != 3 {
+		t.Fatalf("final regime %d, want 3", g.Regime())
+	}
+}

@@ -1,0 +1,81 @@
+package stream
+
+import "fmt"
+
+// HorizonBuffer retains the most recent points of a stream so experiment
+// drivers can compute exact ground truth for recent-horizon queries without
+// storing the whole stream. Capacity is the largest horizon that will be
+// queried. Memory is O(capacity), independent of stream length.
+type HorizonBuffer struct {
+	buf      []Point
+	head     int // position the next point will be written to
+	count    int // number of valid points (<= len(buf))
+	observed uint64
+	t        uint64
+}
+
+// NewHorizonBuffer returns a buffer retaining up to capacity points. It
+// returns an error when capacity is not positive.
+func NewHorizonBuffer(capacity int) (*HorizonBuffer, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("stream: horizon buffer needs capacity > 0, got %d", capacity)
+	}
+	return &HorizonBuffer{buf: make([]Point, capacity)}, nil
+}
+
+// Observe records the arrival of p. Points must be observed in arrival
+// order; p.Index must exceed any previously observed index.
+func (h *HorizonBuffer) Observe(p Point) {
+	h.buf[h.head] = p
+	h.head = (h.head + 1) % len(h.buf)
+	if h.count < len(h.buf) {
+		h.count++
+	}
+	h.observed++
+	if p.Index > h.t {
+		h.t = p.Index
+	}
+}
+
+// Now returns the arrival index of the most recent observed point.
+func (h *HorizonBuffer) Now() uint64 { return h.t }
+
+// Len returns the number of retained points.
+func (h *HorizonBuffer) Len() int { return h.count }
+
+// Capacity returns the maximum number of retained points.
+func (h *HorizonBuffer) Capacity() int { return len(h.buf) }
+
+// Recent invokes fn on every retained point whose age (Now-Index) is
+// strictly less than horizon, i.e. the last `horizon` arrivals. It returns
+// the number of points visited and an error when the requested horizon
+// exceeds the buffer's capacity (the ground truth would be incomplete) —
+// unless at most capacity points have arrived in total, in which case the
+// buffer still holds the entire stream and any horizon is answerable.
+func (h *HorizonBuffer) Recent(horizon uint64, fn func(Point)) (int, error) {
+	if horizon > uint64(len(h.buf)) && h.observed > uint64(len(h.buf)) {
+		return 0, fmt.Errorf("stream: horizon %d exceeds buffer capacity %d", horizon, len(h.buf))
+	}
+	n := 0
+	for i := 0; i < h.count; i++ {
+		// Walk backwards from the most recent point.
+		idx := (h.head - 1 - i + 2*len(h.buf)) % len(h.buf)
+		p := h.buf[idx]
+		if h.t-p.Index >= horizon {
+			break
+		}
+		fn(p)
+		n++
+	}
+	return n, nil
+}
+
+// Snapshot returns the retained points from oldest to newest.
+func (h *HorizonBuffer) Snapshot() []Point {
+	out := make([]Point, 0, h.count)
+	for i := h.count - 1; i >= 0; i-- {
+		idx := (h.head - 1 - i + 2*len(h.buf)) % len(h.buf)
+		out = append(out, h.buf[idx])
+	}
+	return out
+}

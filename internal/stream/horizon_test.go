@@ -1,0 +1,131 @@
+package stream
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mkPoint(i uint64) Point {
+	return Point{Index: i, Values: []float64{float64(i)}, Weight: 1}
+}
+
+func TestHorizonBufferValidation(t *testing.T) {
+	if _, err := NewHorizonBuffer(0); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	if _, err := NewHorizonBuffer(-3); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+func TestHorizonBufferRecent(t *testing.T) {
+	h, err := NewHorizonBuffer(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 25; i++ {
+		h.Observe(mkPoint(i))
+	}
+	if h.Now() != 25 {
+		t.Fatalf("Now = %d", h.Now())
+	}
+	if h.Len() != 10 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	var seen []uint64
+	n, err := h.Recent(5, func(p Point) { seen = append(seen, p.Index) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("Recent visited %d, want 5", n)
+	}
+	// Last 5 arrivals are 21..25, visited newest first.
+	want := []uint64{25, 24, 23, 22, 21}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("Recent order %v, want %v", seen, want)
+		}
+	}
+}
+
+func TestHorizonBufferOverflowError(t *testing.T) {
+	h, _ := NewHorizonBuffer(10)
+	for i := uint64(1); i <= 20; i++ {
+		h.Observe(mkPoint(i))
+	}
+	if _, err := h.Recent(11, func(Point) {}); err == nil {
+		t.Fatal("horizon beyond capacity accepted after wrap-around")
+	}
+}
+
+func TestHorizonBufferSmallStreamAnyHorizon(t *testing.T) {
+	h, _ := NewHorizonBuffer(100)
+	for i := uint64(1); i <= 5; i++ {
+		h.Observe(mkPoint(i))
+	}
+	// Before wrap-around, the buffer holds the whole stream, so a large
+	// horizon is still exactly answerable.
+	n, err := h.Recent(1000, func(Point) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("visited %d, want 5", n)
+	}
+}
+
+func TestHorizonBufferSnapshotOrder(t *testing.T) {
+	h, _ := NewHorizonBuffer(4)
+	for i := uint64(1); i <= 6; i++ {
+		h.Observe(mkPoint(i))
+	}
+	snap := h.Snapshot()
+	want := []uint64{3, 4, 5, 6}
+	if len(snap) != len(want) {
+		t.Fatalf("snapshot len %d", len(snap))
+	}
+	for i := range want {
+		if snap[i].Index != want[i] {
+			t.Fatalf("snapshot = %v..., want indices %v", snap[i].Index, want)
+		}
+	}
+}
+
+// Property: for any capacity and observation count, Recent(h) visits
+// exactly min(h, count, capacity) points and they are the most recent ones.
+func TestHorizonBufferProperty(t *testing.T) {
+	check := func(capRaw, total, horizonRaw uint8) bool {
+		capacity := int(capRaw%20) + 1
+		n := uint64(total % 60)
+		horizon := uint64(horizonRaw%25) + 1
+		h, err := NewHorizonBuffer(capacity)
+		if err != nil {
+			return false
+		}
+		for i := uint64(1); i <= n; i++ {
+			h.Observe(mkPoint(i))
+		}
+		visited, err := h.Recent(horizon, func(p Point) {
+			if h.Now()-p.Index >= horizon {
+				t.Errorf("visited point with age %d >= horizon %d", h.Now()-p.Index, horizon)
+			}
+		})
+		if err != nil {
+			// Error is legitimate exactly when the horizon exceeds
+			// capacity and the buffer has wrapped.
+			return horizon > uint64(capacity) && n > uint64(capacity)
+		}
+		want := horizon
+		if n < want {
+			want = n
+		}
+		if uint64(capacity) < want && n > uint64(capacity) {
+			want = uint64(capacity)
+		}
+		return uint64(visited) == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

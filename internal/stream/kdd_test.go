@@ -1,0 +1,184 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// kddRow builds a syntactically valid KDD CUP'99 record with all numeric
+// columns set to v and the given label.
+func kddRow(v float64, label string) string {
+	cols := make([]string, 0, 42)
+	for i := 0; i < kddFields; i++ {
+		switch {
+		case i == 1:
+			cols = append(cols, "tcp")
+		case i == 2:
+			cols = append(cols, "http")
+		case i == 3:
+			cols = append(cols, "SF")
+		default:
+			cols = append(cols, fmt.Sprintf("%g", v))
+		}
+	}
+	cols = append(cols, label+".")
+	return strings.Join(cols, ",")
+}
+
+func TestKDDReaderParsesRecords(t *testing.T) {
+	in := kddRow(1, "normal") + "\n" + kddRow(2, "smurf") + "\n" + kddRow(3, "normal") + "\n"
+	r := NewKDDReader(strings.NewReader(in), false)
+	pts := Collect(r, 0)
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if len(pts) != 3 {
+		t.Fatalf("parsed %d records", len(pts))
+	}
+	if r.Dim() != 34 {
+		t.Fatalf("Dim = %d, want the paper's 34 continuous attributes", r.Dim())
+	}
+	for i, p := range pts {
+		if p.Dim() != 34 {
+			t.Fatalf("record %d has %d values", i, p.Dim())
+		}
+		if p.Index != uint64(i+1) {
+			t.Fatalf("record %d index %d", i, p.Index)
+		}
+	}
+	// Dense labels in order of first appearance.
+	if pts[0].Label != 0 || pts[1].Label != 1 || pts[2].Label != 0 {
+		t.Fatalf("labels = %d,%d,%d", pts[0].Label, pts[1].Label, pts[2].Label)
+	}
+	if name, ok := r.LabelName(0); !ok || name != "normal" {
+		t.Fatalf("LabelName(0) = %q,%v", name, ok)
+	}
+	if name, ok := r.LabelName(1); !ok || name != "smurf" {
+		t.Fatalf("LabelName(1) = %q,%v", name, ok)
+	}
+	if _, ok := r.LabelName(5); ok {
+		t.Fatal("unknown label resolved")
+	}
+	if r.NumLabels() != 2 {
+		t.Fatalf("NumLabels = %d", r.NumLabels())
+	}
+}
+
+func TestKDDReaderIncludeBinary(t *testing.T) {
+	r := NewKDDReader(strings.NewReader(kddRow(1, "normal")+"\n"), true)
+	if r.Dim() != 38 {
+		t.Fatalf("Dim with binary = %d, want 38", r.Dim())
+	}
+	pts := Collect(r, 0)
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if pts[0].Dim() != 38 {
+		t.Fatalf("point dim = %d", pts[0].Dim())
+	}
+}
+
+func TestKDDReaderErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"too few fields", "1,2,3,normal.\n"},
+		{"bad numeric", strings.Replace(kddRow(1, "normal"), "1,", "x,", 1) + "\n"},
+		{"empty label", strings.TrimSuffix(kddRow(1, "normal"), "normal.") + ".\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewKDDReader(strings.NewReader(tc.in), false)
+			Collect(r, 0)
+			if r.Err() == nil {
+				t.Fatalf("input %q accepted", tc.in)
+			}
+			if _, ok := r.Next(); ok {
+				t.Fatal("reader produced points after error")
+			}
+		})
+	}
+}
+
+func TestKDDReaderEmptyCleanEOF(t *testing.T) {
+	r := NewKDDReader(strings.NewReader(""), false)
+	if pts := Collect(r, 0); len(pts) != 0 || r.Err() != nil {
+		t.Fatalf("empty file: %d points, err %v", len(pts), r.Err())
+	}
+}
+
+func TestZNormalizerValidation(t *testing.T) {
+	if _, err := NewZNormalizer(nil, 10); err == nil {
+		t.Fatal("nil source accepted")
+	}
+}
+
+func TestZNormalizerScalesToUnitVariance(t *testing.T) {
+	// Source: dim 0 has mean 100, std 20; dim 1 mean -5, std 0.5.
+	g, _ := NewUniformGenerator(2, 20000, 3)
+	shifted := NewTee(g, nil)
+	scaler := func(p Point) Point {
+		q := p.Clone()
+		q.Values[0] = 100 + (p.Values[0]-0.5)*20/0.2887 // uniform std = 0.2887
+		q.Values[1] = -5 + (p.Values[1]-0.5)*0.5/0.2887
+		return q
+	}
+	src := &mapStream{src: shifted, fn: scaler}
+	z, err := NewZNormalizer(src, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Discard the warm half, then measure the second half.
+	Collect(z, 10000)
+	var n float64
+	var sum, sumsq [2]float64
+	for {
+		p, ok := z.Next()
+		if !ok {
+			break
+		}
+		n++
+		for d := 0; d < 2; d++ {
+			sum[d] += p.Values[d]
+			sumsq[d] += p.Values[d] * p.Values[d]
+		}
+	}
+	for d := 0; d < 2; d++ {
+		mean := sum[d] / n
+		variance := sumsq[d]/n - mean*mean
+		if math.Abs(mean) > 0.1 {
+			t.Errorf("dim %d normalized mean %v", d, mean)
+		}
+		if math.Abs(variance-1) > 0.1 {
+			t.Errorf("dim %d normalized variance %v", d, variance)
+		}
+	}
+}
+
+func TestZNormalizerConstantDimension(t *testing.T) {
+	pts := make([]Point, 100)
+	for i := range pts {
+		pts[i] = Point{Index: uint64(i + 1), Values: []float64{7}, Weight: 1}
+	}
+	z, _ := NewZNormalizer(FromSlice(pts), 5)
+	out := Collect(z, 0)
+	for i, p := range out[10:] {
+		if p.Values[0] != 0 {
+			t.Fatalf("constant dim normalized to %v at %d (want centered 0)", p.Values[0], i)
+		}
+	}
+}
+
+// mapStream applies fn to every point of src.
+type mapStream struct {
+	src Stream
+	fn  func(Point) Point
+}
+
+func (m *mapStream) Next() (Point, bool) {
+	p, ok := m.src.Next()
+	if !ok {
+		return Point{}, false
+	}
+	return m.fn(p), true
+}

@@ -1,0 +1,99 @@
+package stream
+
+import (
+	"fmt"
+
+	"biasedres/internal/xrand"
+)
+
+// UniformGenerator emits i.i.d. points uniform in the unit cube. It has no
+// evolution at all and serves as the null workload in tests: on it, biased
+// and unbiased sampling should estimate equally well.
+type UniformGenerator struct {
+	dim     int
+	total   uint64
+	rng     *xrand.Source
+	emitted uint64
+}
+
+// NewUniformGenerator returns a generator of `total` dim-dimensional uniform
+// points (total == 0 means unbounded).
+func NewUniformGenerator(dim int, total uint64, seed uint64) (*UniformGenerator, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("stream: uniform generator needs dim > 0, got %d", dim)
+	}
+	return &UniformGenerator{dim: dim, total: total, rng: xrand.New(seed)}, nil
+}
+
+// Next implements Stream.
+func (g *UniformGenerator) Next() (Point, bool) {
+	if g.total > 0 && g.emitted >= g.total {
+		return Point{}, false
+	}
+	vals := make([]float64, g.dim)
+	for d := range vals {
+		vals[d] = g.rng.Float64()
+	}
+	g.emitted++
+	return Point{Index: g.emitted, Values: vals, Label: -1, Weight: 1}, true
+}
+
+// RegimeGenerator emits Gaussian points whose mean jumps by Shift along
+// every dimension at fixed intervals. It is the sharpest form of stream
+// evolution — a step change — and is used by tests and ablation benchmarks
+// to stress the "relevance decay" behaviour the paper motivates.
+type RegimeGenerator struct {
+	dim      int
+	every    uint64
+	shift    float64
+	noise    float64
+	total    uint64
+	rng      *xrand.Source
+	mean     float64
+	regime   int
+	emitted  uint64
+	labelize bool
+}
+
+// NewRegimeGenerator returns a stream whose mean steps by shift every
+// `every` points; each point's label is its regime number when labelize is
+// true (useful for classification tests).
+func NewRegimeGenerator(dim int, every uint64, shift, noise float64, total uint64, labelize bool, seed uint64) (*RegimeGenerator, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("stream: regime generator needs dim > 0, got %d", dim)
+	}
+	if every == 0 {
+		return nil, fmt.Errorf("stream: regime generator needs every > 0")
+	}
+	if noise < 0 {
+		return nil, fmt.Errorf("stream: regime generator needs noise >= 0, got %v", noise)
+	}
+	return &RegimeGenerator{
+		dim: dim, every: every, shift: shift, noise: noise,
+		total: total, rng: xrand.New(seed), labelize: labelize,
+	}, nil
+}
+
+// Next implements Stream.
+func (g *RegimeGenerator) Next() (Point, bool) {
+	if g.total > 0 && g.emitted >= g.total {
+		return Point{}, false
+	}
+	if g.emitted > 0 && g.emitted%g.every == 0 {
+		g.mean += g.shift
+		g.regime++
+	}
+	vals := make([]float64, g.dim)
+	for d := range vals {
+		vals[d] = g.mean + g.rng.NormFloat64()*g.noise
+	}
+	g.emitted++
+	label := -1
+	if g.labelize {
+		label = g.regime
+	}
+	return Point{Index: g.emitted, Values: vals, Label: label, Weight: 1}, true
+}
+
+// Regime returns the current regime number (starting at 0).
+func (g *RegimeGenerator) Regime() int { return g.regime }

@@ -1,0 +1,127 @@
+package stream
+
+// Stream is a one-pass sequence of points. Next returns the next point and
+// true, or the zero Point and false once the stream is exhausted. Generators
+// assign Index values 1,2,3,... themselves; wrappers must preserve them.
+type Stream interface {
+	Next() (Point, bool)
+}
+
+// Slice adapts an in-memory slice of points to the Stream interface. If the
+// points carry zero Index values they are renumbered 1..n; points that
+// already carry indices are passed through untouched.
+type Slice struct {
+	points []Point
+	pos    int
+}
+
+// FromSlice returns a Stream that replays pts in order.
+func FromSlice(pts []Point) *Slice {
+	renumber := true
+	for _, p := range pts {
+		if p.Index != 0 {
+			renumber = false
+			break
+		}
+	}
+	if renumber {
+		for i := range pts {
+			pts[i].Index = uint64(i + 1)
+			if pts[i].Weight == 0 {
+				pts[i].Weight = 1
+			}
+		}
+	}
+	return &Slice{points: pts}
+}
+
+// Next implements Stream.
+func (s *Slice) Next() (Point, bool) {
+	if s.pos >= len(s.points) {
+		return Point{}, false
+	}
+	p := s.points[s.pos]
+	s.pos++
+	return p, true
+}
+
+// Reset rewinds the slice stream to its beginning.
+func (s *Slice) Reset() { s.pos = 0 }
+
+// Len returns the total number of points the stream replays.
+func (s *Slice) Len() int { return len(s.points) }
+
+// Limit wraps a stream and stops it after n points.
+type Limit struct {
+	src  Stream
+	left int
+}
+
+// Take returns a Stream yielding at most n points from src.
+func Take(src Stream, n int) *Limit { return &Limit{src: src, left: n} }
+
+// Next implements Stream.
+func (l *Limit) Next() (Point, bool) {
+	if l.left <= 0 {
+		return Point{}, false
+	}
+	p, ok := l.src.Next()
+	if !ok {
+		l.left = 0
+		return Point{}, false
+	}
+	l.left--
+	return p, true
+}
+
+// Collect drains up to max points from s into a slice. A non-positive max
+// drains the stream completely (callers must know it terminates).
+func Collect(s Stream, max int) []Point {
+	var out []Point
+	for max <= 0 || len(out) < max {
+		p, ok := s.Next()
+		if !ok {
+			break
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Drive feeds every point of s to fn until the stream ends or fn returns
+// false. It returns the number of points delivered.
+func Drive(s Stream, fn func(Point) bool) uint64 {
+	var n uint64
+	for {
+		p, ok := s.Next()
+		if !ok {
+			return n
+		}
+		n++
+		if !fn(p) {
+			return n
+		}
+	}
+}
+
+// Tee invokes observe on every point flowing through it, unchanged. It is
+// used by experiment drivers to maintain ground truth while a sampler
+// consumes the same stream.
+type Tee struct {
+	src     Stream
+	observe func(Point)
+}
+
+// NewTee returns a Stream that forwards src and calls observe on each point.
+func NewTee(src Stream, observe func(Point)) *Tee {
+	return &Tee{src: src, observe: observe}
+}
+
+// Next implements Stream.
+func (t *Tee) Next() (Point, bool) {
+	p, ok := t.src.Next()
+	if ok && t.observe != nil {
+		t.observe(p)
+	}
+	return p, ok
+}

@@ -1,0 +1,117 @@
+package stream
+
+import (
+	"testing"
+)
+
+func TestFromSliceRenumbers(t *testing.T) {
+	pts := []Point{{Values: []float64{1}}, {Values: []float64{2}}, {Values: []float64{3}}}
+	s := FromSlice(pts)
+	for want := uint64(1); ; want++ {
+		p, ok := s.Next()
+		if !ok {
+			if want != 4 {
+				t.Fatalf("stream ended at %d, want after 3", want-1)
+			}
+			break
+		}
+		if p.Index != want {
+			t.Fatalf("index = %d, want %d", p.Index, want)
+		}
+		if p.Weight != 1 {
+			t.Fatalf("weight = %v, want 1", p.Weight)
+		}
+	}
+}
+
+func TestFromSlicePreservesIndices(t *testing.T) {
+	pts := []Point{{Index: 10, Values: []float64{1}}, {Index: 20, Values: []float64{2}}}
+	s := FromSlice(pts)
+	p, _ := s.Next()
+	if p.Index != 10 {
+		t.Fatalf("index = %d, want 10 (should not renumber)", p.Index)
+	}
+}
+
+func TestSliceReset(t *testing.T) {
+	s := FromSlice([]Point{{Values: []float64{1}}, {Values: []float64{2}}})
+	Collect(s, 0)
+	if _, ok := s.Next(); ok {
+		t.Fatal("stream not exhausted after Collect")
+	}
+	s.Reset()
+	if got := len(Collect(s, 0)); got != 2 {
+		t.Fatalf("after Reset got %d points, want 2", got)
+	}
+}
+
+func TestTake(t *testing.T) {
+	g, err := NewUniformGenerator(2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Collect(Take(g, 5), 0)
+	if len(got) != 5 {
+		t.Fatalf("Take(5) yielded %d points", len(got))
+	}
+	// Taking from an exhausted bounded stream yields nothing further.
+	s := FromSlice([]Point{{Values: []float64{1}}})
+	lim := Take(s, 10)
+	if got := len(Collect(lim, 0)); got != 1 {
+		t.Fatalf("Take beyond stream end yielded %d, want 1", got)
+	}
+	if _, ok := lim.Next(); ok {
+		t.Fatal("limit stream restarted after exhaustion")
+	}
+}
+
+func TestCollectMax(t *testing.T) {
+	g, _ := NewUniformGenerator(1, 0, 2)
+	if got := len(Collect(g, 7)); got != 7 {
+		t.Fatalf("Collect(7) got %d", got)
+	}
+}
+
+func TestDriveEarlyStop(t *testing.T) {
+	g, _ := NewUniformGenerator(1, 0, 3)
+	n := Drive(g, func(p Point) bool { return p.Index < 4 })
+	if n != 4 {
+		t.Fatalf("Drive stopped after %d points, want 4", n)
+	}
+}
+
+func TestTeeObserves(t *testing.T) {
+	g, _ := NewUniformGenerator(1, 3, 4)
+	var seen []uint64
+	tee := NewTee(g, func(p Point) { seen = append(seen, p.Index) })
+	got := Collect(tee, 0)
+	if len(got) != 3 || len(seen) != 3 {
+		t.Fatalf("tee delivered %d, observed %d; want 3/3", len(got), len(seen))
+	}
+	for i := range seen {
+		if seen[i] != got[i].Index {
+			t.Fatalf("tee observation order mismatch at %d", i)
+		}
+	}
+}
+
+func TestPointHelpers(t *testing.T) {
+	p := Point{Index: 5, Values: []float64{1, 2}}
+	if p.Age(10) != 5 {
+		t.Fatalf("Age(10) = %d", p.Age(10))
+	}
+	if p.Age(3) != 0 {
+		t.Fatalf("Age before arrival = %d, want 0", p.Age(3))
+	}
+	if p.Dim() != 2 {
+		t.Fatalf("Dim = %d", p.Dim())
+	}
+	q := p.Clone()
+	q.Values[0] = 99
+	if p.Values[0] == 99 {
+		t.Fatal("Clone shares Values storage")
+	}
+	if p.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,51 @@
+package xrand
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary layout of a marshaled Source: a 1-byte version, four 8-byte state
+// words, the Gaussian-cache flag and value. Fixed 42 bytes.
+const (
+	marshalVersion = 1
+	marshalSize    = 1 + 4*8 + 1 + 8
+)
+
+// MarshalBinary implements encoding.BinaryMarshaler so reservoir snapshots
+// can persist the generator mid-stream and resume identically.
+func (s *Source) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, marshalSize)
+	buf[0] = marshalVersion
+	binary.LittleEndian.PutUint64(buf[1:], s.s0)
+	binary.LittleEndian.PutUint64(buf[9:], s.s1)
+	binary.LittleEndian.PutUint64(buf[17:], s.s2)
+	binary.LittleEndian.PutUint64(buf[25:], s.s3)
+	if s.hasGauss {
+		buf[33] = 1
+	}
+	binary.LittleEndian.PutUint64(buf[34:], math.Float64bits(s.gauss))
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (s *Source) UnmarshalBinary(data []byte) error {
+	if len(data) != marshalSize {
+		return fmt.Errorf("xrand: snapshot is %d bytes, want %d", len(data), marshalSize)
+	}
+	if data[0] != marshalVersion {
+		return fmt.Errorf("xrand: unsupported snapshot version %d", data[0])
+	}
+	s0 := binary.LittleEndian.Uint64(data[1:])
+	s1 := binary.LittleEndian.Uint64(data[9:])
+	s2 := binary.LittleEndian.Uint64(data[17:])
+	s3 := binary.LittleEndian.Uint64(data[25:])
+	if s0|s1|s2|s3 == 0 {
+		return fmt.Errorf("xrand: snapshot holds the all-zero state")
+	}
+	s.s0, s.s1, s.s2, s.s3 = s0, s1, s2, s3
+	s.hasGauss = data[33] == 1
+	s.gauss = math.Float64frombits(binary.LittleEndian.Uint64(data[34:]))
+	return nil
+}

@@ -1,0 +1,235 @@
+// Package xrand provides a small, fast, deterministic pseudo-random number
+// generator substrate used by every stochastic component in this repository.
+//
+// All samplers, stream generators and experiment drivers take an injected
+// *xrand.Source instead of reaching for a global generator. This keeps every
+// experiment byte-for-byte reproducible from a seed, makes concurrent
+// components independent (each owns its Source), and avoids the lock inside
+// the math/rand global.
+//
+// The core generator is xoshiro256**, seeded through SplitMix64 as its
+// authors recommend. Both algorithms are public domain. The statistical
+// quality is far beyond what reservoir sampling needs; the important
+// properties here are speed, a 256-bit state and a well-understood stream.
+package xrand
+
+import "math"
+
+// Source is a deterministic pseudo-random number generator. It is not safe
+// for concurrent use; give each goroutine its own Source (see Split).
+type Source struct {
+	s0, s1, s2, s3 uint64
+
+	// cached second normal variate from the polar method.
+	hasGauss bool
+	gauss    float64
+}
+
+// New returns a Source seeded from seed. Distinct seeds yield independent-
+// looking streams; the all-zero internal state is unreachable because
+// SplitMix64 is a bijection and we advance it four times.
+func New(seed uint64) *Source {
+	var s Source
+	s.Seed(seed)
+	return &s
+}
+
+// Seed resets the generator to the state derived from seed.
+func (s *Source) Seed(seed uint64) {
+	sm := seed
+	s.s0 = splitmix64(&sm)
+	s.s1 = splitmix64(&sm)
+	s.s2 = splitmix64(&sm)
+	s.s3 = splitmix64(&sm)
+	if s.s0|s.s1|s.s2|s.s3 == 0 {
+		// Cannot happen for SplitMix64 outputs, but guard anyway: the
+		// all-zero state is the one fixed point of xoshiro.
+		s.s0 = 0x9e3779b97f4a7c15
+	}
+	s.hasGauss = false
+	s.gauss = 0
+}
+
+// splitmix64 advances *x and returns the next SplitMix64 output.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (s *Source) Uint64() uint64 {
+	result := rotl(s.s1*5, 7) * 9
+	t := s.s1 << 17
+	s.s2 ^= s.s0
+	s.s3 ^= s.s1
+	s.s1 ^= s.s2
+	s.s0 ^= s.s3
+	s.s2 ^= t
+	s.s3 = rotl(s.s3, 45)
+	return result
+}
+
+// Split returns a new Source whose stream is independent of s for all
+// practical purposes. It consumes entropy from s, so the parent stream
+// changes too.
+func (s *Source) Split() *Source {
+	return New(s.Uint64() ^ 0xd1b54a32d192ed03)
+}
+
+// jumpPoly is the xoshiro256** jump polynomial: applying Jump advances the
+// state by exactly 2^128 steps.
+var jumpPoly = [4]uint64{
+	0x180ec6d33cfd0aba, 0xd5a61266f0c9392c,
+	0xa9582618e03fc9aa, 0x39abdc4529b1661c,
+}
+
+// Jump advances the generator by 2^128 steps in O(256) work. Calling Jump
+// k times on copies of one seeded Source yields up to 2^128 provably
+// non-overlapping substreams — the construction to use when parallel
+// workers must be both independent and reproducible from a single seed
+// (Split is faster but only statistically independent).
+func (s *Source) Jump() {
+	var t0, t1, t2, t3 uint64
+	for _, jp := range jumpPoly {
+		for b := 0; b < 64; b++ {
+			if jp&(1<<uint(b)) != 0 {
+				t0 ^= s.s0
+				t1 ^= s.s1
+				t2 ^= s.s2
+				t3 ^= s.s3
+			}
+			s.Uint64()
+		}
+	}
+	s.s0, s.s1, s.s2, s.s3 = t0, t1, t2, t3
+	s.hasGauss = false
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli reports true with probability p. Values of p outside [0,1] are
+// clamped: p<=0 is always false, p>=1 always true.
+func (s *Source) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0, matching
+// math/rand semantics so it can be a drop-in replacement.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(s.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform value in [0, n) using Lemire's multiply-shift
+// rejection method (unbiased). n must be positive.
+func (s *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n with zero n")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return s.Uint64() & (n - 1)
+	}
+	// Classic rejection on the top range to remove modulo bias.
+	max := ^uint64(0) - ^uint64(0)%n
+	for {
+		v := s.Uint64()
+		if v <= max {
+			return v % n
+		}
+	}
+}
+
+// NormFloat64 returns a standard normal variate (mean 0, stddev 1) via the
+// Marsaglia polar method, caching the paired variate.
+func (s *Source) NormFloat64() float64 {
+	if s.hasGauss {
+		s.hasGauss = false
+		return s.gauss
+	}
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q == 0 || q >= 1 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(q) / q)
+		s.gauss = v * f
+		s.hasGauss = true
+		return u * f
+	}
+}
+
+// ExpFloat64 returns an exponentially distributed variate with rate 1
+// (mean 1) by inversion.
+func (s *Source) ExpFloat64() float64 {
+	for {
+		u := s.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// Geometric returns the number of independent Bernoulli(p) failures before
+// the first success (support {0,1,2,...}). It panics unless 0 < p <= 1.
+func (s *Source) Geometric(p float64) int {
+	if p <= 0 || p > 1 {
+		panic("xrand: Geometric needs 0 < p <= 1")
+	}
+	if p == 1 {
+		return 0
+	}
+	// Inversion: floor(log(U)/log(1-p)).
+	for {
+		u := s.Float64()
+		if u == 0 {
+			continue
+		}
+		return int(math.Log(u) / math.Log(1-p))
+	}
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	s.ShuffleInts(p)
+	return p
+}
+
+// ShuffleInts performs an in-place Fisher–Yates shuffle.
+func (s *Source) ShuffleInts(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// Shuffle performs an in-place Fisher–Yates shuffle using the provided swap
+// function, mirroring math/rand.Shuffle.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}

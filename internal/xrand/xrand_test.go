@@ -1,0 +1,373 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs out of 100", same)
+	}
+}
+
+func TestReseed(t *testing.T) {
+	s := New(7)
+	first := make([]uint64, 16)
+	for i := range first {
+		first[i] = s.Uint64()
+	}
+	s.Seed(7)
+	for i := range first {
+		if got := s.Uint64(); got != first[i] {
+			t.Fatalf("reseed did not reset stream at %d: got %d want %d", i, got, first[i])
+		}
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	s := New(0)
+	if s.s0|s.s1|s.s2|s.s3 == 0 {
+		t.Fatal("zero seed produced all-zero state")
+	}
+	// Should not get stuck producing zeros.
+	zeros := 0
+	for i := 0; i < 100; i++ {
+		if s.Uint64() == 0 {
+			zeros++
+		}
+	}
+	if zeros > 1 {
+		t.Fatalf("suspicious number of zero outputs: %d", zeros)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 100000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(11)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(5)
+	for _, n := range []int{1, 2, 3, 7, 10, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestIntnUniform(t *testing.T) {
+	s := New(9)
+	const n, trials = 10, 200000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[s.Intn(n)]++
+	}
+	expect := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-expect) > 5*math.Sqrt(expect) {
+			t.Fatalf("bucket %d count %d deviates too far from %v", i, c, expect)
+		}
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	s := New(13)
+	if s.Bernoulli(0) {
+		t.Fatal("Bernoulli(0) returned true")
+	}
+	if !s.Bernoulli(1) {
+		t.Fatal("Bernoulli(1) returned false")
+	}
+	if s.Bernoulli(-0.5) {
+		t.Fatal("Bernoulli(-0.5) returned true")
+	}
+	if !s.Bernoulli(1.5) {
+		t.Fatal("Bernoulli(1.5) returned false")
+	}
+	const trials = 100000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if s.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / trials
+	if math.Abs(p-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) frequency %v", p)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := New(17)
+	const n = 300000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("normal mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Fatalf("normal variance = %v", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	s := New(19)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := s.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("negative exponential variate %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Fatalf("exponential mean = %v", mean)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	s := New(23)
+	const p, n = 0.2, 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(s.Geometric(p))
+	}
+	mean := sum / n
+	want := (1 - p) / p // mean of failures-before-success geometric
+	if math.Abs(mean-want) > 0.1 {
+		t.Fatalf("geometric mean = %v, want ~%v", mean, want)
+	}
+}
+
+func TestGeometricEdge(t *testing.T) {
+	s := New(29)
+	if got := s.Geometric(1); got != 0 {
+		t.Fatalf("Geometric(1) = %d, want 0", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Geometric(0) did not panic")
+		}
+	}()
+	s.Geometric(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(31)
+	check := func(n uint8) bool {
+		m := int(n%50) + 1
+		p := s.Perm(m)
+		if len(p) != m {
+			return false
+		}
+		seen := make([]bool, m)
+		for _, v := range p {
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleUniformFirstElement(t *testing.T) {
+	s := New(37)
+	const n, trials = 5, 100000
+	counts := make([]int, n)
+	base := []int{0, 1, 2, 3, 4}
+	for i := 0; i < trials; i++ {
+		p := append([]int(nil), base...)
+		s.ShuffleInts(p)
+		counts[p[0]]++
+	}
+	expect := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-expect) > 6*math.Sqrt(expect) {
+			t.Fatalf("value %d landed first %d times, expect ~%v", i, c, expect)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(41)
+	child := parent.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("split streams matched %d/100 times", same)
+	}
+}
+
+func TestJumpDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	a.Jump()
+	b.Jump()
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("jumped streams diverged at %d", i)
+		}
+	}
+}
+
+func TestJumpChangesStream(t *testing.T) {
+	a, b := New(42), New(42)
+	a.Jump()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("jumped stream matched origin %d/100 times", same)
+	}
+}
+
+func TestJumpSubstreamsIndependent(t *testing.T) {
+	// Three workers derived from one seed by jumping.
+	base := New(7)
+	streams := make([]*Source, 3)
+	for i := range streams {
+		cp := *base
+		streams[i] = &cp
+		base.Jump()
+	}
+	// Pairwise outputs should not collide.
+	for i := 0; i < len(streams); i++ {
+		for j := i + 1; j < len(streams); j++ {
+			a, b := *streams[i], *streams[j]
+			for k := 0; k < 100; k++ {
+				if a.Uint64() == b.Uint64() {
+					t.Fatalf("substreams %d/%d matched at step %d", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestJumpClearsGaussCache(t *testing.T) {
+	a := New(9)
+	a.NormFloat64() // prime the cache
+	a.Jump()
+	b := New(9)
+	b.NormFloat64()
+	b.Jump()
+	// Both took the same path; their post-jump normals must agree and
+	// must not consume a stale cached variate from before the jump.
+	if a.NormFloat64() != b.NormFloat64() {
+		t.Fatal("post-jump Gaussian state inconsistent")
+	}
+}
+
+func TestShuffleFuncMatchesInts(t *testing.T) {
+	a := New(43)
+	b := New(43)
+	x := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	y := append([]int(nil), x...)
+	a.ShuffleInts(x)
+	b.Shuffle(len(y), func(i, j int) { y[i], y[j] = y[j], y[i] })
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("Shuffle and ShuffleInts diverged at %d: %v vs %v", i, x, y)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += s.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkFloat64(b *testing.B) {
+	s := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += s.Float64()
+	}
+	_ = sink
+}
+
+func BenchmarkNormFloat64(b *testing.B) {
+	s := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += s.NormFloat64()
+	}
+	_ = sink
+}

@@ -1,0 +1,67 @@
+package biasedres
+
+import (
+	"io"
+
+	"biasedres/internal/stream"
+)
+
+// Re-exports of the stream substrate: synthetic generators matching the
+// paper's evaluation workloads, slice/CSV adapters and helpers. These give
+// examples and downstream users ready-made evolving streams without
+// touching internal packages.
+
+// ClusterConfig configures the synthetic evolving-cluster generator
+// (Section 5.1 of the paper).
+type ClusterConfig = stream.ClusterConfig
+
+// IntrusionConfig configures the network-intrusion stream simulator (the
+// KDD CUP'99 stand-in; see DESIGN.md §5).
+type IntrusionConfig = stream.IntrusionConfig
+
+// ClusterGenerator produces the evolving-cluster stream.
+type ClusterGenerator = stream.ClusterGenerator
+
+// IntrusionGenerator produces the intrusion stream.
+type IntrusionGenerator = stream.IntrusionGenerator
+
+// DefaultClusterConfig returns the paper's synthetic workload parameters:
+// 4 Gaussian clusters in 10 dimensions, radius 0.2, drifting by
+// U[-0.05,0.05] per dimension per epoch, 4·10⁵ points.
+func DefaultClusterConfig() ClusterConfig { return stream.DefaultClusterConfig() }
+
+// NewClusterStream returns the synthetic evolving-cluster stream.
+func NewClusterStream(cfg ClusterConfig) (*ClusterGenerator, error) {
+	return stream.NewClusterGenerator(cfg)
+}
+
+// NewIntrusionStream returns the network-intrusion stream simulator. Zero
+// config fields take KDD CUP'99-like defaults (494,021 points, 34
+// dimensions, 23 bursty classes).
+func NewIntrusionStream(cfg IntrusionConfig) (*IntrusionGenerator, error) {
+	return stream.NewIntrusionGenerator(cfg)
+}
+
+// FromSlice adapts an in-memory point slice to a Stream, assigning arrival
+// indices when absent.
+func FromSlice(pts []Point) Stream { return stream.FromSlice(pts) }
+
+// Take limits a stream to its first n points.
+func Take(s Stream, n int) Stream { return stream.Take(s, n) }
+
+// Collect drains up to max points (max <= 0 drains fully).
+func Collect(s Stream, max int) []Point { return stream.Collect(s, max) }
+
+// Drive feeds every point of s to fn until fn returns false or the stream
+// ends, returning the number of points delivered.
+func Drive(s Stream, fn func(Point) bool) uint64 { return stream.Drive(s, fn) }
+
+// WriteCSV writes a stream in the library's CSV layout
+// (index,label,weight,v0,...).
+func WriteCSV(w io.Writer, s Stream) (int, error) { return stream.WriteCSV(w, s) }
+
+// CSVReader streams points from CSV; check Err after the stream ends.
+type CSVReader = stream.CSVReader
+
+// NewCSVReader returns a Stream reading the library's CSV layout.
+func NewCSVReader(r io.Reader) *CSVReader { return stream.NewCSVReader(r) }
