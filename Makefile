@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: all build test race vet ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+ci: build vet test race

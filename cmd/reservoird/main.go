@@ -5,7 +5,15 @@
 //
 // Usage:
 //
-//	reservoird -addr :8080 -seed 42
+//	reservoird -addr :8080 -seed 42 [-log-format text|json] [-log-level info] [-pprof :6060]
+//
+// Observability:
+//
+//	GET /metrics exposes Prometheus text-format counters, latency
+//	histograms and per-stream sampler gauges. Requests and lifecycle
+//	events are logged through log/slog (text or JSON). The -pprof flag
+//	opts into a net/http/pprof listener on a separate address so
+//	profiling is never exposed on the service port.
 //
 // Example session:
 //
@@ -15,6 +23,7 @@
 //	     -d '{"points":[{"values":[0.3,0.7],"label":1}]}'
 //	curl 'localhost:8080/streams/sensor/query?type=average&h=1000'
 //	curl 'localhost:8080/streams/sensor/snapshot' -o sensor.ckpt
+//	curl 'localhost:8080/metrics'
 package main
 
 import (
@@ -22,9 +31,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -33,33 +45,94 @@ import (
 
 func main() {
 	var (
-		addr = flag.String("addr", ":8080", "listen address")
-		seed = flag.Uint64("seed", 1, "random seed for all samplers")
+		addr      = flag.String("addr", ":8080", "listen address")
+		seed      = flag.Uint64("seed", 1, "random seed for all samplers")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
 
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(*seed),
+		Handler:           server.New(*seed, server.WithLogger(logger)),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	if *pprofAddr != "" {
+		go func() {
+			logger.Info("pprof listening", "addr", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pprofMux()); err != nil &&
+				!errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof listener failed", "error", err)
+			}
+		}()
+	}
+
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Printf("reservoird listening on %s\n", *addr)
+		logger.Info("reservoird listening", "addr", *addr, "seed", *seed)
 		errCh <- srv.ListenAndServe()
 	}()
 	select {
 	case err := <-errCh:
-		log.Fatal(err)
+		logger.Error("serve failed", "error", err)
+		os.Exit(1)
 	case <-ctx.Done():
-		fmt.Println("reservoird shutting down")
+		logger.Info("shutting down", "reason", "signal")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatal(err)
+			logger.Error("shutdown failed", "error", err)
+			os.Exit(1)
 		}
+		logger.Info("shutdown complete")
 	}
+}
+
+// newLogger builds the process logger from the -log-format and -log-level
+// flags.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("reservoird: unknown -log-level %q", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return nil, fmt.Errorf("reservoird: unknown -log-format %q", format)
+}
+
+// pprofMux registers the pprof handlers on a dedicated mux instead of
+// http.DefaultServeMux, so nothing else can leak onto the debug listener.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

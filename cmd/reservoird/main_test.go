@@ -1,0 +1,45 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestNewLogger(t *testing.T) {
+	for _, format := range []string{"text", "json", "TEXT"} {
+		for _, level := range []string{"debug", "info", "warn", "error"} {
+			if _, err := newLogger(format, level); err != nil {
+				t.Errorf("newLogger(%q, %q): %v", format, level, err)
+			}
+		}
+	}
+	if _, err := newLogger("xml", "info"); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if _, err := newLogger("text", "loud"); err == nil {
+		t.Error("unknown level accepted")
+	}
+}
+
+func TestPprofMuxServesIndex(t *testing.T) {
+	ts := httptest.NewServer(pprofMux())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status %d", resp.StatusCode)
+	}
+	// Nothing but pprof lives on the debug mux.
+	resp, err = http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("root on debug mux: status %d, want 404", resp.StatusCode)
+	}
+}

@@ -33,7 +33,7 @@ func ExampleNewVariable() {
 	fmt.Printf("average over last 1000 arrivals ~ %.0f (true 4.5)\n", avg[0])
 	// Output:
 	// reservoir holds 100/100 points after 50000 arrivals
-	// average over last 1000 arrivals ~ 5 (true 4.5)
+	// average over last 1000 arrivals ~ 4 (true 4.5)
 }
 
 // The maximum reservoir requirement (Theorem 2.1/Corollary 2.1): a biased

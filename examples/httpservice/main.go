@@ -13,6 +13,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"strings"
 	"time"
 
 	"biasedres/internal/client"
@@ -128,6 +129,18 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("after push of 500 junk points and restore: processed = %d (rolled back)\n", st.Processed)
+
+	// The service exposes its runtime state in Prometheus text format.
+	expo, err := c.Metrics()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\na few lines of GET /metrics:")
+	for _, line := range strings.Split(expo, "\n") {
+		if strings.HasPrefix(line, "biasedres_stream_") && strings.Contains(line, `{stream="sensor"}`) {
+			fmt.Println("  " + line)
+		}
+	}
 }
 
 func fmtVec(v []float64) string {

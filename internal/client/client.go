@@ -270,6 +270,17 @@ func (c *Client) Quantile(name string, h uint64, dim int, q float64) (float64, e
 	return out.Quantile, nil
 }
 
+// Metrics fetches the service's GET /metrics endpoint: the Prometheus
+// text exposition of request counters, latency histograms and per-stream
+// sampler gauges.
+func (c *Client) Metrics() (string, error) {
+	var raw []byte
+	if err := c.do(http.MethodGet, "/metrics", nil, &raw); err != nil {
+		return "", err
+	}
+	return string(raw), nil
+}
+
 // Snapshot downloads the stream's binary checkpoint.
 func (c *Client) Snapshot(name string) ([]byte, error) {
 	var raw []byte

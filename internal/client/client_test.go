@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"biasedres/internal/server"
@@ -136,6 +137,29 @@ func TestEndToEnd(t *testing.T) {
 	}
 	if _, err := c.Stats("s"); err == nil {
 		t.Fatal("stats of deleted stream succeeded")
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	c := newPair(t)
+	if err := c.CreateStream("s", StreamConfig{Policy: "variable", Lambda: 1e-2, Capacity: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Push("s", []Point{{Values: []float64{1}}, {Values: []float64{2}}}); err != nil {
+		t.Fatal(err)
+	}
+	text, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE biasedres_http_requests_total counter",
+		"# TYPE biasedres_http_request_seconds histogram",
+		`biasedres_stream_processed_total{stream="s"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
 	}
 }
 

@@ -99,6 +99,7 @@ type variableState struct {
 	TargetPIn float64
 	Reduce    float64
 	T         uint64
+	Admitted  uint64
 	Phases    int
 	Pts       []stream.Point
 	RNG       []byte
@@ -112,7 +113,8 @@ func (v *VariableReservoir) MarshalBinary() ([]byte, error) {
 	}
 	return marshalState(kindVariable, variableState{
 		Lambda: v.lambda, Nmax: v.nmax, PIn: v.pin, TargetPIn: v.targetPin,
-		Reduce: v.reduce, T: v.t, Phases: v.phases, Pts: v.pts, RNG: rng,
+		Reduce: v.reduce, T: v.t, Admitted: v.admitted, Phases: v.phases,
+		Pts: v.pts, RNG: rng,
 	})
 }
 
@@ -129,8 +131,12 @@ func (v *VariableReservoir) UnmarshalBinary(data []byte) error {
 	if err := rng.UnmarshalBinary(st.RNG); err != nil {
 		return err
 	}
+	// Re-home the points in a slice with exactly nmax capacity so the
+	// restored sampler keeps the never-reallocate budget invariant.
+	pts := make([]stream.Point, len(st.Pts), st.Nmax)
+	copy(pts, st.Pts)
 	v.lambda, v.nmax, v.pin, v.targetPin = st.Lambda, st.Nmax, st.PIn, st.TargetPIn
-	v.reduce, v.t, v.phases, v.pts, v.rng = st.Reduce, st.T, st.Phases, st.Pts, rng
+	v.reduce, v.t, v.admitted, v.phases, v.pts, v.rng = st.Reduce, st.T, st.Admitted, st.Phases, pts, rng
 	return nil
 }
 

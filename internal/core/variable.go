@@ -31,6 +31,7 @@ type VariableReservoir struct {
 	reduce    float64
 	pts       []stream.Point
 	t         uint64
+	admitted  uint64
 	rng       *xrand.Source
 	phases    int
 }
@@ -98,12 +99,17 @@ func NewVariableReservoir(lambda float64, nmax int, rng *xrand.Source, opts ...V
 	return v, nil
 }
 
-// Add implements Sampler.
+// Add implements Sampler. The physical slice never exceeds nmax slots:
+// when an insertion would overflow the budget, the reduction phase runs
+// *first* to free space, so cap(v.pts) stays exactly nmax for the
+// sampler's whole lifetime (no transient nmax+1 state, no reallocation
+// past the stated budget).
 func (v *VariableReservoir) Add(p stream.Point) {
 	v.t++
 	if v.pin < 1 && !v.rng.Bernoulli(v.pin) {
 		return
 	}
+	v.admitted++
 	// F(t) is computed against the *fictitious* reservoir size p_in/λ,
 	// not the physical budget (Section 3). Once p_in has decayed to the
 	// target, the fictitious size equals nmax.
@@ -114,21 +120,37 @@ func (v *VariableReservoir) Add(p stream.Point) {
 	}
 	if v.rng.Bernoulli(fill) && len(v.pts) > 0 {
 		v.pts[v.rng.Intn(len(v.pts))] = p
-	} else {
-		v.pts = append(v.pts, p)
+		return
 	}
-	// Space limit reached: enter a reduction phase unless p_in is already
-	// at its target (then the physical reservoir is allowed to be full).
+	// Insertion path: the space limit triggers a reduction phase before
+	// the append, unless p_in is already at its target (then the
+	// physical reservoir is allowed to be full). The incoming point
+	// participates in the ejection lottery so the phase is distributed
+	// exactly as if it had been appended first.
 	if len(v.pts) >= v.nmax && v.pin > v.targetPin {
-		v.reducePhase()
+		if v.reducePhase() {
+			return // the incoming point itself was ejected
+		}
 	}
+	if len(v.pts) >= v.nmax {
+		// p_in is at its target and the reservoir is full; F(t)=1 makes
+		// this branch unreachable in practice, but overwrite rather than
+		// grow if floating point ever lets it happen.
+		v.pts[v.rng.Intn(len(v.pts))] = p
+		return
+	}
+	v.pts = append(v.pts, p)
 }
 
 // reducePhase multiplies p_in by the reduction factor (clamped at the
 // target) and ejects the fraction of points required by Theorem 3.3 to keep
 // every resident's inclusion probability proportional to the new
-// p_in·f(r,t).
-func (v *VariableReservoir) reducePhase() {
+// p_in·f(r,t). The phase runs when an insertion would overflow the nmax
+// budget, so the lottery ranges over the residents *plus* the incoming
+// point — ejecting uniformly from that (nmax+1)-point multiset without
+// ever materializing it. It reports whether the incoming point was among
+// the ejected (the caller then drops it instead of appending).
+func (v *VariableReservoir) reducePhase() (incomingEjected bool) {
 	oldPin := v.pin
 	newPin := oldPin * v.reduce
 	if newPin < v.targetPin {
@@ -137,22 +159,31 @@ func (v *VariableReservoir) reducePhase() {
 	v.pin = newPin
 	// Retain each point with probability newPin/oldPin: eject a uniform
 	// random subset of the complementary expected size, at least one
-	// point so the phase always frees a slot.
+	// point so the phase always frees a slot for the incoming point.
+	n := len(v.pts) + 1 // residents + incoming
 	frac := 1 - newPin/oldPin
-	eject := int(math.Round(frac * float64(len(v.pts))))
+	eject := int(math.Round(frac * float64(n)))
 	if eject < 1 {
 		eject = 1
+	}
+	if eject > n {
+		eject = n
+	}
+	v.phases++
+	if v.rng.Bernoulli(float64(eject) / float64(n)) {
+		incomingEjected = true
+		eject--
 	}
 	if eject > len(v.pts) {
 		eject = len(v.pts)
 	}
-	v.phases++
 	for i := 0; i < eject; i++ {
 		j := v.rng.Intn(len(v.pts))
 		last := len(v.pts) - 1
 		v.pts[j] = v.pts[last]
 		v.pts = v.pts[:last]
 	}
+	return incomingEjected
 }
 
 // Points implements Sampler.
@@ -169,6 +200,10 @@ func (v *VariableReservoir) Capacity() int { return v.nmax }
 
 // Processed implements Sampler.
 func (v *VariableReservoir) Processed() uint64 { return v.t }
+
+// Admitted returns how many points passed the p_in coin and were placed in
+// the reservoir (by insertion or replacement) over the sampler's lifetime.
+func (v *VariableReservoir) Admitted() uint64 { return v.admitted }
 
 // Lambda returns the bias rate λ.
 func (v *VariableReservoir) Lambda() float64 { return v.lambda }

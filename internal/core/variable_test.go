@@ -42,6 +42,76 @@ func TestVariableNeverExceedsBudget(t *testing.T) {
 	}
 }
 
+// Regression test: Add used to append before checking the space limit, so
+// the backing array transiently held nmax+1 points and reallocated to ~2x
+// the stated budget. The slot budget is a hard bound: at every instant the
+// slice length must stay within nmax AND its capacity must stay exactly
+// nmax (no hidden reallocation). Property-tested over random (λ, nmax).
+func TestVariableBudgetCapInvariant(t *testing.T) {
+	rng := xrand.New(99)
+	for trial := 0; trial < 40; trial++ {
+		nmax := 1 + rng.Intn(400)
+		// λ uniform in (0, 1/nmax] keeps nmax·λ <= 1 valid.
+		lambda := (rng.Float64() + 1e-9) / float64(nmax)
+		v, err := NewVariableReservoir(lambda, nmax, rng.Split())
+		if err != nil {
+			t.Fatalf("trial %d: NewVariableReservoir(%v, %d): %v", trial, lambda, nmax, err)
+		}
+		steps := 20*nmax + 1000
+		for i := 1; i <= steps; i++ {
+			v.Add(stream.Point{Index: uint64(i), Weight: 1})
+			if v.Len() > nmax {
+				t.Fatalf("trial %d (λ=%v nmax=%d): len %d > budget at point %d", trial, lambda, nmax, v.Len(), i)
+			}
+			if c := cap(v.pts); c != nmax {
+				t.Fatalf("trial %d (λ=%v nmax=%d): cap %d != nmax at point %d (reallocated past budget)", trial, lambda, nmax, c, i)
+			}
+		}
+	}
+}
+
+// The cap invariant must survive a snapshot/restore round trip: gob hands
+// back a slice with cap == len, which the unmarshal re-homes into an
+// nmax-capacity array.
+func TestVariableRestoreKeepsCapInvariant(t *testing.T) {
+	const nmax = 64
+	v, _ := NewVariableReservoir(1e-3, nmax, xrand.New(8))
+	feed(v, 5000)
+	blob, err := v.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, _ := NewVariableReservoir(1e-3, nmax, xrand.New(9))
+	if err := restored.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if c := cap(restored.pts); c != nmax {
+		t.Fatalf("restored cap = %d, want %d", c, nmax)
+	}
+	if restored.Admitted() != v.Admitted() {
+		t.Fatalf("restored admitted = %d, want %d", restored.Admitted(), v.Admitted())
+	}
+	for i := 0; i < 10*nmax; i++ {
+		restored.Add(stream.Point{Index: restored.Processed() + 1, Weight: 1})
+		if c := cap(restored.pts); c != nmax {
+			t.Fatalf("cap drifted to %d after post-restore adds", c)
+		}
+	}
+}
+
+func TestVariableAdmittedCounts(t *testing.T) {
+	v, _ := NewVariableReservoir(1e-3, 100, xrand.New(10)) // target p_in = 0.1
+	feed(v, 50)
+	// p_in is still 1 early on: every processed point is admitted.
+	if v.Admitted() != 50 {
+		t.Fatalf("admitted = %d, want 50 while p_in = 1", v.Admitted())
+	}
+	feed(v, 100000)
+	if v.Admitted() >= v.Processed() {
+		t.Fatalf("admitted %d should fall below processed %d once p_in < 1", v.Admitted(), v.Processed())
+	}
+}
+
 func TestVariablePInDecaysToTarget(t *testing.T) {
 	const lambda, nmax = 1e-4, 100 // target p_in = 0.01
 	v, _ := NewVariableReservoir(lambda, nmax, xrand.New(2))

@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"biasedres/internal/core"
+	"biasedres/internal/obs"
 	"biasedres/internal/query"
 	"biasedres/internal/stream"
 	"biasedres/internal/xrand"
@@ -60,14 +61,16 @@ func NewManager(budget int, lambda float64, seed uint64) (*Manager, error) {
 // capped by the bias function's maximum requirement ⌊1/λ⌋ (a larger
 // reservoir could not satisfy the bias, Corollary 2.1); it returns an error
 // when the name is taken, the share is not positive, or the remaining
-// budget is insufficient.
+// budget is insufficient. The cap comes from core.ReservoirCapacity — the
+// same rule the samplers themselves enforce — so the manager can never
+// admit a share its reservoir constructor would reject.
 func (m *Manager) Register(name string, share int) error {
 	if share <= 0 {
 		return fmt.Errorf("multi: share must be positive, got %d", share)
 	}
-	maxShare := int(1 / m.lambda)
-	if maxShare < 1 {
-		maxShare = 1
+	maxShare, err := core.ReservoirCapacity(m.lambda)
+	if err != nil {
+		return fmt.Errorf("multi: %w", err)
 	}
 	if share > maxShare {
 		return fmt.Errorf("multi: share %d exceeds the maximum requirement 1/λ = %d", share, maxShare)
@@ -99,8 +102,11 @@ func (m *Manager) RegisterEven(names []string) error {
 	if share == 0 {
 		return fmt.Errorf("multi: budget %d cannot cover %d streams", m.budget, len(names))
 	}
-	maxShare := int(1 / m.lambda)
-	if maxShare >= 1 && share > maxShare {
+	maxShare, err := core.ReservoirCapacity(m.lambda)
+	if err != nil {
+		return fmt.Errorf("multi: %w", err)
+	}
+	if share > maxShare {
 		share = maxShare
 	}
 	for _, name := range names {
@@ -239,6 +245,52 @@ func (m *Manager) StreamStats() []Stats {
 		e.mu.Unlock()
 	}
 	return out
+}
+
+// Collect implements obs.Collector: registering the manager on an
+// obs.Registry exports the global budget and every stream's reservoir
+// state at one scrape point — the "thousands of independent streams"
+// deployment stays observable through a single /metrics endpoint.
+func (m *Manager) Collect() []obs.Family {
+	m.mu.RLock()
+	budget, used, streams := m.budget, m.used, len(m.streams)
+	m.mu.RUnlock()
+
+	out := []obs.Family{
+		{Name: "biasedres_multi_budget_slots", Type: "gauge",
+			Help:    "Total reservoir slots the manager may allocate.",
+			Samples: []obs.Sample{{Value: float64(budget)}}},
+		{Name: "biasedres_multi_used_slots", Type: "gauge",
+			Help:    "Reservoir slots currently allocated to streams.",
+			Samples: []obs.Sample{{Value: float64(used)}}},
+		{Name: "biasedres_multi_streams", Type: "gauge",
+			Help:    "Streams currently registered with the manager.",
+			Samples: []obs.Sample{{Value: float64(streams)}}},
+	}
+
+	stats := m.StreamStats()
+	if len(stats) == 0 {
+		return out
+	}
+	share := obs.Family{Name: "biasedres_multi_stream_share_slots", Type: "gauge",
+		Help: "Reservoir slots allocated to the stream."}
+	size := obs.Family{Name: "biasedres_multi_stream_reservoir_size", Type: "gauge",
+		Help: "Points currently resident in the stream's reservoir."}
+	processed := obs.Family{Name: "biasedres_multi_stream_processed_total", Type: "counter",
+		Help: "Stream points processed by the stream's sampler."}
+	pin := obs.Family{Name: "biasedres_multi_stream_p_in", Type: "gauge",
+		Help: "Current insertion probability p_in of the stream's sampler."}
+	fill := obs.Family{Name: "biasedres_multi_stream_fill_fraction", Type: "gauge",
+		Help: "Fill fraction F(t) of the stream's reservoir."}
+	for _, st := range stats {
+		label := []obs.Label{{Key: "stream", Value: st.Name}}
+		share.Samples = append(share.Samples, obs.Sample{Labels: label, Value: float64(st.Share)})
+		size.Samples = append(size.Samples, obs.Sample{Labels: label, Value: float64(st.Len)})
+		processed.Samples = append(processed.Samples, obs.Sample{Labels: label, Value: float64(st.Processed)})
+		pin.Samples = append(pin.Samples, obs.Sample{Labels: label, Value: st.PIn})
+		fill.Samples = append(fill.Samples, obs.Sample{Labels: label, Value: st.Fill})
+	}
+	return append(out, share, size, processed, pin, fill)
 }
 
 // Budget returns the total slot budget.

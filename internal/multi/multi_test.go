@@ -95,6 +95,85 @@ func TestRegisterEven(t *testing.T) {
 	}
 }
 
+// Regression test: the share cap used to be an ad-hoc int(1/λ) truncation
+// that could drift from core.ReservoirCapacity, the rule the reservoir
+// constructors themselves enforce. Whatever share the manager admits as
+// maximal must be constructible, and one more must be rejected — across a
+// spread of awkward λ values.
+func TestShareCapMatchesReservoirCapacity(t *testing.T) {
+	for _, lambda := range []float64{1, 0.5, 0.3, 1.0 / 3.0, 0.1, 0.007, 1e-3, 1e-4, 0.99} {
+		want, err := core.ReservoirCapacity(lambda)
+		if err != nil {
+			t.Fatalf("λ=%v: %v", lambda, err)
+		}
+		m, _ := NewManager(1<<30, lambda, 1)
+		if err := m.Register("max", want); err != nil {
+			t.Errorf("λ=%v: maximal share %d rejected: %v", lambda, want, err)
+		}
+		if err := m.Register("over", want+1); err == nil {
+			t.Errorf("λ=%v: share %d beyond the requirement accepted", lambda, want+1)
+		}
+	}
+}
+
+func TestRegisterRejectsLambdaOutsideCapacityRule(t *testing.T) {
+	m, _ := NewManager(100, 1.5, 1) // NewManager only checks λ > 0
+	if err := m.Register("a", 1); err == nil {
+		t.Error("λ > 1 registration accepted; no reservoir capacity rule exists for it")
+	}
+	if err := m.RegisterEven([]string{"a", "b"}); err == nil {
+		t.Error("λ > 1 RegisterEven accepted")
+	}
+}
+
+func TestManagerCollect(t *testing.T) {
+	m, _ := NewManager(100, 0.01, 7)
+	if err := m.RegisterEven([]string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 200; i++ {
+		if err := m.Add("a", stream.Point{Index: uint64(i), Weight: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	find := func(name string) (map[string]float64, bool) {
+		for _, fam := range m.Collect() {
+			if fam.Name != name {
+				continue
+			}
+			out := make(map[string]float64)
+			for _, s := range fam.Samples {
+				key := ""
+				if len(s.Labels) > 0 {
+					key = s.Labels[0].Value
+				}
+				out[key] = s.Value
+			}
+			return out, true
+		}
+		return nil, false
+	}
+	if v, ok := find("biasedres_multi_budget_slots"); !ok || v[""] != 100 {
+		t.Fatalf("budget gauge = %v ok=%v", v, ok)
+	}
+	if v, ok := find("biasedres_multi_used_slots"); !ok || v[""] != 100 {
+		t.Fatalf("used gauge = %v ok=%v", v, ok)
+	}
+	if v, ok := find("biasedres_multi_streams"); !ok || v[""] != 2 {
+		t.Fatalf("streams gauge = %v ok=%v", v, ok)
+	}
+	if v, ok := find("biasedres_multi_stream_processed_total"); !ok || v["a"] != 200 || v["b"] != 0 {
+		t.Fatalf("per-stream processed = %v ok=%v", v, ok)
+	}
+	if v, ok := find("biasedres_multi_stream_share_slots"); !ok || v["a"] != 50 || v["b"] != 50 {
+		t.Fatalf("per-stream share = %v ok=%v", v, ok)
+	}
+	sizes, ok := find("biasedres_multi_stream_reservoir_size")
+	if !ok || sizes["a"] <= 0 || sizes["a"] > 50 {
+		t.Fatalf("per-stream size = %v ok=%v", sizes, ok)
+	}
+}
+
 func TestAddAndSample(t *testing.T) {
 	m, _ := NewManager(50, 0.01, 2)
 	if err := m.Register("s", 50); err != nil {

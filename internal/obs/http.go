@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Handler returns the /metrics scrape endpoint for the registry.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(r.Expose()))
+	})
+}
+
+// HTTPMetrics bundles the standard server-side request instruments:
+// request counts by route and status class, a per-route latency histogram,
+// and an in-flight gauge.
+type HTTPMetrics struct {
+	Requests *CounterVec   // labels: route, code ("2xx", "4xx", ...)
+	Latency  *HistogramVec // labels: route
+	InFlight *Gauge
+}
+
+// NewHTTPMetrics registers the request instruments under the given
+// namespace prefix (e.g. "biasedres" yields
+// biasedres_http_requests_total).
+func NewHTTPMetrics(r *Registry, namespace string) *HTTPMetrics {
+	return &HTTPMetrics{
+		Requests: r.Counter(namespace+"_http_requests_total",
+			"HTTP requests served, by route pattern and status class.", "route", "code"),
+		Latency: r.Histogram(namespace+"_http_request_seconds",
+			"HTTP request latency in seconds, by route pattern.", DefLatencyBuckets(), "route"),
+		InFlight: r.Gauge(namespace+"_http_in_flight_requests",
+			"HTTP requests currently being served.").With(),
+	}
+}
+
+// statusRecorder captures the response status code written by a handler.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (s *statusRecorder) WriteHeader(code int) {
+	s.code = code
+	s.ResponseWriter.WriteHeader(code)
+}
+
+// statusClass buckets a status code into "1xx".."5xx".
+func statusClass(code int) string {
+	if code < 100 || code > 599 {
+		return "other"
+	}
+	return strconv.Itoa(code/100) + "xx"
+}
+
+// Wrap instruments next, attributing its requests to the given route
+// label. The route must be a fixed pattern (e.g. "GET /streams/{name}"),
+// never the raw URL path — raw paths would explode label cardinality.
+func (m *HTTPMetrics) Wrap(route string, next http.Handler) http.Handler {
+	latency := m.Latency.With(route)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		m.InFlight.Add(1)
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		m.InFlight.Add(-1)
+		latency.Observe(time.Since(start).Seconds())
+		m.Requests.With(route, statusClass(rec.code)).Inc()
+	})
+}

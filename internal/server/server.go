@@ -16,10 +16,16 @@
 //	GET    /streams/{name}/query      estimate; see Query parameters below
 //	GET    /streams/{name}/snapshot   binary checkpoint (octet-stream)
 //	POST   /streams/{name}/restore    restore from a checkpoint body
+//	GET    /metrics                   Prometheus text exposition
 //
 // Query parameters: type=count|average|classdist|groupavg|selectivity|quantile,
 // h=<horizon>, dim=<dimension>, q=<quantile>, dims=<d0,d1,...> with
 // lo=<l0,l1,...> hi=<h0,h1,...> for selectivity rectangles.
+//
+// Every route is instrumented: request counts by route and status class,
+// per-route latency histograms, and per-stream sampler gauges are exported
+// on GET /metrics (see internal/obs). Pass WithLogger to get structured
+// per-request logs.
 package server
 
 import (
@@ -27,13 +33,16 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"biasedres/internal/core"
+	"biasedres/internal/obs"
 	"biasedres/internal/query"
 	"biasedres/internal/stream"
 	"biasedres/internal/xrand"
@@ -56,6 +65,10 @@ type managedStream struct {
 	lambda  float64
 	next    uint64 // next arrival index
 	dim     int    // fixed by the first ingested point; 0 = none yet
+	// fresh builds a new empty sampler with this stream's configuration;
+	// restores deserialize into a fresh instance so a rejected checkpoint
+	// cannot corrupt the live sampler.
+	fresh func(rng *xrand.Source) (persistentSampler, error)
 }
 
 // Server is the HTTP handler. Create with New and mount it as an
@@ -65,27 +78,148 @@ type Server struct {
 	streams map[string]*managedStream
 	seeds   *xrand.Source
 	mux     *http.ServeMux
+	log     *slog.Logger
+	metrics *obs.Registry
+	httpm   *obs.HTTPMetrics
+	ingest  *obs.CounterVec
+}
+
+// Option customizes a Server.
+type Option func(*Server)
+
+// WithLogger enables structured per-request and lifecycle logging through
+// l. Without it the server is silent.
+func WithLogger(l *slog.Logger) Option {
+	return func(s *Server) { s.log = l }
+}
+
+// WithMetrics makes the server record its instruments into reg instead of
+// a private registry — the way to merge server metrics with other
+// subsystems (e.g. a multi.Manager collector) behind one /metrics.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(s *Server) { s.metrics = reg }
 }
 
 // New returns a Server; seed drives the samplers' randomness.
-func New(seed uint64) *Server {
+func New(seed uint64, opts ...Option) *Server {
 	s := &Server{
 		streams: make(map[string]*managedStream),
 		seeds:   xrand.New(seed),
 	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.metrics == nil {
+		s.metrics = obs.NewRegistry()
+	}
+	s.httpm = obs.NewHTTPMetrics(s.metrics, "biasedres")
+	s.ingest = s.metrics.Counter("biasedres_points_ingested_total",
+		"Stream points accepted over the ingest endpoint.", "stream")
+	s.metrics.Register(obs.CollectorFunc(s.collectStreams))
+
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /streams", s.handleList)
-	mux.HandleFunc("PUT /streams/{name}", s.handleCreate)
-	mux.HandleFunc("GET /streams/{name}", s.handleStats)
-	mux.HandleFunc("DELETE /streams/{name}", s.handleDelete)
-	mux.HandleFunc("POST /streams/{name}/points", s.handleIngest)
-	mux.HandleFunc("GET /streams/{name}/sample", s.handleSample)
-	mux.HandleFunc("GET /streams/{name}/query", s.handleQuery)
-	mux.HandleFunc("GET /streams/{name}/snapshot", s.handleSnapshot)
-	mux.HandleFunc("POST /streams/{name}/restore", s.handleRestore)
+	routes := []struct {
+		pattern string
+		handler http.HandlerFunc
+	}{
+		{"GET /healthz", s.handleHealth},
+		{"GET /streams", s.handleList},
+		{"PUT /streams/{name}", s.handleCreate},
+		{"GET /streams/{name}", s.handleStats},
+		{"DELETE /streams/{name}", s.handleDelete},
+		{"POST /streams/{name}/points", s.handleIngest},
+		{"GET /streams/{name}/sample", s.handleSample},
+		{"GET /streams/{name}/query", s.handleQuery},
+		{"GET /streams/{name}/snapshot", s.handleSnapshot},
+		{"POST /streams/{name}/restore", s.handleRestore},
+	}
+	for _, rt := range routes {
+		mux.Handle(rt.pattern, s.instrument(rt.pattern, rt.handler))
+	}
+	mux.Handle("GET /metrics", s.instrument("GET /metrics", s.metrics.Handler()))
 	s.mux = mux
 	return s
+}
+
+// Metrics returns the server's registry so callers can add their own
+// instruments or collectors to the same /metrics endpoint.
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
+// instrument wraps a route handler with request metrics and, when a
+// logger is configured, structured request logging.
+func (s *Server) instrument(route string, h http.Handler) http.Handler {
+	h = s.httpm.Wrap(route, h)
+	if s.log == nil {
+		return h
+	}
+	inner := h
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		inner.ServeHTTP(w, r)
+		s.log.Info("request",
+			"route", route,
+			"path", r.URL.Path,
+			"remote", r.RemoteAddr,
+			"duration", time.Since(start))
+	})
+}
+
+// collectStreams exports per-stream sampler gauges at scrape time.
+func (s *Server) collectStreams() []obs.Family {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.streams))
+	for name := range s.streams {
+		names = append(names, name)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+
+	label := func(name string) []obs.Label { return []obs.Label{{Key: "stream", Value: name}} }
+	processed := obs.Family{Name: "biasedres_stream_processed_total", Type: "counter",
+		Help: "Stream points processed by the sampler (t)."}
+	admitted := obs.Family{Name: "biasedres_stream_admitted_total", Type: "counter",
+		Help: "Points that passed the p_in coin and entered the reservoir."}
+	size := obs.Family{Name: "biasedres_stream_reservoir_size", Type: "gauge",
+		Help: "Points currently resident in the reservoir."}
+	capacity := obs.Family{Name: "biasedres_stream_reservoir_capacity", Type: "gauge",
+		Help: "Reservoir slot budget."}
+	fill := obs.Family{Name: "biasedres_stream_fill_fraction", Type: "gauge",
+		Help: "Reservoir fill fraction F(t) in [0,1]."}
+	pin := obs.Family{Name: "biasedres_stream_p_in", Type: "gauge",
+		Help: "Current insertion probability p_in (policies that decay it)."}
+	phases := obs.Family{Name: "biasedres_stream_reduction_phases_total", Type: "counter",
+		Help: "p_in reduction phases run (variable policy)."}
+
+	for _, name := range names {
+		ms, ok := s.lookup(name)
+		if !ok {
+			continue
+		}
+		ms.mu.Lock()
+		sm := ms.sampler
+		processed.Samples = append(processed.Samples, obs.Sample{Labels: label(name), Value: float64(sm.Processed())})
+		size.Samples = append(size.Samples, obs.Sample{Labels: label(name), Value: float64(sm.Len())})
+		capacity.Samples = append(capacity.Samples, obs.Sample{Labels: label(name), Value: float64(sm.Capacity())})
+		fill.Samples = append(fill.Samples, obs.Sample{Labels: label(name), Value: core.Fill(sm)})
+		if a, ok := sm.(interface{ Admitted() uint64 }); ok {
+			admitted.Samples = append(admitted.Samples, obs.Sample{Labels: label(name), Value: float64(a.Admitted())})
+		}
+		if p, ok := sm.(interface{ PIn() float64 }); ok {
+			pin.Samples = append(pin.Samples, obs.Sample{Labels: label(name), Value: p.PIn()})
+		}
+		if ph, ok := sm.(interface{ Phases() int }); ok {
+			phases.Samples = append(phases.Samples, obs.Sample{Labels: label(name), Value: float64(ph.Phases())})
+		}
+		ms.mu.Unlock()
+	}
+
+	out := make([]obs.Family, 0, 7)
+	for _, fam := range []obs.Family{processed, admitted, size, capacity, fill, pin, phases} {
+		if len(fam.Samples) > 0 {
+			out = append(out, fam)
+		}
+	}
+	return out
 }
 
 // ServeHTTP implements http.Handler.
@@ -95,6 +229,18 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// httpErrorIngested is httpError plus an "ingested" count for partial
+// batch applies: how many points of the request were already sampled
+// before the failure.
+func httpErrorIngested(w http.ResponseWriter, code, ingested int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"error":    fmt.Sprintf(format, args...),
+		"ingested": ingested,
+	})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -136,43 +282,67 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if req.Policy == "" {
 		req.Policy = "variable"
 	}
+	fresh, err := samplerFactory(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.streams[name]; ok {
 		httpError(w, http.StatusConflict, "stream %q already exists", name)
 		return
 	}
-	rng := s.seeds.Split()
-	var sampler persistentSampler
-	var err error
-	switch req.Policy {
-	case "variable":
-		sampler, err = core.NewVariableReservoir(req.Lambda, req.Capacity, rng)
-	case "biased":
-		if req.Capacity == 0 {
-			sampler, err = core.NewBiasedReservoir(req.Lambda, rng)
-		} else {
-			sampler, err = core.NewConstrainedReservoir(req.Lambda, req.Capacity, rng)
-		}
-	case "constrained":
-		sampler, err = core.NewConstrainedReservoir(req.Lambda, req.Capacity, rng)
-	case "unbiased":
-		sampler, err = core.NewUnbiasedReservoir(req.Capacity, rng)
-	case "window":
-		sampler, err = core.NewWindowReservoir(req.Window, req.Capacity, rng)
-	case "timedecay":
-		sampler, err = core.NewTimeDecayReservoir(req.Lambda, req.Capacity, rng)
-	default:
-		httpError(w, http.StatusBadRequest, "unknown policy %q", req.Policy)
-		return
-	}
+	sampler, err := fresh(s.seeds.Split())
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "creating sampler: %v", err)
 		return
 	}
-	s.streams[name] = &managedStream{sampler: sampler, policy: req.Policy, lambda: req.Lambda}
+	s.streams[name] = &managedStream{sampler: sampler, policy: req.Policy, lambda: req.Lambda, fresh: fresh}
+	if s.log != nil {
+		s.log.Info("stream created", "stream", name, "policy", req.Policy,
+			"lambda", req.Lambda, "capacity", sampler.Capacity())
+	}
 	w.WriteHeader(http.StatusCreated)
 	writeJSON(w, map[string]any{"name": name, "policy": req.Policy, "capacity": sampler.Capacity()})
+}
+
+// samplerFactory resolves a create request into a constructor for the
+// requested policy; the constructor is kept on the stream so restores can
+// build a scratch instance of the same configuration.
+func samplerFactory(req CreateRequest) (func(rng *xrand.Source) (persistentSampler, error), error) {
+	switch req.Policy {
+	case "variable":
+		return func(rng *xrand.Source) (persistentSampler, error) {
+			return core.NewVariableReservoir(req.Lambda, req.Capacity, rng)
+		}, nil
+	case "biased":
+		if req.Capacity == 0 {
+			return func(rng *xrand.Source) (persistentSampler, error) {
+				return core.NewBiasedReservoir(req.Lambda, rng)
+			}, nil
+		}
+		return func(rng *xrand.Source) (persistentSampler, error) {
+			return core.NewConstrainedReservoir(req.Lambda, req.Capacity, rng)
+		}, nil
+	case "constrained":
+		return func(rng *xrand.Source) (persistentSampler, error) {
+			return core.NewConstrainedReservoir(req.Lambda, req.Capacity, rng)
+		}, nil
+	case "unbiased":
+		return func(rng *xrand.Source) (persistentSampler, error) {
+			return core.NewUnbiasedReservoir(req.Capacity, rng)
+		}, nil
+	case "window":
+		return func(rng *xrand.Source) (persistentSampler, error) {
+			return core.NewWindowReservoir(req.Window, req.Capacity, rng)
+		}, nil
+	case "timedecay":
+		return func(rng *xrand.Source) (persistentSampler, error) {
+			return core.NewTimeDecayReservoir(req.Lambda, req.Capacity, rng)
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown policy %q", req.Policy)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -244,19 +414,42 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	ms.mu.Lock()
 	defer ms.mu.Unlock()
+	// Validate the whole batch before touching the sampler so a bad point
+	// rejects the request without a partial apply. The stream dimension is
+	// only committed once validation has passed.
+	dim := ms.dim
 	for i, ip := range req.Points {
 		if len(ip.Values) == 0 {
 			httpError(w, http.StatusBadRequest, "point %d has no values", i)
 			return
 		}
-		if ms.dim == 0 {
-			ms.dim = len(ip.Values)
-		} else if len(ip.Values) != ms.dim {
-			httpError(w, http.StatusBadRequest, "point %d has dim %d, stream has %d", i, len(ip.Values), ms.dim)
+		if dim == 0 {
+			dim = len(ip.Values)
+		} else if len(ip.Values) != dim {
+			httpError(w, http.StatusBadRequest, "point %d has dim %d, stream has %d", i, len(ip.Values), dim)
 			return
 		}
 	}
 	td, timed := ms.sampler.(*core.TimeDecayReservoir)
+	if timed {
+		// Time-decay timestamps must be non-decreasing and no older than
+		// the stream's current clock; points without a timestamp advance
+		// the clock by one unit (AddAt semantics). Checked up front so a
+		// mid-batch violation cannot leave earlier points sampled.
+		clock := td.Now()
+		for i, ip := range req.Points {
+			if ip.TS == nil {
+				clock++
+				continue
+			}
+			if *ip.TS < clock {
+				httpError(w, http.StatusBadRequest,
+					"point %d: timestamp %v precedes the stream clock %v", i, *ip.TS, clock)
+				return
+			}
+			clock = *ip.TS
+		}
+	}
 	for i, ip := range req.Points {
 		ms.next++
 		label := -1
@@ -270,14 +463,20 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		p := stream.Point{Index: ms.next, Values: ip.Values, Label: label, Weight: weight}
 		if timed && ip.TS != nil {
 			if err := td.AddAt(p, *ip.TS); err != nil {
+				// Unreachable after prevalidation, but if a sampler ever
+				// rejects mid-batch, report how many points already
+				// applied so the client can resume rather than resend.
 				ms.next--
-				httpError(w, http.StatusBadRequest, "point %d: %v", i, err)
+				ms.dim = dim
+				httpErrorIngested(w, http.StatusBadRequest, i, "point %d: %v", i, err)
 				return
 			}
 			continue
 		}
 		ms.sampler.Add(p)
 	}
+	ms.dim = dim
+	s.ingest.With(r.PathValue("name")).Add(uint64(len(req.Points)))
 	writeJSON(w, map[string]any{"ingested": len(req.Points), "processed": ms.sampler.Processed()})
 }
 
@@ -436,9 +635,10 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
-	ms, ok := s.lookup(r.PathValue("name"))
+	name := r.PathValue("name")
+	ms, ok := s.lookup(name)
 	if !ok {
-		httpError(w, http.StatusNotFound, "stream %q not found", r.PathValue("name"))
+		httpError(w, http.StatusNotFound, "stream %q not found", name)
 		return
 	}
 	blob, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
@@ -446,14 +646,57 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "reading body: %v", err)
 		return
 	}
-	ms.mu.Lock()
-	defer ms.mu.Unlock()
-	if err := ms.sampler.UnmarshalBinary(blob); err != nil {
+	// Deserialize and validate against a scratch sampler first: a corrupt
+	// or inconsistent checkpoint must leave the live stream untouched.
+	s.mu.Lock()
+	rng := s.seeds.Split()
+	s.mu.Unlock()
+	restored, err := ms.fresh(rng)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "rebuilding sampler: %v", err)
+		return
+	}
+	if err := restored.UnmarshalBinary(blob); err != nil {
 		httpError(w, http.StatusBadRequest, "restore: %v", err)
 		return
 	}
-	ms.next = ms.sampler.Processed()
-	writeJSON(w, map[string]any{"processed": ms.sampler.Processed(), "size": ms.sampler.Len()})
+	dim, err := pointsDim(restored.Points())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "restore: %v", err)
+		return
+	}
+	ms.mu.Lock()
+	ms.sampler = restored
+	ms.dim = dim
+	ms.next = restored.Processed()
+	processed, size := restored.Processed(), restored.Len()
+	ms.mu.Unlock()
+	if s.log != nil {
+		s.log.Info("stream restored", "stream", name, "processed", processed, "size", size, "dim", dim)
+	}
+	writeJSON(w, map[string]any{"processed": processed, "size": size})
+}
+
+// pointsDim derives the stream dimensionality from restored reservoir
+// contents: the common Values length across all points (0 when the
+// reservoir is empty or the points carry no values). Mixed
+// dimensionalities mark a checkpoint from a different stream shape and
+// are rejected — queries like average/groupavg would otherwise read out
+// of range or silently mix spaces.
+func pointsDim(pts []stream.Point) (int, error) {
+	dim := 0
+	for i, p := range pts {
+		switch {
+		case len(p.Values) == 0:
+			continue
+		case dim == 0:
+			dim = len(p.Values)
+		case len(p.Values) != dim:
+			return 0, fmt.Errorf("inconsistent point dimensions: point %d has %d, earlier points have %d",
+				i, len(p.Values), dim)
+		}
+	}
+	return dim, nil
 }
 
 func parseUint(s string, def uint64) (uint64, error) {

@@ -320,6 +320,162 @@ func TestSnapshotRestoreOverHTTP(t *testing.T) {
 	}
 }
 
+// Regression test: handleRestore used to leave ms.dim at its pre-restore
+// value, so restoring a checkpoint into a fresh stream (dim 0) made
+// average/groupavg return 409 "stream has no points yet", and ingesting
+// points of a different dimensionality afterwards silently switched the
+// stream's shape. The dim must be re-derived from the restored reservoir.
+func TestRestoreRecoversDimension(t *testing.T) {
+	ts := newTestServer(t)
+	createStream(t, ts.URL, "orig", CreateRequest{Policy: "variable", Lambda: 1e-2, Capacity: 50})
+	batch := make([]IngestPoint, 500)
+	for i := range batch {
+		batch[i] = IngestPoint{Values: []float64{float64(i), float64(2 * i)}}
+	}
+	ingest(t, ts.URL, "orig", batch)
+
+	resp, body := do(t, http.MethodGet, ts.URL+"/streams/orig/query?type=average&h=100", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("average on original: status %d body %v", resp.StatusCode, body)
+	}
+	origAvg := body["average"].([]any)
+
+	resp, body = do(t, http.MethodGet, ts.URL+"/streams/orig/snapshot", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot: status %d", resp.StatusCode)
+	}
+	blob := body["raw"].([]byte)
+
+	// Restore into a brand-new stream that has never seen a point.
+	createStream(t, ts.URL, "clone", CreateRequest{Policy: "variable", Lambda: 1e-2, Capacity: 50})
+	resp, body = do(t, http.MethodPost, ts.URL+"/streams/clone/restore", blob)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("restore: status %d body %v", resp.StatusCode, body)
+	}
+	resp, body = do(t, http.MethodGet, ts.URL+"/streams/clone/query?type=average&h=100", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("average after restore: status %d body %v (dim lost)", resp.StatusCode, body)
+	}
+	cloneAvg := body["average"].([]any)
+	if len(cloneAvg) != len(origAvg) {
+		t.Fatalf("restored average has %d dims, original %d", len(cloneAvg), len(origAvg))
+	}
+	for i := range origAvg {
+		if cloneAvg[i].(float64) != origAvg[i].(float64) {
+			t.Fatalf("restored average %v != original %v", cloneAvg, origAvg)
+		}
+	}
+	// Stats report the recovered dimensionality.
+	_, stats := do(t, http.MethodGet, ts.URL+"/streams/clone", nil)
+	if stats["dim"].(float64) != 2 {
+		t.Fatalf("restored dim = %v, want 2", stats["dim"])
+	}
+	// And subsequent ingests cannot switch it.
+	resp, _ = do(t, http.MethodPost, ts.URL+"/streams/clone/points",
+		IngestRequest{Points: []IngestPoint{{Values: []float64{1}}}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("1-dim ingest into restored 2-dim stream: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = do(t, http.MethodPost, ts.URL+"/streams/clone/points",
+		IngestRequest{Points: []IngestPoint{{Values: []float64{1, 2}}}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("2-dim ingest into restored stream: status %d", resp.StatusCode)
+	}
+}
+
+// A rejected restore must leave the live sampler untouched.
+func TestRestoreFailureLeavesStreamIntact(t *testing.T) {
+	ts := newTestServer(t)
+	createStream(t, ts.URL, "s", CreateRequest{Policy: "variable", Lambda: 1e-2, Capacity: 50})
+	ingest(t, ts.URL, "s", []IngestPoint{{Values: []float64{1}}, {Values: []float64{2}}})
+	resp, _ := do(t, http.MethodPost, ts.URL+"/streams/s/restore", []byte("garbage"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage restore: status %d", resp.StatusCode)
+	}
+	_, stats := do(t, http.MethodGet, ts.URL+"/streams/s", nil)
+	if stats["processed"].(float64) != 2 || stats["dim"].(float64) != 1 {
+		t.Fatalf("stream corrupted by failed restore: %v", stats)
+	}
+}
+
+// Regression test: a mid-batch bad timestamp used to apply the leading
+// points and return a bare 400. Timestamps are now validated before any
+// mutation, so a rejected batch leaves the stream exactly as it was.
+func TestIngestBadTimestampBatchAtomic(t *testing.T) {
+	ts := newTestServer(t)
+	createStream(t, ts.URL, "td", CreateRequest{Policy: "timedecay", Lambda: 0.1, Capacity: 100})
+	t1, t2 := 1.0, 2.0
+	ingest(t, ts.URL, "td", []IngestPoint{{Values: []float64{1}, TS: &t1}, {Values: []float64{2}, TS: &t2}})
+
+	// ts=3 is fine, ts=1.5 regresses below it: the whole batch must be
+	// rejected with nothing applied.
+	t3, bad := 3.0, 1.5
+	resp, body := do(t, http.MethodPost, ts.URL+"/streams/td/points",
+		IngestRequest{Points: []IngestPoint{
+			{Values: []float64{3}, TS: &t3},
+			{Values: []float64{4}, TS: &bad},
+		}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad-timestamp batch: status %d body %v", resp.StatusCode, body)
+	}
+	_, stats := do(t, http.MethodGet, ts.URL+"/streams/td", nil)
+	if stats["processed"].(float64) != 2 {
+		t.Fatalf("partial apply: processed = %v, want 2", stats["processed"])
+	}
+
+	// A timestamp older than the stream clock is rejected even as the
+	// batch head.
+	old := 0.5
+	resp, _ = do(t, http.MethodPost, ts.URL+"/streams/td/points",
+		IngestRequest{Points: []IngestPoint{{Values: []float64{5}, TS: &old}}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("stale timestamp: status %d", resp.StatusCode)
+	}
+
+	// Untimestamped points advance the clock one unit each; a later
+	// timestamp inside the batch must respect the advanced clock.
+	// Clock is 2: nil moves it to 3, so ts=2.5 is stale.
+	mid := 2.5
+	resp, _ = do(t, http.MethodPost, ts.URL+"/streams/td/points",
+		IngestRequest{Points: []IngestPoint{
+			{Values: []float64{6}},
+			{Values: []float64{7}, TS: &mid},
+		}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("timestamp behind simulated clock: status %d", resp.StatusCode)
+	}
+	_, stats = do(t, http.MethodGet, ts.URL+"/streams/td", nil)
+	if stats["processed"].(float64) != 2 {
+		t.Fatalf("partial apply after clock-simulation batch: processed = %v, want 2", stats["processed"])
+	}
+
+	// The valid prefix of those rejected batches still ingests cleanly
+	// when resubmitted alone.
+	ingest(t, ts.URL, "td", []IngestPoint{{Values: []float64{3}, TS: &t3}})
+	_, stats = do(t, http.MethodGet, ts.URL+"/streams/td", nil)
+	if stats["processed"].(float64) != 3 {
+		t.Fatalf("processed = %v, want 3", stats["processed"])
+	}
+}
+
+// A first batch with internally inconsistent dimensions must not pin the
+// stream's dimensionality.
+func TestIngestRejectedBatchDoesNotPinDim(t *testing.T) {
+	ts := newTestServer(t)
+	createStream(t, ts.URL, "s", CreateRequest{Policy: "variable", Lambda: 1e-2, Capacity: 50})
+	resp, _ := do(t, http.MethodPost, ts.URL+"/streams/s/points",
+		IngestRequest{Points: []IngestPoint{{Values: []float64{1, 2}}, {Values: []float64{3}}}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mixed-dim batch: status %d", resp.StatusCode)
+	}
+	// The stream is still unshaped: a 3-dim batch is acceptable.
+	resp, _ = do(t, http.MethodPost, ts.URL+"/streams/s/points",
+		IngestRequest{Points: []IngestPoint{{Values: []float64{1, 2, 3}}}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("3-dim batch after rejected batch: status %d (dim wrongly pinned)", resp.StatusCode)
+	}
+}
+
 func TestConcurrentIngestAndQuery(t *testing.T) {
 	ts := newTestServer(t)
 	createStream(t, ts.URL, "s", CreateRequest{Policy: "variable", Lambda: 1e-2, Capacity: 100})
