@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet ci
+.PHONY: all build test race vet fmt linkcheck bench ci
 
 all: build
 
@@ -16,4 +16,17 @@ race:
 vet:
 	$(GO) vet ./...
 
-ci: build vet test race
+# fmt fails if any file needs gofmt, and prints the offenders.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# linkcheck validates relative Markdown links (stdlib-only, no network).
+linkcheck:
+	$(GO) run ./cmd/linkcheck
+
+# bench regenerates BENCH_ingest.json with the ingest throughput harness.
+bench:
+	$(GO) run ./cmd/benchingest
+
+ci: fmt build vet linkcheck test race

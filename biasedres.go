@@ -51,6 +51,11 @@ type Stream = stream.Stream
 // Sampler is the contract shared by every reservoir policy.
 type Sampler = core.Sampler
 
+// BatchSampler is a Sampler with a batch ingest fast path (AddBatch);
+// BiasedReservoir, VariableReservoir and the Synchronized wrapper all
+// implement it.
+type BatchSampler = core.BatchSampler
+
 // BiasFunction is the paper's f(r,t) (Definition 2.1).
 type BiasFunction = core.BiasFunction
 
@@ -146,6 +151,13 @@ func NewWindow(window uint64, capacity int, seed uint64) (*WindowReservoir, erro
 // Synchronized wraps a sampler with a mutex for concurrent producers and
 // readers.
 func Synchronized(s Sampler) *core.Synchronized { return core.NewSynchronized(s) }
+
+// AddBatch feeds pts to s as consecutive arrivals, using the sampler's
+// batch fast path when it has one (see BatchSampler) and falling back to
+// point-at-a-time Add otherwise. Batching amortizes random-number draws —
+// the space-constrained samplers admit points by geometric skips instead of
+// one coin per arrival — and, through Synchronized, lock acquisitions.
+func AddBatch(s Sampler, pts []Point) { core.AddBatch(s, pts) }
 
 // NewManager returns a multi-stream sampling manager distributing `budget`
 // reservoir slots across registered streams, each biased with rate λ.

@@ -1,0 +1,253 @@
+// Command benchingest runs the ingest benchmark suite and writes the
+// results to BENCH_ingest.json — the reproducible throughput harness
+// behind the table in README.md.
+//
+// It shells out to the repository's own toolchain:
+//
+//	go test -run ^$ -bench BenchmarkIngest -benchmem ./internal/core ./internal/server
+//
+// parses the standard benchmark output (including the custom "points/s"
+// metric the ingest benchmarks report), and emits one JSON document with
+// a per-benchmark record plus a computed batch-vs-single speedup per
+// sampling policy. Run it from the repository root:
+//
+//	go run ./cmd/benchingest            # writes BENCH_ingest.json
+//	go run ./cmd/benchingest -o out.json -benchtime 2s
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark's parsed measurements.
+type Result struct {
+	Name         string  `json:"name"`
+	Package      string  `json:"package"`
+	Iterations   int64   `json:"iterations"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	PointsPerSec float64 `json:"points_per_sec,omitempty"`
+	BytesPerOp   float64 `json:"bytes_per_op"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+}
+
+// Speedup compares the batch and single-point ingest paths for one
+// sampler policy.
+type Speedup struct {
+	Policy          string  `json:"policy"`
+	SinglePointsSec float64 `json:"single_points_per_sec"`
+	BatchPointsSec  float64 `json:"batch_points_per_sec"`
+	Speedup         float64 `json:"speedup"`
+}
+
+// Report is the BENCH_ingest.json document.
+type Report struct {
+	GeneratedBy string    `json:"generated_by"`
+	GoVersion   string    `json:"go_version"`
+	GOOS        string    `json:"goos"`
+	GOARCH      string    `json:"goarch"`
+	CPU         string    `json:"cpu,omitempty"`
+	Date        string    `json:"date"`
+	BenchTime   string    `json:"benchtime"`
+	Benchmarks  []Result  `json:"benchmarks"`
+	Speedups    []Speedup `json:"batch_vs_single"`
+}
+
+func main() {
+	var (
+		out       = flag.String("o", "BENCH_ingest.json", "output file")
+		benchtime = flag.String("benchtime", "1s", "go test -benchtime value")
+		count     = flag.Int("count", 1, "go test -count value")
+	)
+	flag.Parse()
+
+	if err := run(*out, *benchtime, *count); err != nil {
+		fmt.Fprintln(os.Stderr, "benchingest:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, benchtime string, count int) error {
+	args := []string{"test", "-run", "^$", "-bench", "BenchmarkIngest", "-benchmem",
+		"-benchtime", benchtime, "-count", strconv.Itoa(count),
+		"./internal/core", "./internal/server"}
+	fmt.Fprintln(os.Stderr, "running: go", strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("go test: %w", err)
+	}
+	os.Stderr.Write(buf.Bytes())
+
+	report := Report{
+		GeneratedBy: "cmd/benchingest",
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Date:        time.Now().UTC().Format(time.RFC3339),
+		BenchTime:   benchtime,
+	}
+	var err error
+	report.Benchmarks, report.CPU, err = parse(&buf)
+	if err != nil {
+		return err
+	}
+	if len(report.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines in go test output")
+	}
+	report.Speedups = speedups(report.Benchmarks)
+
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks)\n", out, len(report.Benchmarks))
+	for _, s := range report.Speedups {
+		fmt.Fprintf(os.Stderr, "  %-12s batch/single = %.2fx\n", s.Policy, s.Speedup)
+	}
+	return nil
+}
+
+// benchLine matches `BenchmarkX/sub-8  1234  56.7 ns/op ...`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+// parse extracts benchmark records (and the cpu: line) from go test
+// -bench output. Repeated runs of one benchmark (-count > 1) are averaged.
+func parse(r *bytes.Buffer) ([]Result, string, error) {
+	type acc struct {
+		Result
+		runs int
+	}
+	var (
+		order []string
+		byKey = map[string]*acc{}
+		pkg   string
+		cpu   string
+	)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "pkg:") {
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		}
+		if strings.HasPrefix(line, "cpu:") {
+			cpu = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := trimGOMAXPROCS(m[1])
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, "", fmt.Errorf("bad iteration count in %q: %w", line, err)
+		}
+		key := pkg + " " + name
+		a, ok := byKey[key]
+		if !ok {
+			a = &acc{Result: Result{Name: name, Package: pkg}}
+			byKey[key] = a
+			order = append(order, key)
+		}
+		a.runs++
+		a.Iterations += iters
+		// The tail is value/unit pairs: "15.1 ns/op  6.6e7 points/s ...".
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, "", fmt.Errorf("bad metric value in %q: %w", line, err)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				a.NsPerOp += val
+			case "points/s":
+				a.PointsPerSec += val
+			case "B/op":
+				a.BytesPerOp += val
+			case "allocs/op":
+				a.AllocsPerOp += val
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, "", err
+	}
+	results := make([]Result, 0, len(order))
+	for _, key := range order {
+		a := byKey[key]
+		n := float64(a.runs)
+		a.NsPerOp /= n
+		a.PointsPerSec /= n
+		a.BytesPerOp /= n
+		a.AllocsPerOp /= n
+		results = append(results, a.Result)
+	}
+	return results, cpu, nil
+}
+
+// trimGOMAXPROCS drops the trailing -N procs suffix Go appends to
+// benchmark names ("BenchmarkX/sub-8" → "BenchmarkX/sub").
+func trimGOMAXPROCS(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// speedups pairs BenchmarkIngestBatch/<policy>/... against
+// BenchmarkIngestSingle/<policy> on the points/s metric.
+func speedups(results []Result) []Speedup {
+	single := map[string]float64{}
+	batch := map[string]float64{}
+	for _, r := range results {
+		parts := strings.Split(r.Name, "/")
+		if len(parts) < 2 || r.PointsPerSec == 0 {
+			continue
+		}
+		switch parts[0] {
+		case "BenchmarkIngestSingle":
+			single[parts[1]] = r.PointsPerSec
+		case "BenchmarkIngestBatch":
+			batch[parts[1]] = r.PointsPerSec
+		}
+	}
+	var out []Speedup
+	for policy, s := range single {
+		b, ok := batch[policy]
+		if !ok || s == 0 {
+			continue
+		}
+		out = append(out, Speedup{
+			Policy:          policy,
+			SinglePointsSec: s,
+			BatchPointsSec:  b,
+			Speedup:         b / s,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Policy < out[j].Policy })
+	return out
+}

@@ -1,0 +1,180 @@
+// Command linkcheck validates relative Markdown links across the
+// repository — the docs' regression test, wired into `make ci`.
+//
+// It walks the tree for .md files (skipping .git and vendor-ish
+// directories), extracts inline links and images, and checks that every
+// relative target resolves to an existing file or directory and that
+// fragment targets (`file.md#section`, `#section`) match a heading's
+// GitHub-style anchor in the target document. External links
+// (http/https/mailto) are not fetched — CI must not depend on the
+// network.
+//
+//	go run ./cmd/linkcheck            # check the whole repository
+//	go run ./cmd/linkcheck docs cmd   # check specific roots
+//
+// Exit status is non-zero if any link is broken, with one line per
+// failure: file:line: message.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	var files []string
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				switch d.Name() {
+				case ".git", "node_modules", "vendor":
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.EqualFold(filepath.Ext(path), ".md") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "linkcheck:", err)
+			os.Exit(2)
+		}
+	}
+
+	broken := 0
+	for _, f := range files {
+		broken += checkFile(f)
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken link(s) in %d file(s) scanned\n", broken, len(files))
+		os.Exit(1)
+	}
+	fmt.Printf("linkcheck: %d files OK\n", len(files))
+}
+
+// linkRe matches inline links and images: [text](target) / ![alt](target).
+// Targets with spaces or nested parens are out of scope (none in this
+// repository).
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)\)`)
+
+// checkFile returns the number of broken links in one Markdown file.
+func checkFile(path string) int {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+		return 1
+	}
+	broken := 0
+	inFence := false
+	for i, line := range strings.Split(string(blob), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if msg := checkTarget(path, target); msg != "" {
+				fmt.Fprintf(os.Stderr, "%s:%d: %s\n", path, i+1, msg)
+				broken++
+			}
+		}
+	}
+	return broken
+}
+
+// checkTarget validates one link target relative to the file it appears
+// in; it returns a failure message or "".
+func checkTarget(from, target string) string {
+	switch {
+	case strings.HasPrefix(target, "http://"),
+		strings.HasPrefix(target, "https://"),
+		strings.HasPrefix(target, "mailto:"):
+		return "" // external; not checked
+	}
+	file, frag, _ := strings.Cut(target, "#")
+	resolved := from
+	if file != "" {
+		resolved = filepath.Join(filepath.Dir(from), file)
+		if _, err := os.Stat(resolved); err != nil {
+			return fmt.Sprintf("broken link %q: %s does not exist", target, resolved)
+		}
+	}
+	if frag == "" {
+		return ""
+	}
+	if !strings.EqualFold(filepath.Ext(resolved), ".md") {
+		return "" // anchors into non-Markdown targets are not checked
+	}
+	anchors, err := headingAnchors(resolved)
+	if err != nil {
+		return fmt.Sprintf("broken link %q: %v", target, err)
+	}
+	if !anchors[strings.ToLower(frag)] {
+		return fmt.Sprintf("broken link %q: no heading anchors to #%s in %s", target, frag, resolved)
+	}
+	return ""
+}
+
+// headingAnchors returns the set of GitHub-style anchors for a Markdown
+// file's headings: lowercase, punctuation dropped, spaces to hyphens,
+// with -1, -2… suffixes for duplicates.
+func headingAnchors(path string) (map[string]bool, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	anchors := make(map[string]bool)
+	seen := make(map[string]int)
+	inFence := false
+	for _, line := range strings.Split(string(blob), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		text := strings.TrimLeft(line, "#")
+		if text == line || !strings.HasPrefix(text, " ") {
+			continue // not a heading (e.g. a #hashtag)
+		}
+		slug := slugify(strings.TrimSpace(text))
+		if n := seen[slug]; n > 0 {
+			anchors[fmt.Sprintf("%s-%d", slug, n)] = true
+		} else {
+			anchors[slug] = true
+		}
+		seen[slug]++
+	}
+	return anchors, nil
+}
+
+// slugify approximates GitHub's heading-to-anchor rule.
+func slugify(s string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}

@@ -6,6 +6,16 @@
 // Usage:
 //
 //	reservoird -addr :8080 -seed 42 [-log-format text|json] [-log-level info] [-pprof :6060]
+//	           [-ingest-workers 4 -ingest-queue 64]
+//
+// Ingest modes:
+//
+//	By default POST /streams/{name}/points is synchronous: the request
+//	returns 200 after the points are sampled. With -ingest-workers N > 0
+//	each stream gets a bounded queue (-ingest-queue batches) drained by
+//	its own goroutine; ingest returns 202 immediately, a full queue
+//	returns 429 with Retry-After, and at most N workers apply batches
+//	concurrently. See docs/OPERATIONS.md for tuning.
 //
 // Observability:
 //
@@ -50,6 +60,10 @@ func main() {
 		logFormat = flag.String("log-format", "text", "log output format: text or json")
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
+		workers   = flag.Int("ingest-workers", 0,
+			"enable sharded async ingest with this many concurrent batch appliers (0 = synchronous ingest)")
+		queue = flag.Int("ingest-queue", 64,
+			"per-stream ingest queue depth in batches (used when -ingest-workers > 0)")
 	)
 	flag.Parse()
 
@@ -58,10 +72,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if *workers < 0 || (*workers > 0 && *queue <= 0) {
+		fmt.Fprintln(os.Stderr, "reservoird: -ingest-workers must be ≥ 0 and -ingest-queue > 0")
+		os.Exit(2)
+	}
 
+	opts := []server.Option{server.WithLogger(logger)}
+	if *workers > 0 {
+		opts = append(opts, server.WithIngestShards(*workers, *queue))
+		logger.Info("sharded ingest enabled", "workers", *workers, "queue", *queue)
+	}
+	api := server.New(*seed, opts...)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(*seed, server.WithLogger(logger)),
+		Handler:           api,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -95,6 +119,10 @@ func main() {
 			logger.Error("shutdown failed", "error", err)
 			os.Exit(1)
 		}
+		// Drain the ingest queues after the listener stops: accepted (202)
+		// batches are applied before exit, so a checkpoint taken on the next
+		// start sees every acknowledged point.
+		api.Close()
 		logger.Info("shutdown complete")
 	}
 }

@@ -2,9 +2,13 @@ package biasedres_test
 
 import (
 	"fmt"
+	"net/http/httptest"
 	"sort"
+	"time"
 
 	"biasedres"
+	"biasedres/internal/client"
+	"biasedres/internal/server"
 )
 
 // Estimate the class mix of the recent past from a biased sample of a
@@ -100,6 +104,59 @@ func ExampleMergeUnbiased() {
 	fmt.Printf("union sample: %d points over %d stream points\n", merged.Len(), merged.Processed())
 	// Output:
 	// union sample: 10 points over 3000 stream points
+}
+
+// Ingest grouped arrivals through the batch fast path: one geometric skip
+// per admitted point instead of one coin per arrival, with the same sample
+// distribution as a per-point Add loop.
+func ExampleBiasedReservoir_AddBatch() {
+	s, _ := biasedres.NewConstrained(1e-3, 100, 9) // p_in = n·λ = 0.1
+	const batch = 256
+	pts := make([]biasedres.Point, batch)
+	var next uint64 = 1
+	for b := 0; b < 100; b++ {
+		for i := range pts {
+			pts[i] = biasedres.Point{Index: next, Values: []float64{float64(next)}, Weight: 1}
+			next++
+		}
+		s.AddBatch(pts)
+	}
+	fmt.Printf("processed %d points into %d slots (p_in = %.1f)\n",
+		s.Processed(), s.Len(), s.PIn())
+	// Output:
+	// processed 25600 points into 100 slots (p_in = 0.1)
+}
+
+// Buffer points client-side and push them to a reservoird server in
+// batches with the HTTP client's Batcher: flush on size or interval,
+// automatic retry on 429 backpressure. (Shown against an in-process
+// test server; point the client at a real daemon in production.)
+func Example_batchClient() {
+	srv := server.New(1, server.WithIngestShards(2, 64))
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	c, _ := client.New(ts.URL)
+	_ = c.CreateStream("sensor", client.StreamConfig{Policy: "variable", Lambda: 1e-3, Capacity: 200})
+
+	b := c.NewBatcher("sensor", client.BatcherConfig{FlushSize: 128})
+	for i := 0; i < 1000; i++ {
+		_ = b.Add(client.Point{Values: []float64{float64(i)}})
+	}
+	if err := b.Close(); err != nil { // flush the remainder
+		fmt.Println("close:", err)
+	}
+	for { // async ingest: wait for the queue to drain
+		st, _ := c.Stats("sensor")
+		if st.Processed == 1000 {
+			fmt.Printf("server sampled all %d points\n", st.Processed)
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Output:
+	// server sampled all 1000 points
 }
 
 func roundTo(x, unit float64) float64 {

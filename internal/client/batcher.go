@@ -1,0 +1,200 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Batcher buffers points client-side and pushes them to one stream in
+// batches, flushing whenever the buffer reaches FlushSize points or
+// FlushInterval elapses — whichever comes first. Batching is what makes
+// the server's ingest fast path pay off: one HTTP round trip, one queue
+// handoff and one sampler lock acquisition cover hundreds of points.
+//
+// A Batcher is safe for concurrent use. On 429 backpressure it waits the
+// server's Retry-After hint (or its own RetryBackoff when absent) and
+// resends, up to MaxRetries attempts per batch. Call Close to flush the
+// remainder and stop the background timer; after Close the Batcher
+// rejects new points.
+type Batcher struct {
+	c      *Client
+	stream string
+	cfg    BatcherConfig
+
+	mu     sync.Mutex
+	buf    []Point
+	err    error // first background flush failure, reported on next Add/Flush/Close
+	closed bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// BatcherConfig tunes a Batcher. Zero values pick the defaults.
+type BatcherConfig struct {
+	// FlushSize is the point count that triggers an immediate flush
+	// (default 256).
+	FlushSize int
+	// FlushInterval is the maximum time buffered points wait before being
+	// pushed (default 100ms). Zero or negative picks the default; use a
+	// large interval to flush on size only.
+	FlushInterval time.Duration
+	// MaxRetries bounds resends of one batch after 429 backpressure
+	// (default 8). The attempt budget is per flush, not per point.
+	MaxRetries int
+	// RetryBackoff is the wait between resends when the server's 429
+	// carries no Retry-After hint (default 50ms).
+	RetryBackoff time.Duration
+}
+
+func (cfg BatcherConfig) withDefaults() BatcherConfig {
+	if cfg.FlushSize <= 0 {
+		cfg.FlushSize = 256
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = 100 * time.Millisecond
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 8
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 50 * time.Millisecond
+	}
+	return cfg
+}
+
+// NewBatcher returns a Batcher pushing to the named stream through c.
+func (c *Client) NewBatcher(stream string, cfg BatcherConfig) *Batcher {
+	b := &Batcher{
+		c:      c,
+		stream: stream,
+		cfg:    cfg.withDefaults(),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go b.loop()
+	return b
+}
+
+// loop flushes on the interval timer until Close.
+func (b *Batcher) loop() {
+	defer close(b.done)
+	ticker := time.NewTicker(b.cfg.FlushInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			if err := b.Flush(); err != nil {
+				b.mu.Lock()
+				if b.err == nil {
+					b.err = err
+				}
+				b.mu.Unlock()
+			}
+		case <-b.stop:
+			return
+		}
+	}
+}
+
+// ErrBatcherClosed is returned by Add after Close.
+var ErrBatcherClosed = errors.New("client: batcher is closed")
+
+// Add buffers one point, flushing synchronously when the buffer reaches
+// FlushSize. It returns the flush error if that flush fails, or any error
+// a background (interval) flush hit since the last call — points from a
+// failed flush are dropped, not retried forever, so a returned error means
+// data loss unless the caller resends.
+func (b *Batcher) Add(p Point) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrBatcherClosed
+	}
+	if err := b.err; err != nil {
+		b.err = nil
+		b.mu.Unlock()
+		return err
+	}
+	b.buf = append(b.buf, p)
+	if len(b.buf) < b.cfg.FlushSize {
+		b.mu.Unlock()
+		return nil
+	}
+	batch := b.buf
+	b.buf = nil
+	b.mu.Unlock()
+	return b.push(batch)
+}
+
+// Len returns the number of points currently buffered.
+func (b *Batcher) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.buf)
+}
+
+// Flush pushes any buffered points immediately.
+func (b *Batcher) Flush() error {
+	b.mu.Lock()
+	batch := b.buf
+	b.buf = nil
+	b.mu.Unlock()
+	if len(batch) == 0 {
+		return nil
+	}
+	return b.push(batch)
+}
+
+// Close flushes the remaining points, stops the interval timer and marks
+// the Batcher closed. It returns the final flush error or any pending
+// background flush error.
+func (b *Batcher) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	pending := b.err
+	b.err = nil
+	batch := b.buf
+	b.buf = nil
+	b.mu.Unlock()
+	close(b.stop)
+	<-b.done
+	err := pending
+	if len(batch) > 0 {
+		if ferr := b.push(batch); err == nil {
+			err = ferr
+		}
+	}
+	return err
+}
+
+// push sends one batch, honoring 429 backpressure: wait the server's
+// Retry-After (or the configured backoff) and resend the whole batch —
+// the server consumed nothing, so a resend cannot duplicate points.
+func (b *Batcher) push(batch []Point) error {
+	var lastErr error
+	for attempt := 0; attempt < b.cfg.MaxRetries; attempt++ {
+		_, err := b.c.Push(b.stream, batch)
+		if err == nil {
+			return nil
+		}
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) || apiErr.StatusCode != 429 {
+			return err
+		}
+		lastErr = err
+		wait := apiErr.RetryAfter
+		if wait <= 0 {
+			wait = b.cfg.RetryBackoff
+		}
+		time.Sleep(wait)
+	}
+	return fmt.Errorf("client: batch of %d points still backpressured after %d attempts: %w",
+		len(batch), b.cfg.MaxRetries, lastErr)
+}

@@ -53,6 +53,10 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 type APIError struct {
 	StatusCode int
 	Message    string
+	// RetryAfter is the server's Retry-After hint on 429 backpressure
+	// responses (zero when absent): how long to wait before resending the
+	// batch. Batcher honors it automatically.
+	RetryAfter time.Duration
 }
 
 // Error implements error.
@@ -97,7 +101,13 @@ func (c *Client) do(method, path string, body, out any) error {
 		if msg.Error == "" {
 			msg.Error = string(raw)
 		}
-		return &APIError{StatusCode: resp.StatusCode, Message: msg.Error}
+		apiErr := &APIError{StatusCode: resp.StatusCode, Message: msg.Error}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+				apiErr.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return apiErr
 	}
 	if out == nil {
 		return nil
@@ -152,8 +162,11 @@ type Point struct {
 	TS     *float64  `json:"ts,omitempty"`
 }
 
-// Push ingests a batch of points and returns the stream's total processed
-// count.
+// Push ingests a batch of points. Against a synchronous server it returns
+// the stream's total processed count; a server running sharded async
+// ingest answers 202 Accepted instead and processed is 0 (the points are
+// queued, not yet applied). Use a Batcher to buffer points client-side and
+// to retry automatically on 429 backpressure.
 func (c *Client) Push(name string, pts []Point) (processed uint64, err error) {
 	var out struct {
 		Processed uint64 `json:"processed"`

@@ -69,6 +69,35 @@ func (z *ZReservoir) Add(p stream.Point) {
 	z.skip = z.drawSkip()
 }
 
+// AddBatch implements BatchSampler. It consumes identical random draws to
+// Add-ing each point in order — same skips, same replacement slots — but
+// the skip counter is decremented in bulk: a skip that covers the rest of
+// the batch costs one subtraction instead of one call per arrival. Once t
+// is large the skips average t/n arrivals, so steady-state batch ingest
+// approaches O(1) work per batch rather than per point.
+func (z *ZReservoir) AddBatch(pts []stream.Point) {
+	n := len(pts)
+	i := 0
+	// Fill phase (and the W/skip bootstrap when capacity is reached).
+	for i < n && len(z.pts) < z.capacity {
+		z.Add(pts[i])
+		i++
+	}
+	for i < n {
+		remaining := uint64(n - i)
+		if z.skip >= remaining {
+			z.skip -= remaining
+			z.t += remaining
+			return
+		}
+		i += int(z.skip)
+		z.t += z.skip + 1
+		z.pts[z.rng.Intn(z.capacity)] = pts[i]
+		z.skip = z.drawSkip()
+		i++
+	}
+}
+
 // u01 returns a uniform variate in (0, 1].
 func (z *ZReservoir) u01() float64 {
 	for {

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"biasedres/internal/stream"
+	"biasedres/internal/xrand"
+)
+
+func batchPoints(from, n uint64) []stream.Point {
+	pts := make([]stream.Point, n)
+	for i := range pts {
+		pts[i] = stream.Point{Index: from + uint64(i), Values: []float64{float64(from) + float64(i)}, Weight: 1}
+	}
+	return pts
+}
+
+func sameReservoir(t *testing.T, a, b Sampler) {
+	t.Helper()
+	if a.Processed() != b.Processed() {
+		t.Fatalf("processed diverged: %d vs %d", a.Processed(), b.Processed())
+	}
+	ap, bp := a.Points(), b.Points()
+	if len(ap) != len(bp) {
+		t.Fatalf("reservoir size diverged: %d vs %d", len(ap), len(bp))
+	}
+	for i := range ap {
+		if ap[i].Index != bp[i].Index {
+			t.Fatalf("slot %d diverged: index %d vs %d", i, ap[i].Index, bp[i].Index)
+		}
+	}
+}
+
+// With p_in = 1 (Algorithm 2.1) AddBatch performs exactly the random draws
+// Add does, so the two must produce byte-identical reservoirs from the same
+// seed — the strongest possible equivalence check.
+func TestBiasedAddBatchIdenticalWhenPinIsOne(t *testing.T) {
+	one, err := NewBiasedReservoir(1e-2, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := NewBiasedReservoir(1e-2, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var next uint64 = 1
+	for _, size := range []uint64{1, 3, 50, 317, 1000, 4096} {
+		pts := batchPoints(next, size)
+		next += size
+		for _, p := range pts {
+			one.Add(p)
+		}
+		two.AddBatch(pts)
+		sameReservoir(t, one, two)
+	}
+	if one.Admitted() != two.Admitted() {
+		t.Fatalf("admitted diverged: %d vs %d", one.Admitted(), two.Admitted())
+	}
+}
+
+// Algorithm Z's batch path consumes identical random draws to the loop
+// (skips are merely decremented in bulk), so reservoirs must match exactly.
+func TestZAddBatchIdenticalToAddLoop(t *testing.T) {
+	one, err := NewZReservoir(64, xrand.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := NewZReservoir(64, xrand.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var next uint64 = 1
+	for _, size := range []uint64{10, 64, 1, 999, 5000, 40000} {
+		pts := batchPoints(next, size)
+		next += size
+		for _, p := range pts {
+			one.Add(p)
+		}
+		two.AddBatch(pts)
+		sameReservoir(t, one, two)
+	}
+}
+
+// For p_in < 1 the batch path replaces Bernoulli coins with geometric
+// skips, so reservoirs are not draw-identical — but the admission process
+// must keep the same distribution. Feed a long stream through both paths
+// many times and compare the admitted fraction and the mean age of the
+// sample against the analytic expectations.
+func TestBiasedAddBatchAdmissionDistribution(t *testing.T) {
+	const (
+		lambda   = 1e-3
+		capacity = 100 // p_in = 0.1
+		total    = 40000
+		batch    = 256
+	)
+	run := func(seed uint64, batched bool) (admitted uint64, meanIdx float64) {
+		s, err := NewConstrainedReservoir(lambda, capacity, xrand.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var next uint64 = 1
+		for next <= total {
+			n := uint64(batch)
+			if next+n > total+1 {
+				n = total + 1 - next
+			}
+			pts := batchPoints(next, n)
+			next += n
+			if batched {
+				s.AddBatch(pts)
+			} else {
+				for _, p := range pts {
+					s.Add(p)
+				}
+			}
+		}
+		var sum float64
+		for _, p := range s.Points() {
+			sum += float64(p.Index)
+		}
+		return s.Admitted(), sum / float64(s.Len())
+	}
+
+	const trials = 30
+	var admSingle, admBatch, ageSingle, ageBatch float64
+	for seed := uint64(1); seed <= trials; seed++ {
+		a, m := run(seed, false)
+		admSingle += float64(a)
+		ageSingle += m
+		a, m = run(seed+1000, true)
+		admBatch += float64(a)
+		ageBatch += m
+	}
+	admSingle /= trials
+	admBatch /= trials
+	ageSingle /= trials
+	ageBatch /= trials
+
+	// Expected admissions: p_in·total = 4000. Allow 3σ ≈ 3·√(total·p·(1-p)/trials).
+	want := 0.1 * total
+	sigma := math.Sqrt(total * 0.1 * 0.9 / trials)
+	for name, got := range map[string]float64{"single": admSingle, "batch": admBatch} {
+		if math.Abs(got-want) > 4*sigma {
+			t.Errorf("%s path admitted %.1f points on average, want %.1f ± %.1f", name, got, want, 4*sigma)
+		}
+	}
+	// The two paths must agree with each other on sample recency: the mean
+	// resident index is tightly concentrated, so a 2%-of-stream tolerance
+	// is generous while still catching a mis-specified skip distribution.
+	if math.Abs(ageSingle-ageBatch) > 0.02*total {
+		t.Errorf("mean resident index diverged: single %.1f vs batch %.1f", ageSingle, ageBatch)
+	}
+}
+
+// The variable reservoir's invariants — physical size never above n_max,
+// p_in decaying monotonically to its target, full-within-a-slot steady
+// state — must survive batch ingest across reduction-phase boundaries.
+func TestVariableAddBatchInvariants(t *testing.T) {
+	const (
+		lambda = 1e-3
+		nmax   = 200 // target p_in = 0.2, several reduction phases
+	)
+	v, err := NewVariableReservoir(lambda, nmax, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var next uint64 = 1
+	lastPin := v.PIn()
+	for batch := 0; batch < 400; batch++ {
+		pts := batchPoints(next, 100)
+		next += 100
+		v.AddBatch(pts)
+		if v.Len() > nmax {
+			t.Fatalf("after batch %d: reservoir size %d exceeds budget %d", batch, v.Len(), nmax)
+		}
+		if v.PIn() > lastPin+1e-15 {
+			t.Fatalf("after batch %d: p_in rose from %v to %v", batch, lastPin, v.PIn())
+		}
+		lastPin = v.PIn()
+	}
+	if got := v.Processed(); got != next-1 {
+		t.Fatalf("processed = %d, want %d", got, next-1)
+	}
+	if math.Abs(v.PIn()-v.TargetPIn()) > 1e-12 {
+		t.Fatalf("p_in %v did not converge to target %v", v.PIn(), v.TargetPIn())
+	}
+	// Steady state: the paper's reduction factor keeps the reservoir full
+	// up to one slot.
+	if v.Len() < nmax-1 {
+		t.Fatalf("steady-state reservoir size %d, want ≥ %d", v.Len(), nmax-1)
+	}
+}
+
+// Variable batch ingest must match single-point ingest in distribution:
+// compare steady-state admitted counts over repeated runs.
+func TestVariableAddBatchAdmissionDistribution(t *testing.T) {
+	const (
+		lambda = 1e-3
+		nmax   = 100
+		total  = 20000
+	)
+	run := func(seed uint64, batched bool) float64 {
+		v, err := NewVariableReservoir(lambda, nmax, xrand.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts := batchPoints(1, total)
+		if batched {
+			for i := 0; i < total; i += 500 {
+				v.AddBatch(pts[i : i+500])
+			}
+		} else {
+			for _, p := range pts {
+				v.Add(p)
+			}
+		}
+		return float64(v.Admitted())
+	}
+	const trials = 20
+	var single, batch float64
+	for seed := uint64(1); seed <= trials; seed++ {
+		single += run(seed, false)
+		batch += run(seed+777, true)
+	}
+	single /= trials
+	batch /= trials
+	// Both paths converge to p_in = 0.1 after a short warm-up, so the
+	// averages must agree within a few percent of the stream length.
+	if math.Abs(single-batch) > 0.02*total {
+		t.Errorf("mean admitted diverged: single %.1f vs batch %.1f", single, batch)
+	}
+}
+
+// The package-level AddBatch helper must fall back to Add for samplers
+// without a batch path and keep counts exact either way.
+func TestAddBatchHelperFallback(t *testing.T) {
+	w, err := NewWindowReservoir(1000, 50, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	AddBatch(w, batchPoints(1, 500))
+	if w.Processed() != 500 {
+		t.Fatalf("window processed = %d, want 500", w.Processed())
+	}
+	b, err := NewBiasedReservoir(1e-2, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	AddBatch(b, batchPoints(1, 500))
+	if b.Processed() != 500 {
+		t.Fatalf("biased processed = %d, want 500", b.Processed())
+	}
+	s := NewSynchronized(b)
+	s.AddBatch(batchPoints(501, 100))
+	if s.Processed() != 600 {
+		t.Fatalf("synchronized processed = %d, want 600", s.Processed())
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"biasedres/internal/stream"
+	"biasedres/internal/xrand"
+)
+
+// ingestPolicies are the sampler configurations the ingest benchmarks
+// cover: the deterministic-insertion sampler (p_in = 1), the
+// space-constrained sampler (p_in = n·λ, where batch geometric skips pay
+// off most), the fast-start variable sampler, and Vitter's Algorithm Z
+// baseline.
+var ingestPolicies = []struct {
+	name string
+	make func(seed uint64) Sampler
+}{
+	{"biased", func(seed uint64) Sampler {
+		s, err := NewBiasedReservoir(1e-3, xrand.New(seed))
+		if err != nil {
+			panic(err)
+		}
+		return s
+	}},
+	{"constrained", func(seed uint64) Sampler {
+		s, err := NewConstrainedReservoir(1e-4, 1000, xrand.New(seed))
+		if err != nil {
+			panic(err)
+		}
+		return s
+	}},
+	{"variable", func(seed uint64) Sampler {
+		s, err := NewVariableReservoir(1e-4, 1000, xrand.New(seed))
+		if err != nil {
+			panic(err)
+		}
+		return s
+	}},
+	{"algz", func(seed uint64) Sampler {
+		s, err := NewZReservoir(1000, xrand.New(seed))
+		if err != nil {
+			panic(err)
+		}
+		return s
+	}},
+}
+
+// benchBatch is the batch size the batch benchmarks use; it matches the
+// client Batcher's default FlushSize.
+const benchBatch = 256
+
+func benchPoints(n int) []stream.Point {
+	pts := make([]stream.Point, n)
+	for i := range pts {
+		pts[i] = stream.Point{Index: uint64(i + 1), Values: []float64{float64(i)}, Weight: 1}
+	}
+	return pts
+}
+
+// BenchmarkIngestSingle measures the point-at-a-time Add path. The
+// custom "points/s" metric is what BENCH_ingest.json and the README
+// throughput table report.
+func BenchmarkIngestSingle(b *testing.B) {
+	for _, pol := range ingestPolicies {
+		b.Run(pol.name, func(b *testing.B) {
+			s := pol.make(1)
+			pts := benchPoints(benchBatch)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var idx uint64
+			for i := 0; i < b.N; i++ {
+				p := pts[i%benchBatch]
+				idx++
+				p.Index = idx
+				s.Add(p)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "points/s")
+		})
+	}
+}
+
+// BenchmarkIngestBatch measures the AddBatch fast path at the Batcher's
+// default batch size. One iteration ingests one batch, so points/s =
+// N·batch/elapsed.
+func BenchmarkIngestBatch(b *testing.B) {
+	for _, pol := range ingestPolicies {
+		b.Run(fmt.Sprintf("%s/batch=%d", pol.name, benchBatch), func(b *testing.B) {
+			s := pol.make(1)
+			pts := benchPoints(benchBatch)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var idx uint64
+			for i := 0; i < b.N; i++ {
+				for j := range pts {
+					idx++
+					pts[j].Index = idx
+				}
+				AddBatch(s, pts)
+			}
+			b.ReportMetric(float64(b.N)*benchBatch/b.Elapsed().Seconds(), "points/s")
+		})
+	}
+}

@@ -8,6 +8,13 @@
 // probabilistic insertion) and variable reservoir sampling (Theorem 3.3) —
 // as well as the unbiased (Vitter Algorithm R) and sliding-window baselines
 // the paper compares against.
+//
+// Samplers that can exploit grouped arrivals implement BatchSampler: their
+// AddBatch replaces the per-arrival Bernoulli(p_in) admission coin with one
+// geometric skip per admitted point (and, for Algorithm Z, decrements
+// Vitter's skip counter in bulk), keeping the sample distribution of the
+// per-point loop at a fraction of its random-number cost. The package-level
+// AddBatch helper dispatches to the fast path when present.
 package core
 
 import (

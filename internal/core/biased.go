@@ -95,14 +95,42 @@ func (b *BiasedReservoir) Add(p stream.Point) {
 	if b.pin < 1 && !b.rng.Bernoulli(b.pin) {
 		return
 	}
+	b.admit(p)
+}
+
+// admit places a point that has passed the p_in insertion filter: a coin
+// with success probability F(t) — the fill fraction just before this
+// arrival — decides replacement versus growth.
+func (b *BiasedReservoir) admit(p stream.Point) {
 	b.admitted++
-	// Coin with success probability F(t), the fill fraction just before
-	// this arrival.
 	fill := float64(len(b.pts)) / float64(b.capacity)
 	if b.rng.Bernoulli(fill) {
 		b.pts[b.rng.Intn(len(b.pts))] = p
 	} else {
 		b.pts = append(b.pts, p)
+	}
+}
+
+// AddBatch implements BatchSampler: distributionally identical to Add-ing
+// each point in order, but the Bernoulli(p_in) admission coins are replaced
+// by geometric skip draws — one random number per *admitted* point rather
+// than one per arrival. For Algorithm 3.1 under a tight budget (p_in = n·λ
+// ≪ 1) this removes almost all RNG work from the hot path; for Algorithm
+// 2.1 (p_in = 1) it degenerates to the plain loop. The trailing skip that
+// overruns the batch is discarded: Bernoulli trials are memoryless, so
+// redrawing at the next batch leaves the admission process unchanged.
+func (b *BiasedReservoir) AddBatch(pts []stream.Point) {
+	n := len(pts)
+	b.t += uint64(n)
+	for i := 0; i < n; i++ {
+		if b.pin < 1 {
+			skip := b.rng.Geometric(b.pin)
+			if skip >= n-i {
+				return
+			}
+			i += skip
+		}
+		b.admit(pts[i])
 	}
 }
 

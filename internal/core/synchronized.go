@@ -28,6 +28,15 @@ func (c *Synchronized) Add(p stream.Point) {
 	c.s.Add(p)
 }
 
+// AddBatch implements BatchSampler: the whole batch is applied under one
+// lock acquisition, using the wrapped sampler's batch fast path when it has
+// one. Concurrent readers observe either none or all of the batch.
+func (c *Synchronized) AddBatch(pts []stream.Point) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	AddBatch(c.s, pts)
+}
+
 // Points implements Sampler. Unlike the raw samplers it returns a copy, as
 // a shared view would be racy by construction.
 func (c *Synchronized) Points() []stream.Point { return c.Sample() }

@@ -109,6 +109,36 @@ func (v *VariableReservoir) Add(p stream.Point) {
 	if v.pin < 1 && !v.rng.Bernoulli(v.pin) {
 		return
 	}
+	v.admit(p)
+}
+
+// AddBatch implements BatchSampler: distributionally identical to Add-ing
+// each point in order, with the Bernoulli(p_in) admission coins replaced by
+// geometric skip draws (one random number per admitted point). p_in only
+// changes inside reduction phases, which run on admitted points, so the
+// skip distribution is re-read after every admission and stays correct
+// across phase boundaries; skipped points change no sampler state. The
+// trailing skip that overruns the batch is discarded — Bernoulli trials are
+// memoryless, so redrawing at the next batch leaves the process unchanged.
+func (v *VariableReservoir) AddBatch(pts []stream.Point) {
+	n := len(pts)
+	v.t += uint64(n)
+	for i := 0; i < n; i++ {
+		if v.pin < 1 {
+			skip := v.rng.Geometric(v.pin)
+			if skip >= n-i {
+				return
+			}
+			i += skip
+		}
+		v.admit(pts[i])
+	}
+}
+
+// admit handles a point that has passed the p_in admission coin: the
+// Section 3 replacement policy against the fictitious reservoir, with a
+// reduction phase when the physical budget would overflow.
+func (v *VariableReservoir) admit(p stream.Point) {
 	v.admitted++
 	// F(t) is computed against the *fictitious* reservoir size p_in/λ,
 	// not the physical budget (Section 3). Once p_in has decayed to the

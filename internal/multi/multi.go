@@ -144,6 +144,25 @@ func (m *Manager) Add(name string, p stream.Point) error {
 	return nil
 }
 
+// AddBatch feeds pts to the named stream's reservoir as consecutive
+// arrivals under one lock acquisition, using the sampler's batch fast path
+// (core.AddBatch) when it has one. For the manager's biased samplers this
+// amortizes both the per-point lock traffic and — via geometric admission
+// skips — the random draws, so it is the preferred ingest call when points
+// arrive in groups.
+func (m *Manager) AddBatch(name string, pts []stream.Point) error {
+	m.mu.RLock()
+	e, ok := m.streams[name]
+	m.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("multi: stream %q not registered", name)
+	}
+	e.mu.Lock()
+	core.AddBatch(e.sampler, pts)
+	e.mu.Unlock()
+	return nil
+}
+
 // Sample returns a copy of the named stream's current reservoir.
 func (m *Manager) Sample(name string) ([]stream.Point, error) {
 	m.mu.RLock()

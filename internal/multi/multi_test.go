@@ -307,3 +307,71 @@ func TestConcurrentStreams(t *testing.T) {
 		t.Fatalf("budget = %d", m.Budget())
 	}
 }
+
+func TestAddBatch(t *testing.T) {
+	m, _ := NewManager(50, 0.01, 2)
+	if err := m.Register("s", 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddBatch("nope", []stream.Point{{Index: 1}}); err == nil {
+		t.Error("batch add to unregistered stream accepted")
+	}
+	const batches, per = 10, 50
+	var next uint64 = 1
+	for b := 0; b < batches; b++ {
+		pts := make([]stream.Point, per)
+		for i := range pts {
+			pts[i] = stream.Point{Index: next, Values: []float64{float64(next)}, Weight: 1}
+			next++
+		}
+		if err := m.AddBatch("s", pts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := m.StreamStats()
+	if len(st) != 1 || st[0].Processed != batches*per {
+		t.Fatalf("stats = %+v, want %d processed", st, batches*per)
+	}
+	sample, err := m.Sample("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sample) == 0 || len(sample) > 50 {
+		t.Fatalf("sample size %d", len(sample))
+	}
+}
+
+func TestAddBatchConcurrent(t *testing.T) {
+	m, _ := NewManager(100, 0.01, 3)
+	if err := m.RegisterEven([]string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	const producers, batches, per = 4, 20, 25
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		for _, name := range []string{"a", "b"} {
+			wg.Add(1)
+			go func(name string, p int) {
+				defer wg.Done()
+				next := uint64(p*batches*per + 1)
+				for b := 0; b < batches; b++ {
+					pts := make([]stream.Point, per)
+					for i := range pts {
+						pts[i] = stream.Point{Index: next, Weight: 1}
+						next++
+					}
+					if err := m.AddBatch(name, pts); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(name, p)
+		}
+	}
+	wg.Wait()
+	for _, st := range m.StreamStats() {
+		if st.Processed != producers*batches*per {
+			t.Fatalf("stream %s processed %d, want %d", st.Name, st.Processed, producers*batches*per)
+		}
+	}
+}

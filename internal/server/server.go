@@ -39,6 +39,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"biasedres/internal/core"
@@ -58,21 +59,39 @@ type persistentSampler interface {
 	encoding.BinaryUnmarshaler
 }
 
+// managedStream is one named stream. Two locks split its state so async
+// ingest handlers never wait on sampler work:
+//
+//   - qmu guards the ingest bookkeeping: next (arrival indexing), dim,
+//     closed, and the enqueue onto the shard. Handlers hold it briefly.
+//   - mu guards the sampler itself: Adds (the shard worker, or the
+//     synchronous path), queries, snapshots.
+//
+// When both are needed (synchronous ingest, restore, snapshot) the order
+// is always qmu → mu.
 type managedStream struct {
+	qmu     sync.Mutex
 	mu      sync.Mutex
 	sampler persistentSampler
 	policy  string
 	lambda  float64
-	next    uint64 // next arrival index
-	dim     int    // fixed by the first ingested point; 0 = none yet
+	next    uint64 // next arrival index; guarded by qmu
+	dim     int    // fixed by the first ingested point; 0 = none yet; guarded by qmu
 	// fresh builds a new empty sampler with this stream's configuration;
 	// restores deserialize into a fresh instance so a rejected checkpoint
 	// cannot corrupt the live sampler.
 	fresh func(rng *xrand.Source) (persistentSampler, error)
+	// shard is the stream's async ingest lane (nil when the server runs
+	// synchronous ingest); closed marks the lane shut down. pending counts
+	// points accepted onto the lane but not yet applied to the sampler.
+	shard   *ingestShard
+	closed  bool // guarded by qmu
+	pending atomic.Int64
 }
 
 // Server is the HTTP handler. Create with New and mount it as an
-// http.Handler.
+// http.Handler. Servers with async ingest enabled (WithIngestShards) own
+// worker goroutines; call Close to drain and stop them.
 type Server struct {
 	mu      sync.RWMutex
 	streams map[string]*managedStream
@@ -82,6 +101,15 @@ type Server struct {
 	metrics *obs.Registry
 	httpm   *obs.HTTPMetrics
 	ingest  *obs.CounterVec
+
+	// Async ingest pipeline (zero values = synchronous ingest).
+	ingestWorkers int
+	ingestQueue   int
+	ingestSem     chan struct{}
+	ingestWG      sync.WaitGroup
+	batchSize     *obs.Histogram
+	rejected      *obs.CounterVec
+	applied       *obs.CounterVec
 }
 
 // Option customizes a Server.
@@ -100,6 +128,29 @@ func WithMetrics(reg *obs.Registry) Option {
 	return func(s *Server) { s.metrics = reg }
 }
 
+// WithIngestShards switches POST /streams/{name}/points from synchronous
+// to sharded asynchronous ingest: each stream gets a bounded queue of
+// `queue` batches drained by its own worker goroutine, so HTTP handlers
+// only validate, assign arrival indices and enqueue — they never wait on
+// sampler work. `workers` bounds how many stream workers apply batches
+// concurrently (per-stream ordering is always preserved; the bound caps
+// CPU, not correctness). Accepted batches return 202 with the stream's
+// pending count; a full queue returns 429 with Retry-After and consumes
+// nothing. Streams with the "timedecay" policy keep synchronous ingest:
+// their timestamp validation must observe the sampler clock.
+//
+// Both arguments must be positive; servers built with this option must be
+// Closed to stop the workers.
+func WithIngestShards(workers, queue int) Option {
+	return func(s *Server) {
+		if workers <= 0 || queue <= 0 {
+			return
+		}
+		s.ingestWorkers = workers
+		s.ingestQueue = queue
+	}
+}
+
 // New returns a Server; seed drives the samplers' randomness.
 func New(seed uint64, opts ...Option) *Server {
 	s := &Server{
@@ -115,7 +166,18 @@ func New(seed uint64, opts ...Option) *Server {
 	s.httpm = obs.NewHTTPMetrics(s.metrics, "biasedres")
 	s.ingest = s.metrics.Counter("biasedres_points_ingested_total",
 		"Stream points accepted over the ingest endpoint.", "stream")
+	s.batchSize = s.metrics.Histogram("biasedres_ingest_batch_points",
+		"Points per accepted ingest request (batch size distribution).",
+		ingestBatchBuckets).With()
+	s.rejected = s.metrics.Counter("biasedres_ingest_rejected_batches_total",
+		"Ingest batches rejected with 429 because the stream's queue was full.", "stream")
+	s.applied = s.metrics.Counter("biasedres_ingest_applied_batches_total",
+		"Ingest batches applied to the sampler by the stream's worker.", "stream")
+	if s.ingestWorkers > 0 {
+		s.ingestSem = make(chan struct{}, s.ingestWorkers)
+	}
 	s.metrics.Register(obs.CollectorFunc(s.collectStreams))
+	s.metrics.Register(obs.CollectorFunc(s.collectIngest))
 
 	mux := http.NewServeMux()
 	routes := []struct {
@@ -298,7 +360,13 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "creating sampler: %v", err)
 		return
 	}
-	s.streams[name] = &managedStream{sampler: sampler, policy: req.Policy, lambda: req.Lambda, fresh: fresh}
+	ms := &managedStream{sampler: sampler, policy: req.Policy, lambda: req.Lambda, fresh: fresh}
+	if s.ingestWorkers > 0 && req.Policy != "timedecay" {
+		// Time-decay streams validate timestamps against the sampler
+		// clock, which only the synchronous path can observe coherently.
+		s.startIngestShard(name, ms)
+	}
+	s.streams[name] = ms
 	if s.log != nil {
 		s.log.Info("stream created", "stream", name, "policy", req.Policy,
 			"lambda", req.Lambda, "capacity", sampler.Capacity())
@@ -372,12 +440,17 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.streams[name]; !ok {
+	ms, ok := s.streams[name]
+	if !ok {
+		s.mu.Unlock()
 		httpError(w, http.StatusNotFound, "stream %q not found", name)
 		return
 	}
 	delete(s.streams, name)
+	s.mu.Unlock()
+	// Stop the stream's ingest worker after it drains what was accepted;
+	// in-flight requests that still hold the entry see the closed flag.
+	closeShard(ms)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -398,9 +471,10 @@ type IngestRequest struct {
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	ms, ok := s.lookup(r.PathValue("name"))
+	name := r.PathValue("name")
+	ms, ok := s.lookup(name)
 	if !ok {
-		httpError(w, http.StatusNotFound, "stream %q not found", r.PathValue("name"))
+		httpError(w, http.StatusNotFound, "stream %q not found", name)
 		return
 	}
 	var req IngestRequest
@@ -412,24 +486,42 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "no points")
 		return
 	}
-	ms.mu.Lock()
-	defer ms.mu.Unlock()
+	ms.qmu.Lock()
 	// Validate the whole batch before touching the sampler so a bad point
 	// rejects the request without a partial apply. The stream dimension is
 	// only committed once validation has passed.
 	dim := ms.dim
 	for i, ip := range req.Points {
 		if len(ip.Values) == 0 {
+			ms.qmu.Unlock()
 			httpError(w, http.StatusBadRequest, "point %d has no values", i)
 			return
 		}
 		if dim == 0 {
 			dim = len(ip.Values)
 		} else if len(ip.Values) != dim {
+			ms.qmu.Unlock()
 			httpError(w, http.StatusBadRequest, "point %d has dim %d, stream has %d", i, len(ip.Values), dim)
 			return
 		}
 	}
+	_, timed := ms.sampler.(*core.TimeDecayReservoir)
+	if ms.shard != nil && !timed {
+		// Sharded fast path: enqueue for the stream's worker and return.
+		// handleIngestAsync releases qmu itself; the sampler lock is
+		// never taken on this path.
+		s.handleIngestAsync(w, name, ms, req, dim)
+		return
+	}
+	s.handleIngestSync(w, name, ms, req, dim)
+}
+
+// handleIngestSync applies a validated batch inline, holding the sampler
+// lock for the duration — the default mode, and always the mode for
+// time-decay streams (their timestamp validation reads the sampler clock).
+// Called with ms.qmu held; releases it.
+func (s *Server) handleIngestSync(w http.ResponseWriter, name string, ms *managedStream, req IngestRequest, dim int) {
+	ms.mu.Lock()
 	td, timed := ms.sampler.(*core.TimeDecayReservoir)
 	if timed {
 		// Time-decay timestamps must be non-decreasing and no older than
@@ -443,6 +535,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 				continue
 			}
 			if *ip.TS < clock {
+				ms.mu.Unlock()
+				ms.qmu.Unlock()
 				httpError(w, http.StatusBadRequest,
 					"point %d: timestamp %v precedes the stream clock %v", i, *ip.TS, clock)
 				return
@@ -450,34 +544,58 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			clock = *ip.TS
 		}
 	}
-	for i, ip := range req.Points {
-		ms.next++
-		label := -1
-		if ip.Label != nil {
-			label = *ip.Label
-		}
-		weight := ip.Weight
-		if weight == 0 {
-			weight = 1
-		}
-		p := stream.Point{Index: ms.next, Values: ip.Values, Label: label, Weight: weight}
-		if timed && ip.TS != nil {
-			if err := td.AddAt(p, *ip.TS); err != nil {
-				// Unreachable after prevalidation, but if a sampler ever
-				// rejects mid-batch, report how many points already
-				// applied so the client can resume rather than resend.
-				ms.next--
-				ms.dim = dim
-				httpErrorIngested(w, http.StatusBadRequest, i, "point %d: %v", i, err)
-				return
+	if timed {
+		for i, ip := range req.Points {
+			ms.next++
+			p := ingestPoint(ms.next, ip)
+			if ip.TS != nil {
+				if err := td.AddAt(p, *ip.TS); err != nil {
+					// Unreachable after prevalidation, but if a sampler
+					// ever rejects mid-batch, report how many points
+					// already applied so the client can resume rather
+					// than resend.
+					ms.next--
+					ms.dim = dim
+					ms.mu.Unlock()
+					ms.qmu.Unlock()
+					httpErrorIngested(w, http.StatusBadRequest, i, "point %d: %v", i, err)
+					return
+				}
+				continue
 			}
-			continue
+			td.Add(p)
 		}
-		ms.sampler.Add(p)
+	} else {
+		// Arrival-indexed policies take the batch fast path: one
+		// core.AddBatch amortizes admission coins across the request.
+		batch := make([]stream.Point, len(req.Points))
+		for i, ip := range req.Points {
+			ms.next++
+			batch[i] = ingestPoint(ms.next, ip)
+		}
+		core.AddBatch(ms.sampler, batch)
 	}
 	ms.dim = dim
-	s.ingest.With(r.PathValue("name")).Add(uint64(len(req.Points)))
-	writeJSON(w, map[string]any{"ingested": len(req.Points), "processed": ms.sampler.Processed()})
+	processed := ms.sampler.Processed()
+	ms.mu.Unlock()
+	ms.qmu.Unlock()
+	s.ingest.With(name).Add(uint64(len(req.Points)))
+	s.batchSize.Observe(float64(len(req.Points)))
+	writeJSON(w, map[string]any{"ingested": len(req.Points), "processed": processed})
+}
+
+// ingestPoint converts one wire point into a stream.Point with the given
+// arrival index, applying the label/weight defaults.
+func ingestPoint(index uint64, ip IngestPoint) stream.Point {
+	label := -1
+	if ip.Label != nil {
+		label = *ip.Label
+	}
+	weight := ip.Weight
+	if weight == 0 {
+		weight = 1
+	}
+	return stream.Point{Index: index, Values: ip.Values, Label: label, Weight: weight}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -486,16 +604,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "stream %q not found", r.PathValue("name"))
 		return
 	}
+	ms.qmu.Lock()
+	dim := ms.dim
+	ms.qmu.Unlock()
 	ms.mu.Lock()
 	defer ms.mu.Unlock()
 	writeJSON(w, map[string]any{
 		"policy":    ms.policy,
 		"lambda":    ms.lambda,
-		"dim":       ms.dim,
+		"dim":       dim,
 		"processed": ms.sampler.Processed(),
 		"size":      ms.sampler.Len(),
 		"capacity":  ms.sampler.Capacity(),
 		"fill":      core.Fill(ms.sampler),
+		"pending":   ms.pending.Load(),
 	})
 }
 
@@ -536,6 +658,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad horizon: %v", err)
 		return
 	}
+	ms.qmu.Lock()
+	streamDim := ms.dim
+	ms.qmu.Unlock()
 	ms.mu.Lock()
 	defer ms.mu.Unlock()
 	switch q.Get("type") {
@@ -543,7 +668,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		est, variance := query.EstimateWithVariance(ms.sampler, query.Count(h))
 		writeJSON(w, map[string]any{"estimate": est, "variance": variance})
 	case "average":
-		dim := ms.dim
+		dim := streamDim
 		if dim == 0 {
 			httpError(w, http.StatusConflict, "stream has no points yet")
 			return
@@ -566,7 +691,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, map[string]any{"distribution": out})
 	case "groupavg":
-		dim := ms.dim
+		dim := streamDim
 		if dim == 0 {
 			httpError(w, http.StatusConflict, "stream has no points yet")
 			return
@@ -621,10 +746,12 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "stream %q not found", r.PathValue("name"))
 		return
 	}
+	ms.qmu.Lock()
+	next := ms.next
 	ms.mu.Lock()
 	blob, err := ms.sampler.MarshalBinary()
-	next := ms.next
 	ms.mu.Unlock()
+	ms.qmu.Unlock()
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "snapshot: %v", err)
 		return
@@ -646,6 +773,14 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "reading body: %v", err)
 		return
 	}
+	if ms.pending.Load() != 0 {
+		// Queued batches would replay on top of the restored state with
+		// stale arrival indices; require a quiesced stream (see
+		// docs/OPERATIONS.md, "Checkpoint and restore").
+		httpError(w, http.StatusConflict,
+			"stream %q has %d pending ingest points; retry once the queue drains", name, ms.pending.Load())
+		return
+	}
 	// Deserialize and validate against a scratch sampler first: a corrupt
 	// or inconsistent checkpoint must leave the live stream untouched.
 	s.mu.Lock()
@@ -665,12 +800,22 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "restore: %v", err)
 		return
 	}
+	ms.qmu.Lock()
+	if p := ms.pending.Load(); p != 0 {
+		// A batch was accepted between the earlier pending check and now;
+		// re-refuse rather than let it replay onto restored state.
+		ms.qmu.Unlock()
+		httpError(w, http.StatusConflict,
+			"stream %q has %d pending ingest points; retry once the queue drains", name, p)
+		return
+	}
 	ms.mu.Lock()
 	ms.sampler = restored
 	ms.dim = dim
 	ms.next = restored.Processed()
 	processed, size := restored.Processed(), restored.Len()
 	ms.mu.Unlock()
+	ms.qmu.Unlock()
 	if s.log != nil {
 		s.log.Info("stream restored", "stream", name, "processed", processed, "size", size, "dim", dim)
 	}
