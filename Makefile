@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt linkcheck bench ci
+.PHONY: all build test race vet fmt linkcheck bench bench-query bench-smoke ci
 
 all: build
 
@@ -29,4 +29,14 @@ linkcheck:
 bench:
 	$(GO) run ./cmd/benchingest
 
-ci: fmt build vet linkcheck test race
+# bench-query regenerates BENCH_query.json: fused vs legacy query kernels
+# and query p50 latency under concurrent ingest.
+bench-query:
+	$(GO) run ./cmd/benchingest -suite query
+
+# bench-smoke runs every query benchmark once so CI catches bit-rot in the
+# harness without paying for full measurement runs.
+bench-smoke:
+	$(GO) test -run '^$$' -bench '^BenchmarkQuery' -benchtime 1x ./internal/query
+
+ci: fmt build vet linkcheck test race bench-smoke

@@ -149,8 +149,28 @@ func NewWindow(window uint64, capacity int, seed uint64) (*WindowReservoir, erro
 }
 
 // Synchronized wraps a sampler with a mutex for concurrent producers and
-// readers.
+// readers. The wrapper also maintains a versioned snapshot cache, so
+// queries routed through TakeSnapshot (or the *On kernels) acquire the
+// mutex only when the reservoir changed since the last read.
 func Synchronized(s Sampler) *core.Synchronized { return core.NewSynchronized(s) }
+
+// SamplerSnapshot is an immutable point-in-time view of a reservoir: the
+// sampled points, the stream position t, and the precomputed inclusion
+// probability of every point. Snapshots are safe to share across
+// goroutines and to query repeatedly without touching the sampler again.
+// (Snapshot, without the prefix, is the 2-D evolution projection below.)
+type SamplerSnapshot = core.Snapshot
+
+// SnapshotCacheStats reports snapshot cache effectiveness: cache hits are
+// lock-free reads, misses had to wait for (or perform) a rebuild.
+type SnapshotCacheStats = core.SnapshotCacheStats
+
+// TakeSnapshot captures s's current reservoir as an immutable snapshot.
+// Samplers with a snapshot cache (Synchronized, the server, the
+// multi-stream manager) serve repeated calls lock-free until the next
+// mutation; bare samplers are walked once per call. The caller must not
+// rely on the snapshot reflecting mutations made after the call.
+func TakeSnapshot(s Sampler) *SamplerSnapshot { return core.SnapshotOf(s) }
 
 // AddBatch feeds pts to s as consecutive arrivals, using the sampler's
 // batch fast path when it has one (see BatchSampler) and falling back to
@@ -248,6 +268,51 @@ type LabelCount = query.LabelCount
 // each with a standard error.
 func TopK(s Sampler, h uint64, k int) ([]LabelCount, error) {
 	return query.TopK(s, h, k)
+}
+
+// EstimateOn evaluates a linear query against a snapshot. Combined with
+// TakeSnapshot it answers many queries from one reservoir walk.
+func EstimateOn(snap *SamplerSnapshot, q Linear) float64 { return query.EstimateOn(snap, q) }
+
+// EstimateWithVarianceOn is EstimateWithVariance against a snapshot.
+func EstimateWithVarianceOn(snap *SamplerSnapshot, q Linear) (estimate, variance float64) {
+	return query.EstimateWithVarianceOn(snap, q)
+}
+
+// HorizonAverageOn is HorizonAverage against a snapshot.
+func HorizonAverageOn(snap *SamplerSnapshot, h uint64, dim int) ([]float64, error) {
+	return query.HorizonAverageOn(snap, h, dim)
+}
+
+// ClassDistributionOn is ClassDistribution against a snapshot.
+func ClassDistributionOn(snap *SamplerSnapshot, h uint64) (map[int]float64, error) {
+	return query.ClassDistributionOn(snap, h)
+}
+
+// RangeSelectivityOn is RangeSelectivity against a snapshot.
+func RangeSelectivityOn(snap *SamplerSnapshot, h uint64, rect Rect) (float64, error) {
+	return query.RangeSelectivityOn(snap, h, rect)
+}
+
+// GroupAverageOn is GroupAverage against a snapshot.
+func GroupAverageOn(snap *SamplerSnapshot, h uint64, dim int) (map[int][]float64, error) {
+	return query.GroupAverageOn(snap, h, dim)
+}
+
+// GroupCountOn is GroupCount against a snapshot.
+func GroupCountOn(snap *SamplerSnapshot, h uint64) (map[int]float64, error) {
+	return query.GroupCountOn(snap, h)
+}
+
+// TopKOn is TopK against a snapshot.
+func TopKOn(snap *SamplerSnapshot, h uint64, k int) ([]LabelCount, error) {
+	return query.TopKOn(snap, h, k)
+}
+
+// QuantileOn estimates the q-quantile of dimension dim over the last h
+// arrivals from a snapshot.
+func QuantileOn(snap *SamplerSnapshot, h uint64, dim int, q float64) (float64, error) {
+	return query.QuantileOn(snap, h, dim, q)
 }
 
 // NewTruth returns an exact recent-horizon query evaluator (for horizons up

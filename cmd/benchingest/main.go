@@ -1,17 +1,22 @@
-// Command benchingest runs the ingest benchmark suite and writes the
-// results to BENCH_ingest.json — the reproducible throughput harness
-// behind the table in README.md.
+// Command benchingest runs the repository's benchmark suites and writes
+// the results to a JSON report — the reproducible harness behind the
+// tables in README.md.
 //
-// It shells out to the repository's own toolchain:
+// It shells out to the repository's own toolchain, e.g. for the default
+// ingest suite:
 //
 //	go test -run ^$ -bench BenchmarkIngest -benchmem ./internal/core ./internal/server
 //
-// parses the standard benchmark output (including the custom "points/s"
-// metric the ingest benchmarks report), and emits one JSON document with
-// a per-benchmark record plus a computed batch-vs-single speedup per
-// sampling policy. Run it from the repository root:
+// parses the standard benchmark output (including custom metrics such as
+// "points/s" and "p50-ns"), and emits one JSON document with a
+// per-benchmark record plus suite-specific comparisons: batch-vs-single
+// ingest speedup per sampling policy, or — with -suite query — the fused
+// single-pass kernels against the legacy per-statistic query plan and
+// query p50 latency under concurrent ingest with and without the snapshot
+// read path. Run it from the repository root:
 //
-//	go run ./cmd/benchingest            # writes BENCH_ingest.json
+//	go run ./cmd/benchingest                  # writes BENCH_ingest.json
+//	go run ./cmd/benchingest -suite query     # writes BENCH_query.json
 //	go run ./cmd/benchingest -o out.json -benchtime 2s
 package main
 
@@ -38,6 +43,7 @@ type Result struct {
 	Iterations   int64   `json:"iterations"`
 	NsPerOp      float64 `json:"ns_per_op"`
 	PointsPerSec float64 `json:"points_per_sec,omitempty"`
+	P50Ns        float64 `json:"p50_ns,omitempty"`
 	BytesPerOp   float64 `json:"bytes_per_op"`
 	AllocsPerOp  float64 `json:"allocs_per_op"`
 }
@@ -51,37 +57,70 @@ type Speedup struct {
 	Speedup         float64 `json:"speedup"`
 }
 
-// Report is the BENCH_ingest.json document.
+// FusedSpeedup compares the fused single-pass query kernel against the
+// legacy per-statistic plan at one dimensionality.
+type FusedSpeedup struct {
+	Case     string  `json:"case"`
+	LegacyNs float64 `json:"legacy_ns_per_op"`
+	FusedNs  float64 `json:"fused_ns_per_op"`
+	Speedup  float64 `json:"speedup"`
+}
+
+// UnderIngest compares query p50 latency under sustained concurrent
+// ingest with the mutex read path against the snapshot read path, from
+// the same harness run.
+type UnderIngest struct {
+	MutexP50Ns    float64 `json:"mutex_p50_ns"`
+	SnapshotP50Ns float64 `json:"snapshot_p50_ns"`
+	Improvement   float64 `json:"improvement"`
+}
+
+// Report is the BENCH_ingest.json / BENCH_query.json document.
 type Report struct {
-	GeneratedBy string    `json:"generated_by"`
-	GoVersion   string    `json:"go_version"`
-	GOOS        string    `json:"goos"`
-	GOARCH      string    `json:"goarch"`
-	CPU         string    `json:"cpu,omitempty"`
-	Date        string    `json:"date"`
-	BenchTime   string    `json:"benchtime"`
-	Benchmarks  []Result  `json:"benchmarks"`
-	Speedups    []Speedup `json:"batch_vs_single"`
+	GeneratedBy string         `json:"generated_by"`
+	GoVersion   string         `json:"go_version"`
+	GOOS        string         `json:"goos"`
+	GOARCH      string         `json:"goarch"`
+	CPU         string         `json:"cpu,omitempty"`
+	Date        string         `json:"date"`
+	BenchTime   string         `json:"benchtime"`
+	Benchmarks  []Result       `json:"benchmarks"`
+	Speedups    []Speedup      `json:"batch_vs_single,omitempty"`
+	Fused       []FusedSpeedup `json:"fused_vs_legacy,omitempty"`
+	UnderIngest *UnderIngest   `json:"query_under_ingest,omitempty"`
 }
 
 func main() {
 	var (
-		out       = flag.String("o", "BENCH_ingest.json", "output file")
+		suite     = flag.String("suite", "ingest", `benchmark suite: "ingest" or "query"`)
+		out       = flag.String("o", "", "output file (default BENCH_<suite>.json)")
 		benchtime = flag.String("benchtime", "1s", "go test -benchtime value")
 		count     = flag.Int("count", 1, "go test -count value")
 	)
 	flag.Parse()
 
-	if err := run(*out, *benchtime, *count); err != nil {
+	if *out == "" {
+		*out = "BENCH_" + *suite + ".json"
+	}
+	if err := run(*suite, *out, *benchtime, *count); err != nil {
 		fmt.Fprintln(os.Stderr, "benchingest:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, benchtime string, count int) error {
-	args := []string{"test", "-run", "^$", "-bench", "BenchmarkIngest", "-benchmem",
-		"-benchtime", benchtime, "-count", strconv.Itoa(count),
-		"./internal/core", "./internal/server"}
+func run(suite, out, benchtime string, count int) error {
+	var pattern string
+	var pkgs []string
+	switch suite {
+	case "ingest":
+		pattern, pkgs = "BenchmarkIngest", []string{"./internal/core", "./internal/server"}
+	case "query":
+		pattern, pkgs = "^BenchmarkQuery", []string{"./internal/query"}
+	default:
+		return fmt.Errorf("unknown suite %q (want ingest or query)", suite)
+	}
+	args := append([]string{"test", "-run", "^$", "-bench", pattern, "-benchmem",
+		"-benchtime", benchtime, "-count", strconv.Itoa(count)}, pkgs...)
 	fmt.Fprintln(os.Stderr, "running: go", strings.Join(args, " "))
 	cmd := exec.Command("go", args...)
 	var buf bytes.Buffer
@@ -93,7 +132,7 @@ func run(out, benchtime string, count int) error {
 	os.Stderr.Write(buf.Bytes())
 
 	report := Report{
-		GeneratedBy: "cmd/benchingest",
+		GeneratedBy: "cmd/benchingest -suite " + suite,
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
@@ -108,7 +147,13 @@ func run(out, benchtime string, count int) error {
 	if len(report.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmark lines in go test output")
 	}
-	report.Speedups = speedups(report.Benchmarks)
+	switch suite {
+	case "ingest":
+		report.Speedups = speedups(report.Benchmarks)
+	case "query":
+		report.Fused = fusedSpeedups(report.Benchmarks)
+		report.UnderIngest = underIngest(report.Benchmarks)
+	}
 
 	blob, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -121,6 +166,13 @@ func run(out, benchtime string, count int) error {
 	fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks)\n", out, len(report.Benchmarks))
 	for _, s := range report.Speedups {
 		fmt.Fprintf(os.Stderr, "  %-12s batch/single = %.2fx\n", s.Policy, s.Speedup)
+	}
+	for _, f := range report.Fused {
+		fmt.Fprintf(os.Stderr, "  %-12s fused/legacy = %.2fx\n", f.Case, f.Speedup)
+	}
+	if u := report.UnderIngest; u != nil {
+		fmt.Fprintf(os.Stderr, "  query p50 under ingest: mutex %.0fns, snapshot %.0fns (%.2fx)\n",
+			u.MutexP50Ns, u.SnapshotP50Ns, u.Improvement)
 	}
 	return nil
 }
@@ -182,6 +234,8 @@ func parse(r *bytes.Buffer) ([]Result, string, error) {
 				a.NsPerOp += val
 			case "points/s":
 				a.PointsPerSec += val
+			case "p50-ns":
+				a.P50Ns += val
 			case "B/op":
 				a.BytesPerOp += val
 			case "allocs/op":
@@ -198,6 +252,7 @@ func parse(r *bytes.Buffer) ([]Result, string, error) {
 		n := float64(a.runs)
 		a.NsPerOp /= n
 		a.PointsPerSec /= n
+		a.P50Ns /= n
 		a.BytesPerOp /= n
 		a.AllocsPerOp /= n
 		results = append(results, a.Result)
@@ -250,4 +305,52 @@ func speedups(results []Result) []Speedup {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Policy < out[j].Policy })
 	return out
+}
+
+// fusedSpeedups pairs BenchmarkQueryHorizonAverage/fused/<case> against
+// .../legacy/<case> on ns/op.
+func fusedSpeedups(results []Result) []FusedSpeedup {
+	legacy := map[string]float64{}
+	fused := map[string]float64{}
+	for _, r := range results {
+		parts := strings.Split(r.Name, "/")
+		if len(parts) != 3 || parts[0] != "BenchmarkQueryHorizonAverage" {
+			continue
+		}
+		switch parts[1] {
+		case "legacy":
+			legacy[parts[2]] = r.NsPerOp
+		case "fused":
+			fused[parts[2]] = r.NsPerOp
+		}
+	}
+	var out []FusedSpeedup
+	for c, l := range legacy {
+		f, ok := fused[c]
+		if !ok || f == 0 {
+			continue
+		}
+		out = append(out, FusedSpeedup{Case: c, LegacyNs: l, FusedNs: f, Speedup: l / f})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Case < out[j].Case })
+	return out
+}
+
+// underIngest pairs BenchmarkQueryUnderIngest/mutex against .../snapshot
+// on the p50-ns metric.
+func underIngest(results []Result) *UnderIngest {
+	var u UnderIngest
+	for _, r := range results {
+		switch r.Name {
+		case "BenchmarkQueryUnderIngest/mutex":
+			u.MutexP50Ns = r.P50Ns
+		case "BenchmarkQueryUnderIngest/snapshot":
+			u.SnapshotP50Ns = r.P50Ns
+		}
+	}
+	if u.MutexP50Ns == 0 || u.SnapshotP50Ns == 0 {
+		return nil
+	}
+	u.Improvement = u.MutexP50Ns / u.SnapshotP50Ns
+	return &u
 }

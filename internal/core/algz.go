@@ -27,6 +27,7 @@ type ZReservoir struct {
 	skip     uint64
 	w        float64 // Vitter's W state for the envelope
 	rng      *xrand.Source
+	ver      uint64
 }
 
 // thresholdFactor is Vitter's T: switch from X-style search to rejection
@@ -52,6 +53,7 @@ func NewZReservoir(capacity int, rng *xrand.Source) (*ZReservoir, error) {
 
 // Add implements Sampler.
 func (z *ZReservoir) Add(p stream.Point) {
+	z.ver++
 	z.t++
 	if len(z.pts) < z.capacity {
 		z.pts = append(z.pts, p)
@@ -77,6 +79,7 @@ func (z *ZReservoir) Add(p stream.Point) {
 // approaches O(1) work per batch rather than per point.
 func (z *ZReservoir) AddBatch(pts []stream.Point) {
 	n := len(pts)
+	z.ver++
 	i := 0
 	// Fill phase (and the W/skip bootstrap when capacity is reached).
 	for i < n && len(z.pts) < z.capacity {
@@ -182,6 +185,9 @@ func (z *ZReservoir) Capacity() int { return z.capacity }
 
 // Processed implements Sampler.
 func (z *ZReservoir) Processed() uint64 { return z.t }
+
+// Version implements VersionedSampler.
+func (z *ZReservoir) Version() uint64 { return z.ver }
 
 // InclusionProb implements Sampler (Property 2.1).
 func (z *ZReservoir) InclusionProb(r uint64) float64 {

@@ -33,6 +33,9 @@ type BiasedReservoir struct {
 	// admitted counts stream points actually inserted; exposed for
 	// fill-time analysis (Theorem 3.2 tests).
 	admitted uint64
+	// ver counts mutations for the snapshot layer; guarded by whatever
+	// lock guards Add (see VersionedSampler).
+	ver uint64
 }
 
 var _ Sampler = (*BiasedReservoir)(nil)
@@ -91,6 +94,7 @@ func NewConstrainedReservoir(lambda float64, capacity int, rng *xrand.Source) (*
 
 // Add implements Sampler: the replacement policy of Algorithms 2.1/3.1.
 func (b *BiasedReservoir) Add(p stream.Point) {
+	b.ver++
 	b.t++
 	if b.pin < 1 && !b.rng.Bernoulli(b.pin) {
 		return
@@ -121,6 +125,7 @@ func (b *BiasedReservoir) admit(p stream.Point) {
 // redrawing at the next batch leaves the admission process unchanged.
 func (b *BiasedReservoir) AddBatch(pts []stream.Point) {
 	n := len(pts)
+	b.ver++
 	b.t += uint64(n)
 	for i := 0; i < n; i++ {
 		if b.pin < 1 {
@@ -148,6 +153,9 @@ func (b *BiasedReservoir) Capacity() int { return b.capacity }
 
 // Processed implements Sampler.
 func (b *BiasedReservoir) Processed() uint64 { return b.t }
+
+// Version implements VersionedSampler.
+func (b *BiasedReservoir) Version() uint64 { return b.ver }
 
 // Admitted returns the number of points that passed the p_in insertion
 // filter (equal to Processed for Algorithm 2.1).

@@ -89,6 +89,7 @@ func (b *BiasedReservoir) UnmarshalBinary(data []byte) error {
 	}
 	b.lambda, b.pin, b.capacity = st.Lambda, st.PIn, st.Capacity
 	b.t, b.admitted, b.pts, b.rng = st.T, st.Admitted, st.Pts, rng
+	b.ver++
 	return nil
 }
 
@@ -137,6 +138,7 @@ func (v *VariableReservoir) UnmarshalBinary(data []byte) error {
 	copy(pts, st.Pts)
 	v.lambda, v.nmax, v.pin, v.targetPin = st.Lambda, st.Nmax, st.PIn, st.TargetPIn
 	v.reduce, v.t, v.admitted, v.phases, v.pts, v.rng = st.Reduce, st.T, st.Admitted, st.Phases, pts, rng
+	v.ver++
 	return nil
 }
 
@@ -172,6 +174,7 @@ func (u *UnbiasedReservoir) UnmarshalBinary(data []byte) error {
 		return err
 	}
 	u.capacity, u.t, u.pts, u.rng = st.Capacity, st.T, st.Pts, rng
+	u.ver++
 	return nil
 }
 
@@ -208,6 +211,7 @@ func (s *SkipReservoir) UnmarshalBinary(data []byte) error {
 		return err
 	}
 	s.capacity, s.t, s.skip, s.pts, s.rng = st.Capacity, st.T, st.Skip, st.Pts, rng
+	s.ver++
 	return nil
 }
 
@@ -245,6 +249,7 @@ func (z *ZReservoir) UnmarshalBinary(data []byte) error {
 		return err
 	}
 	z.capacity, z.t, z.skip, z.w, z.pts, z.rng = st.Capacity, st.T, st.Skip, st.W, st.Pts, rng
+	z.ver++
 	return nil
 }
 
@@ -294,6 +299,7 @@ func (w *WindowReservoir) UnmarshalBinary(data []byte) error {
 	for i, s := range st.Slots {
 		w.slots[i] = windowChain{chain: s.Chain, next: s.Next}
 	}
+	w.ver++
 	return nil
 }
 
@@ -350,5 +356,6 @@ func (d *TimeDecayReservoir) UnmarshalBinary(data []byte) error {
 	for _, it := range st.Items {
 		d.insert(timeItem{p: it.P, ts: it.TS, expiry: it.Expiry})
 	}
+	d.ver++
 	return nil
 }

@@ -8,14 +8,21 @@ import (
 
 // Synchronized wraps any Sampler with a mutex so one reservoir can be fed by
 // a producer goroutine while analytical tasks (queries, classification)
-// read consistent snapshots from others. Readers should use Sample/Snapshot
-// rather than Points: the unlocked view would race with concurrent Adds.
+// read consistent snapshots from others. Readers should use
+// AcquireSnapshot/Sample/Snapshot rather than Points: the unlocked view
+// would race with concurrent Adds.
+//
+// Reads go through a SnapshotCache: between mutations, AcquireSnapshot and
+// everything built on it (the internal/query estimators) serve the same
+// published Snapshot without taking the mutex at all.
 type Synchronized struct {
-	mu sync.Mutex
-	s  Sampler
+	mu    sync.Mutex
+	s     Sampler
+	cache SnapshotCache
 }
 
 var _ Sampler = (*Synchronized)(nil)
+var _ SnapshotProvider = (*Synchronized)(nil)
 
 // NewSynchronized wraps s. The wrapped sampler must not be used directly
 // afterwards.
@@ -26,6 +33,7 @@ func (c *Synchronized) Add(p stream.Point) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.s.Add(p)
+	c.cache.Invalidate()
 }
 
 // AddBatch implements BatchSampler: the whole batch is applied under one
@@ -35,6 +43,7 @@ func (c *Synchronized) AddBatch(pts []stream.Point) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	AddBatch(c.s, pts)
+	c.cache.Invalidate()
 }
 
 // Points implements Sampler. Unlike the raw samplers it returns a copy, as
@@ -76,17 +85,31 @@ func (c *Synchronized) InclusionProb(r uint64) float64 {
 	return c.s.InclusionProb(r)
 }
 
+// AcquireSnapshot implements SnapshotProvider. On a cache hit (no mutation
+// since the last call) it is lock-free: two atomic loads, no mutex, no
+// copying. On a miss it takes the mutex once, captures the wrapped sampler,
+// and publishes the result for every subsequent reader of this version.
+func (c *Synchronized) AcquireSnapshot() *Snapshot {
+	return c.cache.Acquire(func() *Snapshot {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return BuildSnapshot(c.s)
+	})
+}
+
+// SnapshotStats returns the snapshot cache's hit/miss/rebuild counters.
+func (c *Synchronized) SnapshotStats() SnapshotCacheStats { return c.cache.Stats() }
+
 // Snapshot atomically captures the sample together with the stream position
 // it corresponds to and a probability function bound to that position, so
-// estimators can work on a consistent state while Adds continue.
+// estimators can work on a consistent state while Adds continue. It is a
+// compatibility view over AcquireSnapshot; new code should use the
+// Snapshot struct directly.
 func (c *Synchronized) Snapshot() (pts []stream.Point, t uint64, prob func(r uint64) float64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	pts = c.s.Sample()
-	t = c.s.Processed()
-	probs := make(map[uint64]float64, len(pts))
-	for _, p := range pts {
-		probs[p.Index] = c.s.InclusionProb(p.Index)
+	snap := c.AcquireSnapshot()
+	probs := make(map[uint64]float64, len(snap.Points))
+	for i, p := range snap.Points {
+		probs[p.Index] = snap.Probs[i]
 	}
-	return pts, t, func(r uint64) float64 { return probs[r] }
+	return snap.Points, snap.T, func(r uint64) float64 { return probs[r] }
 }

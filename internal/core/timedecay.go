@@ -36,6 +36,7 @@ type TimeDecayReservoir struct {
 	now      float64
 	t        uint64
 	rng      *xrand.Source
+	ver      uint64
 
 	items []timeItem // live residents, unordered
 	heap  []int      // indices into items, min-heap by expiry
@@ -86,6 +87,7 @@ func (d *TimeDecayReservoir) AddAt(p stream.Point, ts float64) error {
 	if ts < d.now {
 		return fmt.Errorf("core: out-of-order timestamp %v < %v", ts, d.now)
 	}
+	d.ver++
 	d.t++
 	d.now = ts
 	d.expire()
@@ -222,6 +224,9 @@ func (d *TimeDecayReservoir) Capacity() int { return d.capacity }
 
 // Processed implements Sampler.
 func (d *TimeDecayReservoir) Processed() uint64 { return d.t }
+
+// Version implements VersionedSampler.
+func (d *TimeDecayReservoir) Version() uint64 { return d.ver }
 
 // Now returns the reservoir's clock (the largest timestamp seen).
 func (d *TimeDecayReservoir) Now() float64 { return d.now }

@@ -18,6 +18,7 @@ type UnbiasedReservoir struct {
 	pts      []stream.Point
 	t        uint64
 	rng      *xrand.Source
+	ver      uint64
 }
 
 var _ Sampler = (*UnbiasedReservoir)(nil)
@@ -40,6 +41,7 @@ func NewUnbiasedReservoir(capacity int, rng *xrand.Source) (*UnbiasedReservoir, 
 
 // Add implements Sampler.
 func (u *UnbiasedReservoir) Add(p stream.Point) {
+	u.ver++
 	u.t++
 	if len(u.pts) < u.capacity {
 		u.pts = append(u.pts, p)
@@ -65,6 +67,9 @@ func (u *UnbiasedReservoir) Capacity() int { return u.capacity }
 
 // Processed implements Sampler.
 func (u *UnbiasedReservoir) Processed() uint64 { return u.t }
+
+// Version implements VersionedSampler.
+func (u *UnbiasedReservoir) Version() uint64 { return u.ver }
 
 // InclusionProb implements Sampler: Property 2.1, p(r,t) = min(1, n/t).
 func (u *UnbiasedReservoir) InclusionProb(r uint64) float64 {

@@ -34,6 +34,7 @@ type VariableReservoir struct {
 	admitted  uint64
 	rng       *xrand.Source
 	phases    int
+	ver       uint64
 }
 
 var _ Sampler = (*VariableReservoir)(nil)
@@ -105,6 +106,7 @@ func NewVariableReservoir(lambda float64, nmax int, rng *xrand.Source, opts ...V
 // sampler's whole lifetime (no transient nmax+1 state, no reallocation
 // past the stated budget).
 func (v *VariableReservoir) Add(p stream.Point) {
+	v.ver++
 	v.t++
 	if v.pin < 1 && !v.rng.Bernoulli(v.pin) {
 		return
@@ -122,6 +124,7 @@ func (v *VariableReservoir) Add(p stream.Point) {
 // memoryless, so redrawing at the next batch leaves the process unchanged.
 func (v *VariableReservoir) AddBatch(pts []stream.Point) {
 	n := len(pts)
+	v.ver++
 	v.t += uint64(n)
 	for i := 0; i < n; i++ {
 		if v.pin < 1 {
@@ -230,6 +233,9 @@ func (v *VariableReservoir) Capacity() int { return v.nmax }
 
 // Processed implements Sampler.
 func (v *VariableReservoir) Processed() uint64 { return v.t }
+
+// Version implements VersionedSampler.
+func (v *VariableReservoir) Version() uint64 { return v.ver }
 
 // Admitted returns how many points passed the p_in coin and were placed in
 // the reservoir (by insertion or replacement) over the sampler's lifetime.

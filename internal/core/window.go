@@ -25,6 +25,7 @@ type WindowReservoir struct {
 	slots    []windowChain
 	t        uint64
 	rng      *xrand.Source
+	ver      uint64
 }
 
 // windowChain is one slot's chain: the current sample followed by its
@@ -59,6 +60,7 @@ func NewWindowReservoir(window uint64, capacity int, rng *xrand.Source) (*Window
 
 // Add implements Sampler.
 func (w *WindowReservoir) Add(p stream.Point) {
+	w.ver++
 	w.t++
 	m := w.t
 	if m > w.window {
@@ -112,14 +114,31 @@ func (w *WindowReservoir) Points() []stream.Point {
 // Sample implements Sampler.
 func (w *WindowReservoir) Sample() []stream.Point { return w.Points() }
 
-// Len implements Sampler.
-func (w *WindowReservoir) Len() int { return len(w.Points()) }
+// Len implements Sampler. It counts in-window slot heads directly rather
+// than materializing the Points slice.
+func (w *WindowReservoir) Len() int {
+	n := 0
+	for i := range w.slots {
+		s := &w.slots[i]
+		if len(s.chain) == 0 {
+			continue
+		}
+		if w.t-s.chain[0].Index >= w.window {
+			continue
+		}
+		n++
+	}
+	return n
+}
 
 // Capacity implements Sampler.
 func (w *WindowReservoir) Capacity() int { return w.capacity }
 
 // Processed implements Sampler.
 func (w *WindowReservoir) Processed() uint64 { return w.t }
+
+// Version implements VersionedSampler.
+func (w *WindowReservoir) Version() uint64 { return w.ver }
 
 // Window returns the window length W.
 func (w *WindowReservoir) Window() uint64 { return w.window }

@@ -37,6 +37,19 @@ type entry struct {
 	mu      sync.Mutex
 	sampler *core.VariableReservoir
 	share   int
+	// snap caches the read path: mutations invalidate it, estimator
+	// calls are served lock-free from the published snapshot.
+	snap core.SnapshotCache
+}
+
+// acquireSnapshot returns the entry's current snapshot, taking the entry
+// lock only when a mutation happened since the last read.
+func (e *entry) acquireSnapshot() *core.Snapshot {
+	return e.snap.Acquire(func() *core.Snapshot {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		return core.BuildSnapshot(e.sampler)
+	})
 }
 
 // NewManager returns a manager distributing `budget` total reservoir slots
@@ -140,6 +153,7 @@ func (m *Manager) Add(name string, p stream.Point) error {
 	}
 	e.mu.Lock()
 	e.sampler.Add(p)
+	e.snap.Invalidate()
 	e.mu.Unlock()
 	return nil
 }
@@ -159,11 +173,14 @@ func (m *Manager) AddBatch(name string, pts []stream.Point) error {
 	}
 	e.mu.Lock()
 	core.AddBatch(e.sampler, pts)
+	e.snap.Invalidate()
 	e.mu.Unlock()
 	return nil
 }
 
-// Sample returns a copy of the named stream's current reservoir.
+// Sample returns the named stream's current reservoir as a read-only
+// view of its immutable snapshot — lock-free and copy-free when the
+// snapshot cache is warm. Callers must not modify the returned slice.
 func (m *Manager) Sample(name string) ([]stream.Point, error) {
 	m.mu.RLock()
 	e, ok := m.streams[name]
@@ -171,9 +188,7 @@ func (m *Manager) Sample(name string) ([]stream.Point, error) {
 	if !ok {
 		return nil, fmt.Errorf("multi: stream %q not registered", name)
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.sampler.Sample(), nil
+	return e.acquireSnapshot().Points, nil
 }
 
 // With evaluates fn against the named stream's sampler while holding its
@@ -191,38 +206,48 @@ func (m *Manager) With(name string, fn func(core.Sampler) error) error {
 	return fn(e.sampler)
 }
 
+// Snapshot returns the named stream's current sampler snapshot — lock-free
+// when nothing mutated since the last read. Callers can evaluate any
+// number of query kernels (query.EstimateOn and friends) against it
+// without blocking the stream's ingest.
+func (m *Manager) Snapshot(name string) (*core.Snapshot, error) {
+	m.mu.RLock()
+	e, ok := m.streams[name]
+	m.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("multi: stream %q not registered", name)
+	}
+	return e.acquireSnapshot(), nil
+}
+
 // Average estimates the per-dimension average of the named stream's last h
-// arrivals (see query.HorizonAverage).
+// arrivals (see query.HorizonAverage) in one fused pass over the stream's
+// snapshot.
 func (m *Manager) Average(name string, h uint64, dim int) ([]float64, error) {
-	var out []float64
-	err := m.With(name, func(s core.Sampler) error {
-		var err error
-		out, err = query.HorizonAverage(s, h, dim)
-		return err
-	})
-	return out, err
+	snap, err := m.Snapshot(name)
+	if err != nil {
+		return nil, err
+	}
+	return query.HorizonAverageOn(snap, h, dim)
 }
 
 // ClassDistribution estimates the fractional class distribution of the
 // named stream's last h arrivals.
 func (m *Manager) ClassDistribution(name string, h uint64) (map[int]float64, error) {
-	var out map[int]float64
-	err := m.With(name, func(s core.Sampler) error {
-		var err error
-		out, err = query.ClassDistribution(s, h)
-		return err
-	})
-	return out, err
+	snap, err := m.Snapshot(name)
+	if err != nil {
+		return nil, err
+	}
+	return query.ClassDistributionOn(snap, h)
 }
 
 // Estimate evaluates an arbitrary linear query against the named stream.
 func (m *Manager) Estimate(name string, q query.Linear) (float64, error) {
-	var out float64
-	err := m.With(name, func(s core.Sampler) error {
-		out = query.Estimate(s, q)
-		return nil
-	})
-	return out, err
+	snap, err := m.Snapshot(name)
+	if err != nil {
+		return 0, err
+	}
+	return query.EstimateOn(snap, q), nil
 }
 
 // Stats describes one stream's reservoir state.
@@ -233,6 +258,10 @@ type Stats struct {
 	Processed uint64
 	PIn       float64
 	Fill      float64
+	// Snapshot cache counters (see core.SnapshotCacheStats).
+	SnapshotHits     uint64
+	SnapshotMisses   uint64
+	SnapshotRebuilds uint64
 }
 
 // StreamStats returns per-stream reservoir statistics, sorted by name.
@@ -253,15 +282,18 @@ func (m *Manager) StreamStats() []Stats {
 			continue
 		}
 		e.mu.Lock()
-		out = append(out, Stats{
+		st := Stats{
 			Name:      name,
 			Share:     e.share,
 			Len:       e.sampler.Len(),
 			Processed: e.sampler.Processed(),
 			PIn:       e.sampler.PIn(),
 			Fill:      core.Fill(e.sampler),
-		})
+		}
 		e.mu.Unlock()
+		cs := e.snap.Stats()
+		st.SnapshotHits, st.SnapshotMisses, st.SnapshotRebuilds = cs.Hits, cs.Misses, cs.Rebuilds
+		out = append(out, st)
 	}
 	return out
 }
@@ -301,6 +333,12 @@ func (m *Manager) Collect() []obs.Family {
 		Help: "Current insertion probability p_in of the stream's sampler."}
 	fill := obs.Family{Name: "biasedres_multi_stream_fill_fraction", Type: "gauge",
 		Help: "Fill fraction F(t) of the stream's reservoir."}
+	snapHits := obs.Family{Name: "biasedres_snapshot_cache_hits_total", Type: "counter",
+		Help: "Snapshot reads served lock-free from the published snapshot."}
+	snapMisses := obs.Family{Name: "biasedres_snapshot_cache_misses_total", Type: "counter",
+		Help: "Snapshot reads that found the published snapshot stale or absent."}
+	snapRebuilds := obs.Family{Name: "biasedres_snapshot_cache_rebuilds_total", Type: "counter",
+		Help: "Snapshots rebuilt under the sampler lock (at most one per mutation)."}
 	for _, st := range stats {
 		label := []obs.Label{{Key: "stream", Value: st.Name}}
 		share.Samples = append(share.Samples, obs.Sample{Labels: label, Value: float64(st.Share)})
@@ -308,8 +346,11 @@ func (m *Manager) Collect() []obs.Family {
 		processed.Samples = append(processed.Samples, obs.Sample{Labels: label, Value: float64(st.Processed)})
 		pin.Samples = append(pin.Samples, obs.Sample{Labels: label, Value: st.PIn})
 		fill.Samples = append(fill.Samples, obs.Sample{Labels: label, Value: st.Fill})
+		snapHits.Samples = append(snapHits.Samples, obs.Sample{Labels: label, Value: float64(st.SnapshotHits)})
+		snapMisses.Samples = append(snapMisses.Samples, obs.Sample{Labels: label, Value: float64(st.SnapshotMisses)})
+		snapRebuilds.Samples = append(snapRebuilds.Samples, obs.Sample{Labels: label, Value: float64(st.SnapshotRebuilds)})
 	}
-	return append(out, share, size, processed, pin, fill)
+	return append(out, share, size, processed, pin, fill, snapHits, snapMisses, snapRebuilds)
 }
 
 // Budget returns the total slot budget.

@@ -7,25 +7,18 @@ import (
 	"biasedres/internal/stream"
 )
 
+// The Sampler-based estimators below are thin compatibility shims: each
+// snapshots the sampler once (core.SnapshotOf — a lock-free cache hit when
+// the sampler is a Synchronized wrapper) and delegates to the snapshot
+// kernels in fused.go. Their results are bit-identical to the historical
+// per-statistic loops; fused_test.go enforces that.
+
 // Estimate evaluates Equation 8's realized value on the sampler's current
 // reservoir: H(t) = Σ_{q in sample} c_q·h(X_q)/p(q,t). By Observation 4.1
 // E[H(t)] = G(t), for biased and unbiased reservoirs alike — the bias is
 // corrected by dividing by each point's inclusion probability.
 func Estimate(s core.Sampler, q Linear) float64 {
-	t := s.Processed()
-	var sum float64
-	for _, p := range s.Points() {
-		c := q.Coeff(p, t)
-		if c == 0 {
-			continue
-		}
-		pr := s.InclusionProb(p.Index)
-		if pr <= 0 {
-			continue
-		}
-		sum += c * q.Value(p) / pr
-	}
-	return sum
+	return EstimateOn(core.SnapshotOf(s), q)
 }
 
 // EstimateWithVariance returns the Equation 8 estimate together with the
@@ -34,22 +27,7 @@ func Estimate(s core.Sampler, q Linear) float64 {
 // only sampled points are visible, each sampled term is reweighted by
 // 1/p(r,t), yielding an unbiased variance estimate.
 func EstimateWithVariance(s core.Sampler, q Linear) (estimate, variance float64) {
-	t := s.Processed()
-	for _, p := range s.Points() {
-		c := q.Coeff(p, t)
-		if c == 0 {
-			continue
-		}
-		pr := s.InclusionProb(p.Index)
-		if pr <= 0 {
-			continue
-		}
-		v := q.Value(p)
-		estimate += c * v / pr
-		k := c * c * v * v * (1/pr - 1)
-		variance += k / pr
-	}
-	return estimate, variance
+	return EstimateWithVarianceOn(core.SnapshotOf(s), q)
 }
 
 // TrueVariance evaluates Lemma 4.1 exactly over a fully known stream
@@ -79,58 +57,25 @@ func TrueVariance(pts []stream.Point, t uint64, q Linear, prob func(r uint64) fl
 // experiments report exactly this quantity (Figures 2, 3, 6). dim is the
 // stream's dimensionality. It returns an error when the estimated count is
 // not positive (no relevant sample points — the failure mode the paper
-// ascribes to unbiased sampling at small horizons).
+// ascribes to unbiased sampling at small horizons). Count and all dim sums
+// come out of one fused reservoir pass.
 func HorizonAverage(s core.Sampler, h uint64, dim int) ([]float64, error) {
 	if dim <= 0 {
 		return nil, fmt.Errorf("query: horizon average needs dim > 0, got %d", dim)
 	}
-	count := Estimate(s, Count(h))
-	if count <= 0 {
-		return nil, fmt.Errorf("query: no sample mass in horizon %d (estimated count %v)", h, count)
-	}
-	out := make([]float64, dim)
-	for d := 0; d < dim; d++ {
-		out[d] = Estimate(s, Sum(h, d)) / count
-	}
-	return out, nil
+	return HorizonAverageOn(core.SnapshotOf(s), h, dim)
 }
 
 // ClassDistribution estimates the fractional class distribution of the last
 // h arrivals (Figure 4's query): for each label present in the reservoir,
 // the ratio of its estimated class count to the estimated total count.
 func ClassDistribution(s core.Sampler, h uint64) (map[int]float64, error) {
-	t := s.Processed()
-	count := Count(h)
-	var total float64
-	sums := make(map[int]float64)
-	for _, p := range s.Points() {
-		c := count.Coeff(p, t)
-		if c == 0 {
-			continue
-		}
-		pr := s.InclusionProb(p.Index)
-		if pr <= 0 {
-			continue
-		}
-		sums[p.Label] += c / pr
-		total += c / pr
-	}
-	if total <= 0 {
-		return nil, fmt.Errorf("query: no sample mass in horizon %d", h)
-	}
-	for k := range sums {
-		sums[k] /= total
-	}
-	return sums, nil
+	return ClassDistributionOn(core.SnapshotOf(s), h)
 }
 
 // RangeSelectivity estimates the fraction of the last h arrivals inside
 // rect (Figure 5's query) as the ratio of the RangeCount and Count
-// estimates.
+// estimates, both from a single pass.
 func RangeSelectivity(s core.Sampler, h uint64, rect Rect) (float64, error) {
-	count := Estimate(s, Count(h))
-	if count <= 0 {
-		return 0, fmt.Errorf("query: no sample mass in horizon %d", h)
-	}
-	return Estimate(s, RangeCount(h, rect)) / count, nil
+	return RangeSelectivityOn(core.SnapshotOf(s), h, rect)
 }

@@ -1,0 +1,347 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"biasedres/internal/core"
+)
+
+// This file is the snapshot-native query engine: every estimator evaluates
+// against an immutable core.Snapshot (points + precomputed inclusion
+// probabilities) instead of a live Sampler, so a query costs zero sampler
+// locks and zero InclusionProb calls. Multi-statistic queries share one
+// fused reservoir walk — Accumulate gathers count, per-dimension sums,
+// per-class counts/sums and Lemma 4.1 variance terms together, collapsing
+// HorizonAverage's dim+1 passes (and ClassDistribution/GroupAverage/
+// RangeSelectivity's repeated passes) into exactly one.
+//
+// Every kernel reproduces the pre-snapshot estimators bit for bit: the same
+// skip conditions, the same operation order inside each accumulator, the
+// same association of multiplies and divides (e.g. the global sums use
+// v/pr while the grouped sums use w·v with w = 1/pr, as the originals
+// did). The regression tests in fused_test.go hold the engine to that.
+
+// ClassAcc is one label's share of a fused walk: its Horvitz–Thompson
+// count, the Lemma 4.1 variance of that count, and per-dimension weighted
+// value sums.
+type ClassAcc struct {
+	Count float64
+	Var   float64
+	Sums  []float64
+}
+
+// Accum is everything one fused walk over a snapshot produces for a
+// recent-horizon workload. Derive final statistics with the methods
+// (Average, Distribution, GroupAverage, TopK) — they only combine
+// accumulator fields and never re-read the snapshot.
+type Accum struct {
+	// T is the stream position of the snapshot the walk ran over.
+	T uint64
+	// Horizon is the recent-horizon restriction (0 = whole stream).
+	Horizon uint64
+	// Dim is how many leading dimensions were accumulated.
+	Dim int
+
+	// Count estimates the number of stream points in the horizon
+	// (Equation 8 with h(X) = 1).
+	Count float64
+	// CountVar is the Horvitz–Thompson estimate of Count's variance
+	// (Lemma 4.1).
+	CountVar float64
+	// Sums[d] estimates the horizon's sum over dimension d.
+	Sums []float64
+	// Classes maps each label with sample mass in the horizon to its
+	// per-class accumulators.
+	Classes map[int]*ClassAcc
+}
+
+// Accumulate runs the fused walk: one pass over snap computing every
+// Accum statistic for the given horizon and dimensionality. dim <= 0
+// accumulates no per-dimension sums (count and class statistics only).
+func Accumulate(snap *core.Snapshot, h uint64, dim int) *Accum {
+	a := &Accum{T: snap.T, Horizon: h, Dim: dim, Classes: make(map[int]*ClassAcc)}
+	if dim > 0 {
+		a.Sums = make([]float64, dim)
+	}
+	t := snap.T
+	for i := range snap.Points {
+		p := &snap.Points[i]
+		if p.Index == 0 || p.Index > t {
+			continue
+		}
+		if h > 0 && t-p.Index >= h {
+			continue
+		}
+		pr := snap.Probs[i]
+		if pr <= 0 {
+			continue
+		}
+		w := 1 / pr
+		a.Count += w
+		a.CountVar += (w - 1) / pr
+		for d := 0; d < dim && d < len(p.Values); d++ {
+			a.Sums[d] += p.Values[d] / pr
+		}
+		ca := a.Classes[p.Label]
+		if ca == nil {
+			ca = &ClassAcc{}
+			if dim > 0 {
+				ca.Sums = make([]float64, dim)
+			}
+			a.Classes[p.Label] = ca
+		}
+		ca.Count += w
+		ca.Var += (w - 1) / pr
+		for d := 0; d < dim && d < len(p.Values); d++ {
+			ca.Sums[d] += w * p.Values[d]
+		}
+	}
+	return a
+}
+
+// Average returns the per-dimension horizon average Sums[d]/Count, the
+// HorizonAverage statistic. It errors when the walk accumulated no sample
+// mass.
+func (a *Accum) Average() ([]float64, error) {
+	if a.Dim <= 0 {
+		return nil, fmt.Errorf("query: horizon average needs dim > 0, got %d", a.Dim)
+	}
+	if a.Count <= 0 {
+		return nil, fmt.Errorf("query: no sample mass in horizon %d (estimated count %v)", a.Horizon, a.Count)
+	}
+	out := make([]float64, a.Dim)
+	for d := range out {
+		out[d] = a.Sums[d] / a.Count
+	}
+	return out, nil
+}
+
+// Distribution returns each label's estimated fraction of the horizon —
+// the ClassDistribution statistic. The accumulators are not mutated.
+func (a *Accum) Distribution() (map[int]float64, error) {
+	if a.Count <= 0 {
+		return nil, fmt.Errorf("query: no sample mass in horizon %d", a.Horizon)
+	}
+	out := make(map[int]float64, len(a.Classes))
+	for label, ca := range a.Classes {
+		out[label] = ca.Count / a.Count
+	}
+	return out, nil
+}
+
+// GroupAverage returns each label's per-dimension average — the
+// GroupAverage statistic.
+func (a *Accum) GroupAverage() (map[int][]float64, error) {
+	if a.Dim <= 0 {
+		return nil, fmt.Errorf("query: group average needs dim > 0, got %d", a.Dim)
+	}
+	if len(a.Classes) == 0 {
+		return nil, fmt.Errorf("query: no sample mass in horizon %d", a.Horizon)
+	}
+	out := make(map[int][]float64, len(a.Classes))
+	for label, ca := range a.Classes {
+		avg := make([]float64, a.Dim)
+		for d := range avg {
+			avg[d] = ca.Sums[d] / ca.Count
+		}
+		out[label] = avg
+	}
+	return out, nil
+}
+
+// GroupCount returns each label's estimated in-horizon count — the
+// GroupCount statistic.
+func (a *Accum) GroupCount() (map[int]float64, error) {
+	if len(a.Classes) == 0 {
+		return nil, fmt.Errorf("query: no sample mass in horizon %d", a.Horizon)
+	}
+	out := make(map[int]float64, len(a.Classes))
+	for label, ca := range a.Classes {
+		out[label] = ca.Count
+	}
+	return out, nil
+}
+
+// TopK returns the k labels with the largest estimated counts, with
+// Lemma 4.1 standard errors — the TopK statistic.
+func (a *Accum) TopK(k int) ([]LabelCount, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("query: top-k needs k > 0, got %d", k)
+	}
+	if len(a.Classes) == 0 {
+		return nil, fmt.Errorf("query: no sample mass in horizon %d", a.Horizon)
+	}
+	out := make([]LabelCount, 0, len(a.Classes))
+	for label, ca := range a.Classes {
+		out = append(out, LabelCount{Label: label, Count: ca.Count, Sigma: math.Sqrt(ca.Var)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Label < out[j].Label
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// EstimateOn evaluates Equation 8 for an arbitrary linear query against a
+// snapshot: H(t) = Σ c·h(X)/p(r,t) over the sampled points.
+func EstimateOn(snap *core.Snapshot, q Linear) float64 {
+	t := snap.T
+	var sum float64
+	for i := range snap.Points {
+		p := snap.Points[i]
+		c := q.Coeff(p, t)
+		if c == 0 {
+			continue
+		}
+		pr := snap.Probs[i]
+		if pr <= 0 {
+			continue
+		}
+		sum += c * q.Value(p) / pr
+	}
+	return sum
+}
+
+// EstimateWithVarianceOn is EstimateOn plus the Lemma 4.1 variance
+// estimate, in one pass.
+func EstimateWithVarianceOn(snap *core.Snapshot, q Linear) (estimate, variance float64) {
+	t := snap.T
+	for i := range snap.Points {
+		p := snap.Points[i]
+		c := q.Coeff(p, t)
+		if c == 0 {
+			continue
+		}
+		pr := snap.Probs[i]
+		if pr <= 0 {
+			continue
+		}
+		v := q.Value(p)
+		estimate += c * v / pr
+		k := c * c * v * v * (1/pr - 1)
+		variance += k / pr
+	}
+	return estimate, variance
+}
+
+// HorizonAverageOn estimates the per-dimension average of the last h
+// arrivals in one fused pass (count and all dim sums together).
+func HorizonAverageOn(snap *core.Snapshot, h uint64, dim int) ([]float64, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("query: horizon average needs dim > 0, got %d", dim)
+	}
+	return Accumulate(snap, h, dim).Average()
+}
+
+// ClassDistributionOn estimates the horizon's class distribution in one
+// pass.
+func ClassDistributionOn(snap *core.Snapshot, h uint64) (map[int]float64, error) {
+	return Accumulate(snap, h, 0).Distribution()
+}
+
+// GroupAverageOn estimates each label's per-dimension average in one pass.
+func GroupAverageOn(snap *core.Snapshot, h uint64, dim int) (map[int][]float64, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("query: group average needs dim > 0, got %d", dim)
+	}
+	return Accumulate(snap, h, dim).GroupAverage()
+}
+
+// GroupCountOn estimates each label's in-horizon count in one pass.
+func GroupCountOn(snap *core.Snapshot, h uint64) (map[int]float64, error) {
+	return Accumulate(snap, h, 0).GroupCount()
+}
+
+// TopKOn estimates the k most frequent labels in one pass.
+func TopKOn(snap *core.Snapshot, h uint64, k int) ([]LabelCount, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("query: top-k needs k > 0, got %d", k)
+	}
+	return Accumulate(snap, h, 0).TopK(k)
+}
+
+// RangeSelectivityOn estimates the fraction of the last h arrivals inside
+// rect, computing the RangeCount numerator and Count denominator in a
+// single pass instead of two.
+func RangeSelectivityOn(snap *core.Snapshot, h uint64, rect Rect) (float64, error) {
+	t := snap.T
+	var num, denom float64
+	for i := range snap.Points {
+		p := &snap.Points[i]
+		if p.Index == 0 || p.Index > t {
+			continue
+		}
+		if h > 0 && t-p.Index >= h {
+			continue
+		}
+		pr := snap.Probs[i]
+		if pr <= 0 {
+			continue
+		}
+		w := 1 / pr
+		denom += w
+		if rect.Contains(*p) {
+			num += w
+		}
+	}
+	if denom <= 0 {
+		return 0, fmt.Errorf("query: no sample mass in horizon %d", h)
+	}
+	return num / denom, nil
+}
+
+// QuantileOn estimates the q-quantile (0 < q < 1) of dimension dim over
+// the last h arrivals from the snapshot's weighted empirical distribution.
+func QuantileOn(snap *core.Snapshot, h uint64, dim int, q float64) (float64, error) {
+	if !(q > 0 && q < 1) {
+		return 0, fmt.Errorf("query: quantile needs 0 < q < 1, got %v", q)
+	}
+	if dim < 0 {
+		return 0, fmt.Errorf("query: quantile needs dim >= 0, got %d", dim)
+	}
+	t := snap.T
+	type wv struct {
+		v, w float64
+	}
+	var items []wv
+	var total float64
+	for i := range snap.Points {
+		p := &snap.Points[i]
+		if p.Index == 0 || p.Index > t {
+			continue
+		}
+		if h > 0 && t-p.Index >= h {
+			continue
+		}
+		if dim >= len(p.Values) {
+			continue
+		}
+		pr := snap.Probs[i]
+		if pr <= 0 {
+			continue
+		}
+		w := 1 / pr
+		items = append(items, wv{v: p.Values[dim], w: w})
+		total += w
+	}
+	if total <= 0 || len(items) == 0 {
+		return 0, fmt.Errorf("query: no sample mass in horizon %d", h)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].v < items[j].v })
+	target := q * total
+	var cum float64
+	for _, it := range items {
+		cum += it.w
+		if cum >= target {
+			return it.v, nil
+		}
+	}
+	return items[len(items)-1].v, nil
+}

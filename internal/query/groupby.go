@@ -15,59 +15,11 @@ func GroupAverage(s core.Sampler, h uint64, dim int) (map[int][]float64, error) 
 	if dim <= 0 {
 		return nil, fmt.Errorf("query: group average needs dim > 0, got %d", dim)
 	}
-	t := s.Processed()
-	horizon := horizonCoeff(h)
-	sums := make(map[int][]float64)
-	weights := make(map[int]float64)
-	for _, p := range s.Points() {
-		if horizon(p, t) == 0 {
-			continue
-		}
-		pr := s.InclusionProb(p.Index)
-		if pr <= 0 {
-			continue
-		}
-		w := 1 / pr
-		acc, ok := sums[p.Label]
-		if !ok {
-			acc = make([]float64, dim)
-			sums[p.Label] = acc
-		}
-		for d := 0; d < dim && d < len(p.Values); d++ {
-			acc[d] += w * p.Values[d]
-		}
-		weights[p.Label] += w
-	}
-	if len(sums) == 0 {
-		return nil, fmt.Errorf("query: no sample mass in horizon %d", h)
-	}
-	for label, acc := range sums {
-		w := weights[label]
-		for d := range acc {
-			acc[d] /= w
-		}
-	}
-	return sums, nil
+	return GroupAverageOn(core.SnapshotOf(s), h, dim)
 }
 
 // GroupCount estimates the number of points of each label among the last h
 // arrivals (the un-normalized form of ClassDistribution).
 func GroupCount(s core.Sampler, h uint64) (map[int]float64, error) {
-	t := s.Processed()
-	horizon := horizonCoeff(h)
-	counts := make(map[int]float64)
-	for _, p := range s.Points() {
-		if horizon(p, t) == 0 {
-			continue
-		}
-		pr := s.InclusionProb(p.Index)
-		if pr <= 0 {
-			continue
-		}
-		counts[p.Label] += 1 / pr
-	}
-	if len(counts) == 0 {
-		return nil, fmt.Errorf("query: no sample mass in horizon %d", h)
-	}
-	return counts, nil
+	return GroupCountOn(core.SnapshotOf(s), h)
 }

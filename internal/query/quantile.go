@@ -15,44 +15,7 @@ import (
 // of that weighted distribution estimates the true quantile. It returns an
 // error when no sample mass falls inside the horizon.
 func Quantile(s core.Sampler, h uint64, dim int, q float64) (float64, error) {
-	if !(q > 0 && q < 1) {
-		return 0, fmt.Errorf("query: quantile needs 0 < q < 1, got %v", q)
-	}
-	if dim < 0 {
-		return 0, fmt.Errorf("query: quantile needs dim >= 0, got %d", dim)
-	}
-	t := s.Processed()
-	horizon := horizonCoeff(h)
-	type wv struct {
-		v, w float64
-	}
-	var items []wv
-	var total float64
-	for _, p := range s.Points() {
-		if horizon(p, t) == 0 || dim >= len(p.Values) {
-			continue
-		}
-		pr := s.InclusionProb(p.Index)
-		if pr <= 0 {
-			continue
-		}
-		w := 1 / pr
-		items = append(items, wv{v: p.Values[dim], w: w})
-		total += w
-	}
-	if total <= 0 || len(items) == 0 {
-		return 0, fmt.Errorf("query: no sample mass in horizon %d", h)
-	}
-	sort.Slice(items, func(i, j int) bool { return items[i].v < items[j].v })
-	target := q * total
-	var cum float64
-	for _, it := range items {
-		cum += it.w
-		if cum >= target {
-			return it.v, nil
-		}
-	}
-	return items[len(items)-1].v, nil
+	return QuantileOn(core.SnapshotOf(s), h, dim, q)
 }
 
 // Median estimates the 0.5-quantile over the last h arrivals.

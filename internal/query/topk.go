@@ -1,10 +1,6 @@
 package query
 
 import (
-	"fmt"
-	"math"
-	"sort"
-
 	"biasedres/internal/core"
 )
 
@@ -23,41 +19,5 @@ type LabelCount struct {
 // are returned when fewer labels have sample mass in the horizon. k must
 // be positive.
 func TopK(s core.Sampler, h uint64, k int) ([]LabelCount, error) {
-	if k <= 0 {
-		return nil, fmt.Errorf("query: top-k needs k > 0, got %d", k)
-	}
-	t := s.Processed()
-	horizon := horizonCoeff(h)
-	counts := make(map[int]float64)
-	variances := make(map[int]float64)
-	for _, p := range s.Points() {
-		if horizon(p, t) == 0 {
-			continue
-		}
-		pr := s.InclusionProb(p.Index)
-		if pr <= 0 {
-			continue
-		}
-		counts[p.Label] += 1 / pr
-		// HT estimate of the per-label count variance: each sampled
-		// term contributes (1/p - 1), reweighted by 1/p.
-		variances[p.Label] += (1/pr - 1) / pr
-	}
-	if len(counts) == 0 {
-		return nil, fmt.Errorf("query: no sample mass in horizon %d", h)
-	}
-	out := make([]LabelCount, 0, len(counts))
-	for label, c := range counts {
-		out = append(out, LabelCount{Label: label, Count: c, Sigma: math.Sqrt(variances[label])})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Count != out[j].Count {
-			return out[i].Count > out[j].Count
-		}
-		return out[i].Label < out[j].Label
-	})
-	if len(out) > k {
-		out = out[:k]
-	}
-	return out, nil
+	return TopKOn(core.SnapshotOf(s), h, k)
 }

@@ -43,6 +43,7 @@ func (s *Server) runIngestShard(name string, ms *managedStream) {
 		s.ingestSem <- struct{}{}
 		ms.mu.Lock()
 		core.AddBatch(ms.sampler, batch)
+		ms.snap.Invalidate()
 		ms.mu.Unlock()
 		<-s.ingestSem
 		ms.pending.Add(-int64(len(batch)))

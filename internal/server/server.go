@@ -87,6 +87,21 @@ type managedStream struct {
 	shard   *ingestShard
 	closed  bool // guarded by qmu
 	pending atomic.Int64
+	// snap caches the read path: every sampler mutation invalidates it,
+	// and queries/samples/stats are served from the published snapshot
+	// without touching mu (see core.SnapshotCache).
+	snap core.SnapshotCache
+}
+
+// acquireSnapshot returns the stream's current sampler snapshot. When
+// nothing has mutated since the last read this is lock-free (two atomic
+// loads); otherwise the sampler lock is taken once to rebuild.
+func (ms *managedStream) acquireSnapshot() *core.Snapshot {
+	return ms.snap.Acquire(func() *core.Snapshot {
+		ms.mu.Lock()
+		defer ms.mu.Unlock()
+		return core.BuildSnapshot(ms.sampler)
+	})
 }
 
 // Server is the HTTP handler. Create with New and mount it as an
@@ -251,6 +266,12 @@ func (s *Server) collectStreams() []obs.Family {
 		Help: "Current insertion probability p_in (policies that decay it)."}
 	phases := obs.Family{Name: "biasedres_stream_reduction_phases_total", Type: "counter",
 		Help: "p_in reduction phases run (variable policy)."}
+	snapHits := obs.Family{Name: "biasedres_snapshot_cache_hits_total", Type: "counter",
+		Help: "Snapshot reads served lock-free from the published snapshot."}
+	snapMisses := obs.Family{Name: "biasedres_snapshot_cache_misses_total", Type: "counter",
+		Help: "Snapshot reads that found the published snapshot stale or absent."}
+	snapRebuilds := obs.Family{Name: "biasedres_snapshot_cache_rebuilds_total", Type: "counter",
+		Help: "Snapshots rebuilt under the sampler lock (at most one per mutation)."}
 
 	for _, name := range names {
 		ms, ok := s.lookup(name)
@@ -273,10 +294,14 @@ func (s *Server) collectStreams() []obs.Family {
 			phases.Samples = append(phases.Samples, obs.Sample{Labels: label(name), Value: float64(ph.Phases())})
 		}
 		ms.mu.Unlock()
+		st := ms.snap.Stats()
+		snapHits.Samples = append(snapHits.Samples, obs.Sample{Labels: label(name), Value: float64(st.Hits)})
+		snapMisses.Samples = append(snapMisses.Samples, obs.Sample{Labels: label(name), Value: float64(st.Misses)})
+		snapRebuilds.Samples = append(snapRebuilds.Samples, obs.Sample{Labels: label(name), Value: float64(st.Rebuilds)})
 	}
 
-	out := make([]obs.Family, 0, 7)
-	for _, fam := range []obs.Family{processed, admitted, size, capacity, fill, pin, phases} {
+	out := make([]obs.Family, 0, 10)
+	for _, fam := range []obs.Family{processed, admitted, size, capacity, fill, pin, phases, snapHits, snapMisses, snapRebuilds} {
 		if len(fam.Samples) > 0 {
 			out = append(out, fam)
 		}
@@ -556,6 +581,7 @@ func (s *Server) handleIngestSync(w http.ResponseWriter, name string, ms *manage
 					// than resend.
 					ms.next--
 					ms.dim = dim
+					ms.snap.Invalidate()
 					ms.mu.Unlock()
 					ms.qmu.Unlock()
 					httpErrorIngested(w, http.StatusBadRequest, i, "point %d: %v", i, err)
@@ -577,6 +603,7 @@ func (s *Server) handleIngestSync(w http.ResponseWriter, name string, ms *manage
 	}
 	ms.dim = dim
 	processed := ms.sampler.Processed()
+	ms.snap.Invalidate()
 	ms.mu.Unlock()
 	ms.qmu.Unlock()
 	s.ingest.With(name).Add(uint64(len(req.Points)))
@@ -607,16 +634,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	ms.qmu.Lock()
 	dim := ms.dim
 	ms.qmu.Unlock()
-	ms.mu.Lock()
-	defer ms.mu.Unlock()
+	// Serve from the snapshot: no sampler lock, and nothing is held
+	// during JSON encoding or the network write.
+	snap := ms.acquireSnapshot()
 	writeJSON(w, map[string]any{
 		"policy":    ms.policy,
 		"lambda":    ms.lambda,
 		"dim":       dim,
-		"processed": ms.sampler.Processed(),
-		"size":      ms.sampler.Len(),
-		"capacity":  ms.sampler.Capacity(),
-		"fill":      core.Fill(ms.sampler),
+		"processed": snap.T,
+		"size":      snap.Len(),
+		"capacity":  snap.Cap,
+		"fill":      snap.Fill(),
 		"pending":   ms.pending.Load(),
 	})
 }
@@ -635,15 +663,16 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "stream %q not found", r.PathValue("name"))
 		return
 	}
-	ms.mu.Lock()
-	pts := ms.sampler.Sample()
-	out := make([]SamplePoint, len(pts))
-	for i, p := range pts {
-		out[i] = SamplePoint{Index: p.Index, Values: p.Values, Label: p.Label, Prob: ms.sampler.InclusionProb(p.Index)}
+	// The snapshot's probability slice was materialized once at capture
+	// time, so the response costs no per-point InclusionProb calls and no
+	// sampler lock at all on a cache hit.
+	snap := ms.acquireSnapshot()
+	out := make([]SamplePoint, len(snap.Points))
+	for i := range snap.Points {
+		p := &snap.Points[i]
+		out[i] = SamplePoint{Index: p.Index, Values: p.Values, Label: p.Label, Prob: snap.Probs[i]}
 	}
-	t := ms.sampler.Processed()
-	ms.mu.Unlock()
-	writeJSON(w, map[string]any{"t": t, "points": out})
+	writeJSON(w, map[string]any{"t": snap.T, "points": out})
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -661,11 +690,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ms.qmu.Lock()
 	streamDim := ms.dim
 	ms.qmu.Unlock()
-	ms.mu.Lock()
-	defer ms.mu.Unlock()
+	// One snapshot serves the whole request: on a cache hit the handler
+	// acquires no sampler lock, and the fused kernels answer every query
+	// type in a single reservoir pass. Nothing is held during JSON
+	// encoding or the network write.
+	snap := ms.acquireSnapshot()
 	switch q.Get("type") {
 	case "count":
-		est, variance := query.EstimateWithVariance(ms.sampler, query.Count(h))
+		est, variance := query.EstimateWithVarianceOn(snap, query.Count(h))
 		writeJSON(w, map[string]any{"estimate": est, "variance": variance})
 	case "average":
 		dim := streamDim
@@ -673,14 +705,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusConflict, "stream has no points yet")
 			return
 		}
-		avg, err := query.HorizonAverage(ms.sampler, h, dim)
+		avg, err := query.HorizonAverageOn(snap, h, dim)
 		if err != nil {
 			httpError(w, http.StatusConflict, "%v", err)
 			return
 		}
 		writeJSON(w, map[string]any{"average": avg})
 	case "classdist":
-		dist, err := query.ClassDistribution(ms.sampler, h)
+		dist, err := query.ClassDistributionOn(snap, h)
 		if err != nil {
 			httpError(w, http.StatusConflict, "%v", err)
 			return
@@ -696,7 +728,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusConflict, "stream has no points yet")
 			return
 		}
-		groups, err := query.GroupAverage(ms.sampler, h, dim)
+		groups, err := query.GroupAverageOn(snap, h, dim)
 		if err != nil {
 			httpError(w, http.StatusConflict, "%v", err)
 			return
@@ -712,7 +744,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		sel, err := query.RangeSelectivity(ms.sampler, h, rect)
+		sel, err := query.RangeSelectivityOn(snap, h, rect)
 		if err != nil {
 			httpError(w, http.StatusConflict, "%v", err)
 			return
@@ -729,7 +761,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, "bad q: %v", err)
 			return
 		}
-		v, err := query.Quantile(ms.sampler, h, int(dim), qq)
+		v, err := query.QuantileOn(snap, h, int(dim), qq)
 		if err != nil {
 			httpError(w, http.StatusConflict, "%v", err)
 			return
@@ -746,12 +778,16 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "stream %q not found", r.PathValue("name"))
 		return
 	}
+	// Capture next under qmu and take the sampler lock before letting qmu
+	// go, so the (next, sampler state) pair stays coherent — but release
+	// qmu before the gob encode so ingest admission is never blocked on
+	// serialization work.
 	ms.qmu.Lock()
 	next := ms.next
 	ms.mu.Lock()
+	ms.qmu.Unlock()
 	blob, err := ms.sampler.MarshalBinary()
 	ms.mu.Unlock()
-	ms.qmu.Unlock()
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "snapshot: %v", err)
 		return
@@ -814,6 +850,7 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	ms.dim = dim
 	ms.next = restored.Processed()
 	processed, size := restored.Processed(), restored.Len()
+	ms.snap.Invalidate()
 	ms.mu.Unlock()
 	ms.qmu.Unlock()
 	if s.log != nil {
