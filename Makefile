@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt linkcheck bench bench-query bench-smoke ci
+.PHONY: all build test race vet fmt linkcheck bench bench-query bench-smoke test-durable ci
 
 all: build
 
@@ -39,4 +39,12 @@ bench-query:
 bench-smoke:
 	$(GO) test -run '^$$' -bench '^BenchmarkQuery' -benchtime 1x ./internal/query
 
-ci: fmt build vet linkcheck test race bench-smoke
+# test-durable runs the durability suite under the race detector: the
+# crash/fault-injection property tests, the server recovery tests, and the
+# SIGKILL crash-recovery smoke against the real binary.
+test-durable:
+	$(GO) test -race -count=1 ./internal/durable/
+	$(GO) test -race -count=1 -run 'Durable|MaxBody' ./internal/server/
+	$(GO) test -count=1 -run 'CrashRecoverySmoke' ./cmd/reservoird/
+
+ci: fmt build vet linkcheck test race bench-smoke test-durable

@@ -1,0 +1,295 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestCrashRecoverySmoke is the end-to-end durability smoke test: build
+// the real binary, load it with points, SIGKILL it mid-flight, restart it
+// over the same data directory, and assert the stream comes back with at
+// most the fsync-coalescing window of loss.
+func TestCrashRecoverySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills the real binary")
+	}
+	bin := buildReservoird(t)
+	dataDir := t.TempDir()
+
+	// First life: ingest, wait for a checkpoint, die hard.
+	proc1 := startReservoird(t, bin, dataDir)
+	createStreamHTTP(t, proc1.base, "sensor")
+	const total = 500
+	for i := 0; i < total; i += 100 {
+		pushPoints(t, proc1.base, "sensor", i, 100)
+	}
+	waitForMetric(t, proc1.base, "biasedres_durable_checkpoints_total", 2)
+	// Give the journal sync loop (running every 10ms here) one window so
+	// every acknowledged point is on disk before the kill.
+	time.Sleep(100 * time.Millisecond)
+	if err := proc1.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatalf("SIGKILL: %v", err)
+	}
+	_ = proc1.cmd.Wait()
+
+	// Second life: same data dir, fresh port.
+	proc2 := startReservoird(t, bin, dataDir)
+	stats := streamStats(t, proc2.base, "sensor")
+	processed, _ := stats["processed"].(float64)
+	if processed != total {
+		t.Fatalf("recovered processed = %v, want %d (all points were fsynced before the kill)",
+			processed, total)
+	}
+	metrics := scrapeMetrics(t, proc2.base)
+	if !strings.Contains(metrics, "biasedres_durable_recoveries_total 1") {
+		t.Fatalf("recoveries metric missing or wrong:\n%s", grepMetrics(metrics, "durable"))
+	}
+	if !strings.Contains(metrics, "biasedres_durable_quarantined_total 0") {
+		t.Fatalf("hard kill quarantined files:\n%s", grepMetrics(metrics, "durable"))
+	}
+	// The recovered stream keeps serving.
+	pushPoints(t, proc2.base, "sensor", total, 10)
+	stats = streamStats(t, proc2.base, "sensor")
+	if got, _ := stats["processed"].(float64); got != total+10 {
+		t.Fatalf("processed after post-recovery ingest = %v, want %d", got, total+10)
+	}
+
+	// A quarantined chain must not stop the daemon from starting.
+	if err := proc2.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatalf("SIGKILL: %v", err)
+	}
+	_ = proc2.cmd.Wait()
+	corruptCheckpoints(t, dataDir)
+	proc3 := startReservoird(t, bin, dataDir)
+	resp, err := http.Get(proc3.base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz after corrupt start: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after corrupt start: %d", resp.StatusCode)
+	}
+	metrics = scrapeMetrics(t, proc3.base)
+	if strings.Contains(metrics, "biasedres_durable_quarantined_total 0") {
+		t.Fatalf("corrupt checkpoints not quarantined:\n%s", grepMetrics(metrics, "durable"))
+	}
+}
+
+func buildReservoird(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "reservoird")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+type reservoirdProc struct {
+	cmd  *exec.Cmd
+	base string
+}
+
+var addrRe = regexp.MustCompile(`reservoird listening.*addr=(\S+)`)
+
+// startReservoird launches the binary on a kernel-assigned port with fast
+// durability intervals and parses the bound address from its startup log.
+func startReservoird(t *testing.T, bin, dataDir string) *reservoirdProc {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-data-dir", dataDir,
+		"-checkpoint-interval", "50ms",
+		"-journal-sync-interval", "10ms",
+	)
+	var logBuf syncBuffer
+	cmd.Stderr = &logBuf
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting reservoird: %v", err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+		}
+	})
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := addrRe.FindStringSubmatch(logBuf.String()); m != nil {
+			addr := strings.Trim(m[1], `"`)
+			return &reservoirdProc{cmd: cmd, base: "http://" + addr}
+		}
+		if cmd.ProcessState != nil || time.Now().After(deadline) {
+			t.Fatalf("reservoird never logged its address; log:\n%s", logBuf.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer: the process writes from its
+// own goroutine while the test polls String.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func createStreamHTTP(t *testing.T, base, name string) {
+	t.Helper()
+	body := strings.NewReader(`{"policy":"variable","lambda":0.001,"capacity":100}`)
+	req, err := http.NewRequest(http.MethodPut, base+"/streams/"+name, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("create stream: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("create stream: status %d body %s", resp.StatusCode, raw)
+	}
+}
+
+func pushPoints(t *testing.T, base, name string, from, n int) {
+	t.Helper()
+	type pt struct {
+		Values []float64 `json:"values"`
+	}
+	pts := make([]pt, n)
+	for i := range pts {
+		pts[i] = pt{Values: []float64{float64(from + i)}}
+	}
+	blob, err := json.Marshal(map[string]any{"points": pts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/streams/"+name+"/points", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatalf("push: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("push: status %d body %s", resp.StatusCode, raw)
+	}
+}
+
+func streamStats(t *testing.T, base, name string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(base + "/streams/" + name)
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("stats: status %d body %s", resp.StatusCode, raw)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding stats: %v", err)
+	}
+	return out
+}
+
+func scrapeMetrics(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading metrics: %v", err)
+	}
+	return string(raw)
+}
+
+func grepMetrics(metrics, substr string) string {
+	var out []string
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.Contains(line, substr) && !strings.HasPrefix(line, "#") {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// waitForMetric polls /metrics until the named series reaches at least
+// min, proving e.g. that the background checkpointer has run.
+func waitForMetric(t *testing.T, base, name string, min float64) {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` ([0-9.eE+-]+)$`)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		metrics := scrapeMetrics(t, base)
+		if m := re.FindStringSubmatch(metrics); m != nil {
+			var v float64
+			if _, err := fmt.Sscanf(m[1], "%g", &v); err == nil && v >= min {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("metric %s never reached %g; durable series:\n%s",
+				name, min, grepMetrics(metrics, "durable"))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// corruptCheckpoints bit-flips every checkpoint file in dataDir, so the
+// next start must fall back to quarantine rather than crash.
+func corruptCheckpoints(t *testing.T, dataDir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dataDir)
+	if err != nil {
+		t.Fatalf("reading data dir: %v", err)
+	}
+	n := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".ckpt") {
+			continue
+		}
+		path := filepath.Join(dataDir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading %s: %v", path, err)
+		}
+		for i := range data {
+			data[i] ^= 0xFF
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatalf("writing %s: %v", path, err)
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no checkpoint files found to corrupt")
+	}
+}

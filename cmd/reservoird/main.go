@@ -7,6 +7,7 @@
 //
 //	reservoird -addr :8080 -seed 42 [-log-format text|json] [-log-level info] [-pprof :6060]
 //	           [-ingest-workers 4 -ingest-queue 64]
+//	           [-data-dir /var/lib/reservoird -checkpoint-interval 10s]
 //
 // Ingest modes:
 //
@@ -16,6 +17,18 @@
 //	its own goroutine; ingest returns 202 immediately, a full queue
 //	returns 429 with Retry-After, and at most N workers apply batches
 //	concurrently. See docs/OPERATIONS.md for tuning.
+//
+// Durability:
+//
+//	With -data-dir set, every stream survives process death: crash-safe
+//	checkpoint files plus an append-only ops journal per stream, written
+//	under the given directory. On startup the daemon recovers every
+//	stream from disk (corrupt files are quarantined, never fatal); on
+//	SIGTERM it drains the ingest queues and cuts a final checkpoint.
+//	-checkpoint-interval and -checkpoint-min-ops tune the background
+//	checkpointer; -journal-sync-interval is the fsync coalescing window
+//	that bounds data loss after a hard kill. Without -data-dir the
+//	daemon is memory-only, as before. See docs/OPERATIONS.md §8.
 //
 // Observability:
 //
@@ -42,6 +55,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -50,6 +64,7 @@ import (
 	"syscall"
 	"time"
 
+	"biasedres/internal/durable"
 	"biasedres/internal/server"
 )
 
@@ -64,6 +79,16 @@ func main() {
 			"enable sharded async ingest with this many concurrent batch appliers (0 = synchronous ingest)")
 		queue = flag.Int("ingest-queue", 64,
 			"per-stream ingest queue depth in batches (used when -ingest-workers > 0)")
+		dataDir = flag.String("data-dir", "",
+			"persist streams under this directory: checkpoints + ops journals, recovered on startup (empty = memory-only)")
+		ckptInterval = flag.Duration("checkpoint-interval", 10*time.Second,
+			"background checkpointer wake period (used when -data-dir is set)")
+		ckptMinOps = flag.Uint64("checkpoint-min-ops", 1,
+			"minimum sampler mutations since a stream's last checkpoint before a new one is written")
+		syncInterval = flag.Duration("journal-sync-interval", 100*time.Millisecond,
+			"journal fsync coalescing window; bounds data loss after a hard kill")
+		maxBody = flag.Int64("max-body-bytes", 8<<20,
+			"maximum request body size in bytes; larger ingest/restore bodies get 413")
 	)
 	flag.Parse()
 
@@ -77,10 +102,25 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := []server.Option{server.WithLogger(logger)}
+	opts := []server.Option{server.WithLogger(logger), server.WithMaxBodyBytes(*maxBody)}
 	if *workers > 0 {
 		opts = append(opts, server.WithIngestShards(*workers, *queue))
 		logger.Info("sharded ingest enabled", "workers", *workers, "queue", *queue)
+	}
+	if *dataDir != "" {
+		store, err := durable.Open(durable.OSFS{}, *dataDir)
+		if err != nil {
+			logger.Error("opening data dir", "dir", *dataDir, "error", err)
+			os.Exit(1)
+		}
+		opts = append(opts, server.WithDurability(store, server.DurabilityConfig{
+			CheckpointInterval:  *ckptInterval,
+			CheckpointMinOps:    *ckptMinOps,
+			JournalSyncInterval: *syncInterval,
+		}))
+		logger.Info("durability enabled", "data_dir", *dataDir,
+			"checkpoint_interval", *ckptInterval, "checkpoint_min_ops", *ckptMinOps,
+			"journal_sync_interval", *syncInterval)
 	}
 	api := server.New(*seed, opts...)
 	srv := &http.Server{
@@ -102,10 +142,17 @@ func main() {
 		}()
 	}
 
+	// Listen before serving so the resolved address (":0" picks a free
+	// port) is logged — the crash-recovery smoke test reads it.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Error("listen failed", "addr", *addr, "error", err)
+		os.Exit(1)
+	}
 	errCh := make(chan error, 1)
 	go func() {
-		logger.Info("reservoird listening", "addr", *addr, "seed", *seed)
-		errCh <- srv.ListenAndServe()
+		logger.Info("reservoird listening", "addr", ln.Addr().String(), "seed", *seed)
+		errCh <- srv.Serve(ln)
 	}()
 	select {
 	case err := <-errCh:
@@ -119,9 +166,10 @@ func main() {
 			logger.Error("shutdown failed", "error", err)
 			os.Exit(1)
 		}
-		// Drain the ingest queues after the listener stops: accepted (202)
-		// batches are applied before exit, so a checkpoint taken on the next
-		// start sees every acknowledged point.
+		// Drain the ingest queues after the listener stops, then (with
+		// -data-dir) cut a final checkpoint: accepted (202) batches are
+		// applied and persisted before exit, so the next start recovers
+		// every acknowledged point.
 		api.Close()
 		logger.Info("shutdown complete")
 	}

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -108,6 +109,14 @@ var ErrBatcherClosed = errors.New("client: batcher is closed")
 // failed flush are dropped, not retried forever, so a returned error means
 // data loss unless the caller resends.
 func (b *Batcher) Add(p Point) error {
+	return b.AddContext(context.Background(), p)
+}
+
+// AddContext is Add bounded by ctx: if the buffer fills and the resulting
+// flush hits backpressure, retries stop as soon as ctx is done (the
+// batch's remaining attempts are abandoned, not slept through), so a hung
+// or overloaded server cannot wedge a producer beyond its own deadline.
+func (b *Batcher) AddContext(ctx context.Context, p Point) error {
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
@@ -126,7 +135,7 @@ func (b *Batcher) Add(p Point) error {
 	batch := b.buf
 	b.buf = nil
 	b.mu.Unlock()
-	return b.push(batch)
+	return b.push(ctx, batch)
 }
 
 // Len returns the number of points currently buffered.
@@ -138,6 +147,12 @@ func (b *Batcher) Len() int {
 
 // Flush pushes any buffered points immediately.
 func (b *Batcher) Flush() error {
+	return b.FlushContext(context.Background())
+}
+
+// FlushContext is Flush bounded by ctx: backpressure retries stop once
+// ctx is done.
+func (b *Batcher) FlushContext(ctx context.Context) error {
 	b.mu.Lock()
 	batch := b.buf
 	b.buf = nil
@@ -145,7 +160,7 @@ func (b *Batcher) Flush() error {
 	if len(batch) == 0 {
 		return nil
 	}
-	return b.push(batch)
+	return b.push(ctx, batch)
 }
 
 // Close flushes the remaining points, stops the interval timer and marks
@@ -167,7 +182,7 @@ func (b *Batcher) Close() error {
 	<-b.done
 	err := pending
 	if len(batch) > 0 {
-		if ferr := b.push(batch); err == nil {
+		if ferr := b.push(context.Background(), batch); err == nil {
 			err = ferr
 		}
 	}
@@ -176,13 +191,19 @@ func (b *Batcher) Close() error {
 
 // push sends one batch, honoring 429 backpressure: wait the server's
 // Retry-After (or the configured backoff) and resend the whole batch —
-// the server consumed nothing, so a resend cannot duplicate points.
-func (b *Batcher) push(batch []Point) error {
+// the server consumed nothing, so a resend cannot duplicate points. The
+// retry loop is context-aware: once ctx is done, the in-flight request is
+// abandoned, no further attempts are made, and the context's error is
+// returned (wrapped; the batch was not applied).
+func (b *Batcher) push(ctx context.Context, batch []Point) error {
 	var lastErr error
 	for attempt := 0; attempt < b.cfg.MaxRetries; attempt++ {
-		_, err := b.c.Push(b.stream, batch)
+		_, err := b.c.PushContext(ctx, b.stream, batch)
 		if err == nil {
 			return nil
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("client: batch of %d points abandoned: %w", len(batch), cerr)
 		}
 		var apiErr *APIError
 		if !errors.As(err, &apiErr) || apiErr.StatusCode != 429 {
@@ -193,7 +214,13 @@ func (b *Batcher) push(batch []Point) error {
 		if wait <= 0 {
 			wait = b.cfg.RetryBackoff
 		}
-		time.Sleep(wait)
+		timer := time.NewTimer(wait)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return fmt.Errorf("client: batch of %d points abandoned: %w", len(batch), ctx.Err())
+		}
 	}
 	return fmt.Errorf("client: batch of %d points still backpressured after %d attempts: %w",
 		len(batch), b.cfg.MaxRetries, lastErr)

@@ -5,6 +5,7 @@ package client
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -16,8 +17,9 @@ import (
 
 // Client talks to one reservoird instance.
 type Client struct {
-	base string
-	hc   *http.Client
+	base    string
+	hc      *http.Client
+	timeout time.Duration
 }
 
 // Option customizes a Client.
@@ -27,6 +29,15 @@ type Option func(*Client)
 // timeouts or transports).
 func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
+}
+
+// WithTimeout bounds every request at d, independent of the underlying
+// http.Client's own timeout: each call runs under a context deadline, so
+// a hung or unresponsive server cannot wedge the caller (or a Batcher's
+// flush loop) for longer than d. Zero or negative disables the
+// per-request bound.
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) { c.timeout = d }
 }
 
 // New returns a client for the service at baseURL (e.g.
@@ -65,6 +76,15 @@ func (e *APIError) Error() string {
 }
 
 func (c *Client) do(method, path string, body, out any) error {
+	return c.doCtx(context.Background(), method, path, body, out)
+}
+
+func (c *Client) doCtx(ctx context.Context, method, path string, body, out any) error {
+	if c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
 	var rd io.Reader
 	switch b := body.(type) {
 	case nil:
@@ -77,7 +97,7 @@ func (c *Client) do(method, path string, body, out any) error {
 		}
 		rd = bytes.NewReader(blob)
 	}
-	req, err := http.NewRequest(method, c.base+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
 		return fmt.Errorf("client: building request: %w", err)
 	}
@@ -168,10 +188,16 @@ type Point struct {
 // queued, not yet applied). Use a Batcher to buffer points client-side and
 // to retry automatically on 429 backpressure.
 func (c *Client) Push(name string, pts []Point) (processed uint64, err error) {
+	return c.PushContext(context.Background(), name, pts)
+}
+
+// PushContext is Push bounded by ctx: the request is abandoned (and not
+// retried by a Batcher) once ctx is done.
+func (c *Client) PushContext(ctx context.Context, name string, pts []Point) (processed uint64, err error) {
 	var out struct {
 		Processed uint64 `json:"processed"`
 	}
-	err = c.do(http.MethodPost, "/streams/"+url.PathEscape(name)+"/points",
+	err = c.doCtx(ctx, http.MethodPost, "/streams/"+url.PathEscape(name)+"/points",
 		map[string]any{"points": pts}, &out)
 	return out.Processed, err
 }

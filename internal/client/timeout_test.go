@@ -1,0 +1,180 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestWithTimeoutBoundsHungServer proves a server that never answers
+// cannot wedge a client configured with WithTimeout.
+func TestWithTimeoutBoundsHungServer(t *testing.T) {
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release // hang until the test ends
+	}))
+	t.Cleanup(func() {
+		close(release)
+		ts.Close()
+	})
+	c, err := New(ts.URL, WithTimeout(50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = c.Push("s", []Point{{Values: []float64{1}}})
+	if err == nil {
+		t.Fatal("push against hung server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("push took %v, want the ~50ms timeout to cut it off", elapsed)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want a deadline error", err)
+	}
+}
+
+// TestPushContextCancellation proves a caller's context aborts an
+// in-flight request immediately.
+func TestPushContextCancellation(t *testing.T) {
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+	}))
+	t.Cleanup(func() {
+		close(release)
+		ts.Close()
+	})
+	c, err := New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.PushContext(ctx, "s", []Point{{Values: []float64{1}}})
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("PushContext did not return after cancel")
+	}
+}
+
+// backpressureServer always answers 429 with a long Retry-After, counting
+// the attempts — the worst case a Batcher's retry loop can meet.
+func backpressureServer(t *testing.T) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		w.Header().Set("Retry-After", "30")
+		http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &attempts
+}
+
+// TestBatcherStopsRetryingOnContextDone proves the satellite requirement:
+// once the caller's context is done, the Batcher abandons the retry sleep
+// instead of waiting out the server's Retry-After.
+func TestBatcherStopsRetryingOnContextDone(t *testing.T) {
+	ts, attempts := backpressureServer(t)
+	c, err := New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := c.NewBatcher("s", BatcherConfig{FlushSize: 1000, FlushInterval: time.Hour, MaxRetries: 8})
+	defer b.Close()
+	if err := b.Add(Point{Values: []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = b.FlushContext(ctx)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("flush against permanent backpressure succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want wrapped deadline error", err)
+	}
+	// The Retry-After hint was 30s; honoring it even once would blow this.
+	if elapsed > 5*time.Second {
+		t.Fatalf("flush took %v, want prompt abandonment", elapsed)
+	}
+	if got := attempts.Load(); got < 1 || got > 2 {
+		t.Fatalf("server saw %d attempts, want 1-2 (no retry storm after cancel)", got)
+	}
+}
+
+// TestBatcherAddContextBoundsSizeFlush: a size-triggered flush inside
+// AddContext is bounded by the same context.
+func TestBatcherAddContextBoundsSizeFlush(t *testing.T) {
+	ts, _ := backpressureServer(t)
+	c, err := New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := c.NewBatcher("s", BatcherConfig{FlushSize: 2, FlushInterval: time.Hour, MaxRetries: 8})
+	defer b.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := b.AddContext(ctx, Point{Values: []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err = b.AddContext(ctx, Point{Values: []float64{2}}) // fills the buffer, flushes
+	if err == nil {
+		t.Fatal("size-triggered flush against permanent backpressure succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("AddContext took %v, want prompt abandonment", elapsed)
+	}
+}
+
+// TestBatcherRetriesStillWorkWithoutContext pins that the plain Add/Flush
+// path keeps its full retry budget (the context plumbing must not change
+// behavior for callers that do not opt in).
+func TestBatcherRetriesStillWorkWithoutContext(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) < 3 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"processed":1}`))
+	}))
+	t.Cleanup(ts.Close)
+	c, err := New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := c.NewBatcher("s", BatcherConfig{FlushSize: 1000, FlushInterval: time.Hour,
+		MaxRetries: 5, RetryBackoff: time.Millisecond})
+	defer b.Close()
+	if err := b.Add(Point{Values: []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatalf("flush with transient backpressure: %v", err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3", got)
+	}
+}

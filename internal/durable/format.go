@@ -1,0 +1,223 @@
+package durable
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"biasedres/internal/stream"
+)
+
+// On-disk encodings. Both files are self-verifying:
+//
+// Checkpoint file:
+//
+//	[8]  magic "BRESCKP1" (format version baked into the last byte)
+//	[4]  CRC32-Castagnoli of the payload
+//	[8]  payload length (little-endian)
+//	[n]  payload: gob(checkpointPayload)
+//
+// Journal file:
+//
+//	[8]  magic "BRESJRN1"
+//	[8]  base checkpoint sequence (little-endian)
+//	then zero or more records, each:
+//	[4]  payload length (little-endian)
+//	[4]  CRC32-Castagnoli of the payload
+//	[n]  payload: gob(Record)
+//
+// A torn tail — the normal state after a crash mid-append — fails the
+// length or CRC check of the last record and replay stops there; the
+// valid prefix is still used. Anything that fails *before* the tail is
+// corruption, and the file is quarantined rather than trusted.
+
+var (
+	ckptMagic    = [8]byte{'B', 'R', 'E', 'S', 'C', 'K', 'P', '1'}
+	journalMagic = [8]byte{'B', 'R', 'E', 'S', 'J', 'R', 'N', '1'}
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// errCorrupt marks a file that failed structural validation (bad magic,
+// bad CRC, truncation). Recovery quarantines the file instead of failing.
+var errCorrupt = errors.New("durable: corrupt file")
+
+// IsCorrupt reports whether err marks a corrupt checkpoint or journal.
+func IsCorrupt(err error) bool { return errors.Is(err, errCorrupt) }
+
+// StreamMeta is the stream configuration a checkpoint carries, enough to
+// rebuild the sampler factory on recovery. It mirrors the server's create
+// request.
+type StreamMeta struct {
+	Name     string
+	Policy   string
+	Lambda   float64
+	Capacity int
+	Window   uint64
+}
+
+// Checkpoint is one durable cut of a stream: its configuration, ingest
+// bookkeeping and the sampler's binary snapshot, tagged with the sequence
+// number that orders it against the stream's journals.
+type Checkpoint struct {
+	Seq  uint64
+	Meta StreamMeta
+	// Next is the last assigned arrival index (the server's `next`
+	// counter), which can run ahead of the sampler's processed count
+	// while batches sit in the async ingest queue.
+	Next uint64
+	// Dim is the stream's committed point dimensionality (0 = none yet).
+	Dim int
+	// Snapshot is the sampler's encoding.BinaryMarshaler output.
+	Snapshot []byte
+}
+
+// checkpointPayload is the gob wire form of a Checkpoint.
+type checkpointPayload struct {
+	Seq      uint64
+	Meta     StreamMeta
+	Next     uint64
+	Dim      int
+	Snapshot []byte
+}
+
+// Op is one journaled ingest operation: the point as applied, plus the
+// explicit timestamp for time-decay streams (HasTS distinguishes "AddAt
+// ts" from "Add with clock+1").
+type Op struct {
+	P     stream.Point
+	TS    float64
+	HasTS bool
+}
+
+// Record is one journal entry: the ops of one applied ingest batch.
+type Record struct {
+	Ops []Op
+}
+
+// encodeCheckpoint renders ck into its file bytes.
+func encodeCheckpoint(ck Checkpoint) ([]byte, error) {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(checkpointPayload(ck)); err != nil {
+		return nil, fmt.Errorf("durable: encoding checkpoint: %w", err)
+	}
+	buf := make([]byte, 0, 20+payload.Len())
+	buf = append(buf, ckptMagic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload.Bytes(), castagnoli))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(payload.Len()))
+	buf = append(buf, payload.Bytes()...)
+	return buf, nil
+}
+
+// decodeCheckpoint parses and verifies checkpoint file bytes. Structural
+// failures return errCorrupt-wrapped errors.
+func decodeCheckpoint(data []byte) (Checkpoint, error) {
+	if len(data) < 20 {
+		return Checkpoint{}, fmt.Errorf("%w: checkpoint header truncated at %d bytes", errCorrupt, len(data))
+	}
+	if !bytes.Equal(data[:8], ckptMagic[:]) {
+		return Checkpoint{}, fmt.Errorf("%w: bad checkpoint magic %q", errCorrupt, data[:8])
+	}
+	sum := binary.LittleEndian.Uint32(data[8:12])
+	n := binary.LittleEndian.Uint64(data[12:20])
+	if uint64(len(data)-20) != n {
+		return Checkpoint{}, fmt.Errorf("%w: checkpoint payload is %d bytes, header says %d",
+			errCorrupt, len(data)-20, n)
+	}
+	payload := data[20:]
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return Checkpoint{}, fmt.Errorf("%w: checkpoint checksum mismatch", errCorrupt)
+	}
+	var p checkpointPayload
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&p); err != nil {
+		return Checkpoint{}, fmt.Errorf("%w: decoding checkpoint payload: %v", errCorrupt, err)
+	}
+	return Checkpoint(p), nil
+}
+
+// encodeJournalHeader renders the journal file header for base seq.
+func encodeJournalHeader(seq uint64) []byte {
+	buf := make([]byte, 0, 16)
+	buf = append(buf, journalMagic[:]...)
+	return binary.LittleEndian.AppendUint64(buf, seq)
+}
+
+// encodeRecord renders one journal record frame.
+func encodeRecord(rec Record) ([]byte, error) {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(rec); err != nil {
+		return nil, fmt.Errorf("durable: encoding journal record: %w", err)
+	}
+	buf := make([]byte, 0, 8+payload.Len())
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(payload.Len()))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload.Bytes(), castagnoli))
+	return append(buf, payload.Bytes()...), nil
+}
+
+// journalScan is the result of reading one journal file: the base
+// sequence, every intact record in order, and how the file ended.
+// tornTail marks a cleanly truncated final frame — the normal disk state
+// after a crash mid-append, replayable up to the tear. corrupt marks
+// content that cannot be explained by truncation (CRC mismatch, garbage
+// length, undecodable payload); the valid prefix is still returned but
+// the file deserves quarantine.
+type journalScan struct {
+	base     uint64
+	records  []Record
+	tornTail bool
+	corrupt  bool
+}
+
+// decodeJournal reads a journal stream. A header failure is corruption
+// (the whole file is untrustworthy); record failures end the scan with
+// the valid prefix, classified as torn or corrupt.
+func decodeJournal(r io.Reader) (journalScan, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, 16)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return journalScan{}, fmt.Errorf("%w: journal header truncated: %v", errCorrupt, err)
+	}
+	if !bytes.Equal(head[:8], journalMagic[:]) {
+		return journalScan{}, fmt.Errorf("%w: bad journal magic %q", errCorrupt, head[:8])
+	}
+	scan := journalScan{base: binary.LittleEndian.Uint64(head[8:16])}
+	frame := make([]byte, 8)
+	for {
+		if _, err := io.ReadFull(br, frame); err != nil {
+			if err != io.EOF {
+				scan.tornTail = true // partial frame header
+			}
+			return scan, nil
+		}
+		n := binary.LittleEndian.Uint32(frame[:4])
+		sum := binary.LittleEndian.Uint32(frame[4:8])
+		if n > maxRecordBytes {
+			scan.corrupt = true // length field is garbage, not a truncation
+			return scan, nil
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			scan.tornTail = true
+			return scan, nil
+		}
+		if crc32.Checksum(payload, castagnoli) != sum {
+			scan.corrupt = true
+			return scan, nil
+		}
+		var rec Record
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+			scan.corrupt = true
+			return scan, nil
+		}
+		scan.records = append(scan.records, rec)
+	}
+}
+
+// maxRecordBytes bounds a single journal record frame; anything larger is
+// treated as a corrupt length field rather than allocated.
+const maxRecordBytes = 1 << 30

@@ -1,0 +1,208 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+
+	"biasedres/internal/stream"
+)
+
+func testCheckpoint() Checkpoint {
+	return Checkpoint{
+		Seq: 7,
+		Meta: StreamMeta{
+			Name:     "sensor/a b",
+			Policy:   "variable",
+			Lambda:   0.001,
+			Capacity: 128,
+			Window:   0,
+		},
+		Next:     4242,
+		Dim:      3,
+		Snapshot: []byte{1, 2, 3, 4, 5, 6, 7, 8},
+	}
+}
+
+func TestCheckpointRoundtrip(t *testing.T) {
+	want := testCheckpoint()
+	data, err := encodeCheckpoint(want)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := decodeCheckpoint(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("roundtrip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestCheckpointCorruptionDetected(t *testing.T) {
+	data, err := encodeCheckpoint(testCheckpoint())
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	cases := map[string]func([]byte) []byte{
+		"bit flip in payload": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)-3] ^= 0x40
+			return c
+		},
+		"bit flip in header": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[9] ^= 0x01
+			return c
+		},
+		"bad magic": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[0] = 'X'
+			return c
+		},
+		"truncated payload": func(b []byte) []byte { return b[:len(b)-5] },
+		"truncated header":  func(b []byte) []byte { return b[:12] },
+		"empty":             func([]byte) []byte { return nil },
+	}
+	for name, mutate := range cases {
+		if _, err := decodeCheckpoint(mutate(data)); err == nil {
+			t.Errorf("%s: corruption not detected", name)
+		} else if !IsCorrupt(err) {
+			t.Errorf("%s: error %v is not classified corrupt", name, err)
+		}
+	}
+}
+
+// journalBytes builds a journal file image: header for base seq plus one
+// frame per record.
+func journalBytes(t *testing.T, seq uint64, recs ...Record) []byte {
+	t.Helper()
+	buf := encodeJournalHeader(seq)
+	for _, rec := range recs {
+		frame, err := encodeRecord(rec)
+		if err != nil {
+			t.Fatalf("encodeRecord: %v", err)
+		}
+		buf = append(buf, frame...)
+	}
+	return buf
+}
+
+func opWithValue(v float64) Op {
+	return Op{P: stream.Point{Index: uint64(v), Values: []float64{v}, Label: -1, Weight: 1}}
+}
+
+func TestJournalRoundtrip(t *testing.T) {
+	r1 := Record{Ops: []Op{opWithValue(1), opWithValue(2)}}
+	r2 := Record{Ops: []Op{{P: stream.Point{Index: 3, Values: []float64{3}}, TS: 9.5, HasTS: true}}}
+	data := journalBytes(t, 4, r1, r2)
+	scan, err := decodeJournal(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if scan.base != 4 {
+		t.Fatalf("base = %d, want 4", scan.base)
+	}
+	if scan.tornTail || scan.corrupt {
+		t.Fatalf("clean journal flagged torn=%v corrupt=%v", scan.tornTail, scan.corrupt)
+	}
+	if len(scan.records) != 2 || !reflect.DeepEqual(scan.records[0], r1) || !reflect.DeepEqual(scan.records[1], r2) {
+		t.Fatalf("records mismatch: %+v", scan.records)
+	}
+}
+
+func TestJournalTornTailIsNotCorrupt(t *testing.T) {
+	r1 := Record{Ops: []Op{opWithValue(1)}}
+	r2 := Record{Ops: []Op{opWithValue(2)}}
+	full := journalBytes(t, 1, r1, r2)
+	headerAndFirst := len(journalBytes(t, 1, r1))
+	// Every truncation point inside the second frame must classify as a
+	// torn tail with the first record intact.
+	for cut := headerAndFirst + 1; cut < len(full); cut++ {
+		scan, err := decodeJournal(bytes.NewReader(full[:cut]))
+		if err != nil {
+			t.Fatalf("cut %d: decode: %v", cut, err)
+		}
+		if !scan.tornTail {
+			t.Fatalf("cut %d: truncated frame not flagged torn", cut)
+		}
+		if scan.corrupt {
+			t.Fatalf("cut %d: truncation misclassified as corruption", cut)
+		}
+		if len(scan.records) != 1 || !reflect.DeepEqual(scan.records[0], r1) {
+			t.Fatalf("cut %d: prefix lost: %+v", cut, scan.records)
+		}
+	}
+	// A truncation exactly at a frame boundary is indistinguishable from a
+	// cleanly ended journal.
+	scan, err := decodeJournal(bytes.NewReader(full[:headerAndFirst]))
+	if err != nil || scan.tornTail || scan.corrupt || len(scan.records) != 1 {
+		t.Fatalf("boundary cut: scan=%+v err=%v", scan, err)
+	}
+}
+
+func TestJournalCorruptionClassified(t *testing.T) {
+	r1 := Record{Ops: []Op{opWithValue(1)}}
+	r2 := Record{Ops: []Op{opWithValue(2)}}
+	data := journalBytes(t, 1, r1, r2)
+
+	// Flip a byte inside the second record's payload: CRC mismatch mid-file.
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)-1] ^= 0x10
+	scan, err := decodeJournal(bytes.NewReader(flipped))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !scan.corrupt || scan.tornTail {
+		t.Fatalf("CRC mismatch: corrupt=%v torn=%v, want corrupt only", scan.corrupt, scan.tornTail)
+	}
+	if len(scan.records) != 1 {
+		t.Fatalf("valid prefix lost: %d records", len(scan.records))
+	}
+
+	// A garbage length field must not be treated as truncation (or allocated).
+	garbage := journalBytes(t, 1, r1)
+	garbage = binary.LittleEndian.AppendUint32(garbage, maxRecordBytes+1)
+	garbage = binary.LittleEndian.AppendUint32(garbage, 0)
+	scan, err = decodeJournal(bytes.NewReader(garbage))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !scan.corrupt {
+		t.Fatal("garbage length field not flagged corrupt")
+	}
+
+	// A header failure poisons the whole file.
+	if _, err := decodeJournal(bytes.NewReader([]byte("BADMAGIC12345678"))); err == nil || !IsCorrupt(err) {
+		t.Fatalf("bad magic: err = %v, want corrupt", err)
+	}
+	if _, err := decodeJournal(bytes.NewReader([]byte("short"))); err == nil || !IsCorrupt(err) {
+		t.Fatalf("short header: err = %v, want corrupt", err)
+	}
+}
+
+func TestParseFile(t *testing.T) {
+	cases := []struct {
+		entry string
+		name  string
+		seq   uint64
+		kind  string
+		ok    bool
+	}{
+		{"st-sensor.3.ckpt", "sensor", 3, "ckpt", true},
+		{"st-sensor.12.journal", "sensor", 12, "journal", true},
+		{"st-a.b%2Fc.7.ckpt", "a.b/c", 7, "ckpt", true}, // dots and escapes in names
+		{"st-sensor.3.ckpt.tmp", "", 0, "", false},
+		{"st-sensor.ckpt", "", 0, "", false},
+		{"notours.txt", "", 0, "", false},
+		{"st-sensor.x.ckpt", "", 0, "", false},
+	}
+	for _, c := range cases {
+		name, seq, kind, ok := parseFile(c.entry)
+		if ok != c.ok || name != c.name || seq != c.seq || kind != c.kind {
+			t.Errorf("parseFile(%q) = (%q,%d,%q,%v), want (%q,%d,%q,%v)",
+				c.entry, name, seq, kind, ok, c.name, c.seq, c.kind, c.ok)
+		}
+	}
+}

@@ -1,0 +1,370 @@
+package durable
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"io/fs"
+	"path"
+	"sort"
+	"sync"
+)
+
+// ErrCrashed is returned by every MemFS operation after an injected crash
+// point has been reached: the simulated process is dead, nothing else
+// happens.
+var ErrCrashed = errors.New("durable: simulated crash")
+
+// ErrInjected is the default error surfaced by FailAt fault injection.
+var ErrInjected = errors.New("durable: injected I/O failure")
+
+// MemFS is an in-memory FS with crash semantics and fault injection, the
+// test double the recovery suite is proved against. It distinguishes
+// written bytes from *durable* bytes: data reaches the durable view only
+// through File.Sync (for file contents) and SyncDir (for renames, creates
+// and removes). Crash() discards everything that was not durable — exactly
+// what a power cut or SIGKILL does to a real filesystem, with the most
+// adversarial allowed outcome (nothing survives that was not fsynced).
+//
+// Two fault modes cover the failure families the checkpointer must
+// survive:
+//
+//   - CrashAt(n): the n-th mutating operation (1-based) and everything
+//     after it fails with ErrCrashed, and the durable view stays as it
+//     was — simulating the process dying mid-operation. Writes crash
+//     after applying a prefix of their payload, so torn/short writes are
+//     exercised too.
+//   - FailAt(n): the n-th mutating operation alone fails with ErrInjected
+//     (a bad sector, a full disk); later operations succeed. The write
+//     path must surface the error and leave the chain recoverable.
+//
+// A MemFS is safe for concurrent use.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+	dirs  map[string]bool
+
+	// pending directory mutations: renames/creates/removes that happened
+	// but are not yet pinned by SyncDir. Maps path → durable content to
+	// restore on crash (nil = path did not durably exist).
+	pendingDir map[string]*memSnapshot
+
+	ops     int // mutating operations performed
+	crashAt int // 0 = disabled; crash on the crashAt-th mutating op
+	failAt  int // 0 = disabled; fail the failAt-th mutating op only
+	crashed bool
+}
+
+type memFile struct {
+	data   []byte
+	synced int // prefix of data that is durable
+}
+
+type memSnapshot struct {
+	exists bool
+	data   []byte
+	synced int
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{
+		files:      make(map[string]*memFile),
+		dirs:       make(map[string]bool),
+		pendingDir: make(map[string]*memSnapshot),
+	}
+}
+
+// CrashAt arms the crash injector: the n-th mutating operation from now
+// (1-based) and all subsequent operations fail with ErrCrashed. n <= 0
+// disarms.
+func (m *MemFS) CrashAt(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ops = 0
+	m.crashAt = n
+}
+
+// FailAt arms the transient-failure injector: the n-th mutating operation
+// from now fails with ErrInjected; operations after it succeed. n <= 0
+// disarms.
+func (m *MemFS) FailAt(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ops = 0
+	m.failAt = n
+}
+
+// Crash simulates a hard kill: every byte and directory mutation that was
+// not made durable (File.Sync / SyncDir) is discarded, and all subsequent
+// operations fail with ErrCrashed until Reboot.
+func (m *MemFS) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.crash()
+}
+
+func (m *MemFS) crash() {
+	m.crashed = true
+	for p, snap := range m.pendingDir {
+		if snap == nil || !snap.exists {
+			delete(m.files, p)
+			continue
+		}
+		m.files[p] = &memFile{data: append([]byte(nil), snap.data...), synced: snap.synced}
+	}
+	m.pendingDir = make(map[string]*memSnapshot)
+	for _, f := range m.files {
+		f.data = f.data[:f.synced]
+	}
+}
+
+// Reboot clears the crashed flag and disarms the injectors, so the
+// post-crash filesystem can be recovered from. The durable state is
+// exactly what survived the crash.
+func (m *MemFS) Reboot() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.crashed = false
+	m.crashAt = 0
+	m.failAt = 0
+	m.ops = 0
+}
+
+// Files returns a sorted listing of every path with its size, for test
+// assertions.
+func (m *MemFS) Files() map[string]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int, len(m.files))
+	for p, f := range m.files {
+		out[p] = len(f.data)
+	}
+	return out
+}
+
+// ReadFile returns the current (volatile) contents of path.
+func (m *MemFS) ReadFile(p string) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path.Clean(p)]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), f.data...), true
+}
+
+// WriteFile replaces path's contents, fully durable — the hook corruption
+// tests use to plant bit-flipped or truncated files.
+func (m *MemFS) WriteFile(p string, data []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.files[path.Clean(p)] = &memFile{data: append([]byte(nil), data...), synced: len(data)}
+}
+
+// step accounts one mutating operation against the injectors. It returns
+// the error the operation must surface (nil = proceed). partial reports
+// whether a crashing write should still apply a prefix of its payload.
+func (m *MemFS) step() (err error, partial bool) {
+	if m.crashed {
+		return ErrCrashed, false
+	}
+	m.ops++
+	if m.crashAt > 0 && m.ops >= m.crashAt {
+		m.crash()
+		return ErrCrashed, true
+	}
+	if m.failAt > 0 && m.ops == m.failAt {
+		return ErrInjected, false
+	}
+	return nil, false
+}
+
+// snapshotForDirMutation records path's durable state before a directory
+// mutation, so a crash before SyncDir can roll it back. Only the first
+// pending mutation per path matters.
+func (m *MemFS) snapshotForDirMutation(p string) {
+	if _, ok := m.pendingDir[p]; ok {
+		return
+	}
+	f, ok := m.files[p]
+	if !ok {
+		m.pendingDir[p] = &memSnapshot{exists: false}
+		return
+	}
+	// Only the synced prefix of the old file is durable.
+	m.pendingDir[p] = &memSnapshot{exists: true, data: append([]byte(nil), f.data[:f.synced]...), synced: f.synced}
+}
+
+// MkdirAll implements FS.
+func (m *MemFS) MkdirAll(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	m.dirs[path.Clean(dir)] = true
+	return nil
+}
+
+type memHandle struct {
+	fs   *MemFS
+	path string
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	f, ok := h.fs.files[h.path]
+	if !ok {
+		return 0, errors.New("durable: write to removed file " + h.path)
+	}
+	if err, partial := h.fs.step(); err != nil {
+		if partial && len(p) > 1 {
+			// Torn write: a prefix of the payload reached the page cache
+			// before the crash.
+			f.data = append(f.data, p[:len(p)/2]...)
+		}
+		return 0, err
+	}
+	f.data = append(f.data, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err, _ := h.fs.step(); err != nil {
+		return err
+	}
+	if f, ok := h.fs.files[h.path]; ok {
+		f.synced = len(f.data)
+	}
+	return nil
+}
+
+func (h *memHandle) Close() error { return nil }
+
+// Create implements FS.
+func (m *MemFS) Create(p string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p = path.Clean(p)
+	if err, _ := m.step(); err != nil {
+		return nil, err
+	}
+	m.snapshotForDirMutation(p)
+	m.files[p] = &memFile{}
+	return &memHandle{fs: m, path: p}, nil
+}
+
+// OpenAppend implements FS.
+func (m *MemFS) OpenAppend(p string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p = path.Clean(p)
+	if m.crashed {
+		return nil, ErrCrashed
+	}
+	if _, ok := m.files[p]; !ok {
+		if err, _ := m.step(); err != nil {
+			return nil, err
+		}
+		m.snapshotForDirMutation(p)
+		m.files[p] = &memFile{}
+	}
+	return &memHandle{fs: m, path: p}, nil
+}
+
+// Open implements FS. Reads are not fault-injected: recovery runs on a
+// healthy machine reading a possibly unhealthy disk image.
+func (m *MemFS) Open(p string) (io.ReadCloser, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path.Clean(p)]
+	if !ok {
+		return nil, &fsError{op: "open", path: p}
+	}
+	return io.NopCloser(bytes.NewReader(append([]byte(nil), f.data...))), nil
+}
+
+// Rename implements FS. The rename itself is atomic: after a crash the
+// destination holds either its previous durable content or the source's
+// durable content, never a mix.
+func (m *MemFS) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	oldpath, newpath = path.Clean(oldpath), path.Clean(newpath)
+	if err, _ := m.step(); err != nil {
+		return err
+	}
+	f, ok := m.files[oldpath]
+	if !ok {
+		return &fsError{op: "rename", path: oldpath}
+	}
+	m.snapshotForDirMutation(oldpath)
+	m.snapshotForDirMutation(newpath)
+	delete(m.files, oldpath)
+	m.files[newpath] = f
+	return nil
+}
+
+// Remove implements FS.
+func (m *MemFS) Remove(p string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p = path.Clean(p)
+	if err, _ := m.step(); err != nil {
+		return err
+	}
+	if _, ok := m.files[p]; !ok {
+		return nil
+	}
+	m.snapshotForDirMutation(p)
+	delete(m.files, p)
+	return nil
+}
+
+// ReadDir implements FS.
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dir = path.Clean(dir)
+	var names []string
+	for p := range m.files {
+		if path.Dir(p) == dir {
+			names = append(names, path.Base(p))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// SyncDir implements FS: pins all pending directory mutations under dir.
+func (m *MemFS) SyncDir(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dir = path.Clean(dir)
+	if err, _ := m.step(); err != nil {
+		return err
+	}
+	for p := range m.pendingDir {
+		if path.Dir(p) == dir {
+			delete(m.pendingDir, p)
+		}
+	}
+	return nil
+}
+
+// fsError is MemFS's not-exist error; it unwraps to fs.ErrNotExist so the
+// same errors.Is check covers both FS implementations.
+type fsError struct {
+	op   string
+	path string
+}
+
+func (e *fsError) Error() string { return "durable: " + e.op + " " + e.path + ": no such file" }
+func (e *fsError) Unwrap() error { return fs.ErrNotExist }
+
+// IsNotExist reports whether err marks a missing file from any FS.
+func IsNotExist(err error) bool { return errors.Is(err, fs.ErrNotExist) }

@@ -44,6 +44,12 @@ func (s *Server) runIngestShard(name string, ms *managedStream) {
 		ms.mu.Lock()
 		core.AddBatch(ms.sampler, batch)
 		ms.snap.Invalidate()
+		if s.durable != nil {
+			// Journaled under ms.mu so append order matches apply order
+			// and a concurrent checkpoint's journal cut (Rotate, also
+			// under ms.mu) cleanly separates pre- from post-snapshot ops.
+			s.appendJournal(name, journalOps(batch))
+		}
 		ms.mu.Unlock()
 		<-s.ingestSem
 		ms.pending.Add(-int64(len(batch)))
@@ -66,21 +72,37 @@ func closeShard(ms *managedStream) {
 	}
 }
 
-// Close shuts down the async ingest pipeline: every stream's queue is
-// closed and drained, and all workers exit. Points already queued are
-// applied; new ingest requests receive 503. Safe to call when async ingest
-// is disabled (it is a no-op) and safe to call more than once.
+// Close shuts down the server's background work: every stream's ingest
+// queue is closed and drained (points already accepted with 202 are
+// applied; new ingest requests receive 503), and when durability is
+// enabled the checkpointer stops, a final checkpoint of every stream is
+// cut — leaving empty journals behind it — and the journals are closed.
+// Safe to call when async ingest is disabled and safe to call more than
+// once.
 func (s *Server) Close() {
-	s.mu.RLock()
-	streams := make([]*managedStream, 0, len(s.streams))
-	for _, ms := range s.streams {
-		streams = append(streams, ms)
-	}
-	s.mu.RUnlock()
-	for _, ms := range streams {
-		closeShard(ms)
-	}
-	s.ingestWG.Wait()
+	s.closeOnce.Do(func() {
+		s.mu.RLock()
+		streams := make([]*managedStream, 0, len(s.streams))
+		for _, ms := range s.streams {
+			streams = append(streams, ms)
+		}
+		s.mu.RUnlock()
+		for _, ms := range streams {
+			closeShard(ms)
+		}
+		s.ingestWG.Wait()
+		if s.durable != nil {
+			close(s.durStop)
+			s.durWG.Wait()
+			// Every queue is drained, so this checkpoint captures every
+			// acknowledged point; the rotation inside it leaves each
+			// stream's active journal empty.
+			s.checkpointAll(true)
+			if err := s.durable.Close(); err != nil && s.log != nil {
+				s.log.Warn("closing durability store", "error", err)
+			}
+		}
+	})
 }
 
 // enqueueIngest tries to hand a validated batch to the stream's shard.

@@ -31,6 +31,7 @@ package server
 import (
 	"encoding"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -43,14 +44,17 @@ import (
 	"time"
 
 	"biasedres/internal/core"
+	"biasedres/internal/durable"
 	"biasedres/internal/obs"
 	"biasedres/internal/query"
 	"biasedres/internal/stream"
 	"biasedres/internal/xrand"
 )
 
-// maxBodyBytes bounds ingest and restore request bodies.
-const maxBodyBytes = 64 << 20
+// defaultMaxBodyBytes bounds request bodies (ingest, restore, create)
+// unless WithMaxBodyBytes overrides it. Oversized bodies get 413, not an
+// unbounded read into memory.
+const defaultMaxBodyBytes = 8 << 20
 
 // persistentSampler is a sampler that supports checkpointing.
 type persistentSampler interface {
@@ -77,6 +81,13 @@ type managedStream struct {
 	lambda  float64
 	next    uint64 // next arrival index; guarded by qmu
 	dim     int    // fixed by the first ingested point; 0 = none yet; guarded by qmu
+	// createReq is the stream's creation request, embedded in durable
+	// checkpoints so recovery can rebuild the sampler factory.
+	createReq CreateRequest
+	// lastCkptVer is the sampler's mutation counter at the last durable
+	// checkpoint; the checkpointer skips quiescent streams by comparing
+	// it to the live counter. Guarded by mu.
+	lastCkptVer uint64
 	// fresh builds a new empty sampler with this stream's configuration;
 	// restores deserialize into a fresh instance so a rejected checkpoint
 	// cannot corrupt the live sampler.
@@ -125,6 +136,16 @@ type Server struct {
 	batchSize     *obs.Histogram
 	rejected      *obs.CounterVec
 	applied       *obs.CounterVec
+
+	// maxBody bounds request bodies; oversized requests get 413.
+	maxBody int64
+
+	// Durability layer (nil = in-memory only).
+	durable   *durable.Store
+	dcfg      DurabilityConfig
+	durStop   chan struct{}
+	durWG     sync.WaitGroup
+	closeOnce sync.Once
 }
 
 // Option customizes a Server.
@@ -166,11 +187,23 @@ func WithIngestShards(workers, queue int) Option {
 	}
 }
 
+// WithMaxBodyBytes bounds request bodies at n bytes (default 8 MiB).
+// Oversized ingest/restore/create bodies are refused with 413 and a JSON
+// error instead of being read into memory.
+func WithMaxBodyBytes(n int64) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxBody = n
+		}
+	}
+}
+
 // New returns a Server; seed drives the samplers' randomness.
 func New(seed uint64, opts ...Option) *Server {
 	s := &Server{
 		streams: make(map[string]*managedStream),
 		seeds:   xrand.New(seed),
+		maxBody: defaultMaxBodyBytes,
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -215,6 +248,19 @@ func New(seed uint64, opts ...Option) *Server {
 	}
 	mux.Handle("GET /metrics", s.instrument("GET /metrics", s.metrics.Handler()))
 	s.mux = mux
+
+	if s.durable != nil {
+		s.metrics.Register(obs.CollectorFunc(s.durable.Collect))
+		if err := s.recoverDurable(); err != nil && s.log != nil {
+			// Per-file corruption was quarantined inside Recover; reaching
+			// here means the data directory itself could not be scanned.
+			// The server still serves, but nothing was recovered.
+			s.log.Error("durability recovery failed", "error", err)
+		}
+		s.durStop = make(chan struct{})
+		s.durWG.Add(1)
+		go s.runDurability()
+	}
 	return s
 }
 
@@ -335,6 +381,25 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// decodeBody decodes a JSON request body bounded by the server's body
+// limit, writing the HTTP error itself on failure: 413 with a JSON error
+// when the body exceeds the limit, 400 for malformed JSON. It reports
+// whether decoding succeeded.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds the %d-byte limit", mbe.Limit)
+			return false
+		}
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return false
+	}
+	return true
+}
+
 func (s *Server) lookup(name string) (*managedStream, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -362,8 +427,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req CreateRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if req.Policy == "" {
@@ -385,7 +449,21 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "creating sampler: %v", err)
 		return
 	}
-	ms := &managedStream{sampler: sampler, policy: req.Policy, lambda: req.Lambda, fresh: fresh}
+	if s.durable != nil {
+		// A stream exists once its empty checkpoint is durable; a crash
+		// after the 201 must not forget the stream.
+		blob, err := sampler.MarshalBinary()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "checkpointing new stream: %v", err)
+			return
+		}
+		ck := durable.Checkpoint{Seq: 1, Meta: durableMeta(name, req), Snapshot: blob}
+		if err := s.durable.Attach(name, ck); err != nil {
+			httpError(w, http.StatusInternalServerError, "checkpointing new stream: %v", err)
+			return
+		}
+	}
+	ms := &managedStream{sampler: sampler, policy: req.Policy, lambda: req.Lambda, createReq: req, fresh: fresh}
 	if s.ingestWorkers > 0 && req.Policy != "timedecay" {
 		// Time-decay streams validate timestamps against the sampler
 		// clock, which only the synchronous path can observe coherently.
@@ -476,6 +554,11 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	// Stop the stream's ingest worker after it drains what was accepted;
 	// in-flight requests that still hold the entry see the closed flag.
 	closeShard(ms)
+	if s.durable != nil {
+		if err := s.durable.Remove(name); err != nil && s.log != nil {
+			s.log.Warn("removing stream files failed", "stream", name, "error", err)
+		}
+	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -503,8 +586,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req IngestRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if len(req.Points) == 0 {
@@ -569,6 +651,10 @@ func (s *Server) handleIngestSync(w http.ResponseWriter, name string, ms *manage
 			clock = *ip.TS
 		}
 	}
+	var ops []durable.Op // applied ops, framed onto the journal below
+	if s.durable != nil {
+		ops = make([]durable.Op, 0, len(req.Points))
+	}
 	if timed {
 		for i, ip := range req.Points {
 			ms.next++
@@ -582,14 +668,21 @@ func (s *Server) handleIngestSync(w http.ResponseWriter, name string, ms *manage
 					ms.next--
 					ms.dim = dim
 					ms.snap.Invalidate()
+					s.appendJournal(name, ops)
 					ms.mu.Unlock()
 					ms.qmu.Unlock()
 					httpErrorIngested(w, http.StatusBadRequest, i, "point %d: %v", i, err)
 					return
 				}
+				if ops != nil {
+					ops = append(ops, durable.Op{P: p, TS: *ip.TS, HasTS: true})
+				}
 				continue
 			}
 			td.Add(p)
+			if ops != nil {
+				ops = append(ops, durable.Op{P: p})
+			}
 		}
 	} else {
 		// Arrival-indexed policies take the batch fast path: one
@@ -600,7 +693,11 @@ func (s *Server) handleIngestSync(w http.ResponseWriter, name string, ms *manage
 			batch[i] = ingestPoint(ms.next, ip)
 		}
 		core.AddBatch(ms.sampler, batch)
+		if ops != nil {
+			ops = journalOps(batch)
+		}
 	}
+	s.appendJournal(name, ops)
 	ms.dim = dim
 	processed := ms.sampler.Processed()
 	ms.snap.Invalidate()
@@ -804,8 +901,14 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "stream %q not found", name)
 		return
 	}
-	blob, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	blob, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
 	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds the %d-byte limit", mbe.Limit)
+			return
+		}
 		httpError(w, http.StatusBadRequest, "reading body: %v", err)
 		return
 	}
@@ -851,8 +954,33 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	ms.next = restored.Processed()
 	processed, size := restored.Processed(), restored.Len()
 	ms.snap.Invalidate()
+	// Re-anchor durability on the restored state while the stream is
+	// still quiesced: cut the journal here (ops journaled before the
+	// restore must not replay on top of it) and persist the uploaded
+	// snapshot itself as the new checkpoint outside the locks.
+	var ckpt *durable.Checkpoint
+	if s.durable != nil {
+		if seq, err := s.durable.Rotate(name); err == nil {
+			ver, _ := samplerVersion(restored)
+			ms.lastCkptVer = ver
+			ckpt = &durable.Checkpoint{
+				Seq:      seq,
+				Meta:     durableMeta(name, ms.createReq),
+				Next:     ms.next,
+				Dim:      dim,
+				Snapshot: blob,
+			}
+		} else if s.log != nil {
+			s.log.Warn("journal rotation after restore failed", "stream", name, "error", err)
+		}
+	}
 	ms.mu.Unlock()
 	ms.qmu.Unlock()
+	if ckpt != nil {
+		if err := s.durable.WriteCheckpoint(name, *ckpt); err != nil && s.log != nil {
+			s.log.Warn("checkpoint after restore failed", "stream", name, "error", err)
+		}
+	}
 	if s.log != nil {
 		s.log.Info("stream restored", "stream", name, "processed", processed, "size", size, "dim", dim)
 	}
