@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt linkcheck bench bench-query bench-smoke test-durable ci
+.PHONY: all build test race vet fmt linkcheck bench bench-query bench-federation bench-smoke test-durable test-federation ci
 
 all: build
 
@@ -34,10 +34,16 @@ bench:
 bench-query:
 	$(GO) run ./cmd/benchingest -suite query
 
-# bench-smoke runs every query benchmark once so CI catches bit-rot in the
-# harness without paying for full measurement runs.
+# bench-federation regenerates BENCH_federation.json: federated query
+# p50/p99 against node count, under concurrent ingest.
+bench-federation:
+	$(GO) run ./cmd/benchingest -suite federation
+
+# bench-smoke runs every query and federation benchmark once so CI catches
+# bit-rot in the harnesses without paying for full measurement runs.
 bench-smoke:
 	$(GO) test -run '^$$' -bench '^BenchmarkQuery' -benchtime 1x ./internal/query
+	$(GO) test -run '^$$' -bench '^BenchmarkFed' -benchtime 1x ./internal/federation
 
 # test-durable runs the durability suite under the race detector: the
 # crash/fault-injection property tests, the server recovery tests, and the
@@ -47,4 +53,9 @@ test-durable:
 	$(GO) test -race -count=1 -run 'Durable|MaxBody' ./internal/server/
 	$(GO) test -count=1 -run 'CrashRecoverySmoke' ./cmd/reservoird/
 
-ci: fmt build vet linkcheck test race bench-smoke test-durable
+# test-federation runs the multi-node scatter-gather suite (in-process
+# httptest data nodes behind a coordinator) under the race detector.
+test-federation:
+	$(GO) test -race -count=1 ./internal/federation/
+
+ci: fmt build vet linkcheck test race bench-smoke test-durable test-federation

@@ -15,9 +15,14 @@
 // query p50 latency under concurrent ingest with and without the snapshot
 // read path. Run it from the repository root:
 //
-//	go run ./cmd/benchingest                  # writes BENCH_ingest.json
-//	go run ./cmd/benchingest -suite query     # writes BENCH_query.json
+//	go run ./cmd/benchingest                     # writes BENCH_ingest.json
+//	go run ./cmd/benchingest -suite query        # writes BENCH_query.json
+//	go run ./cmd/benchingest -suite federation   # writes BENCH_federation.json
 //	go run ./cmd/benchingest -o out.json -benchtime 2s
+//
+// The federation suite runs the multi-node scatter-gather harness
+// (in-process coordinator + 1/2/4 data nodes under concurrent ingest) and
+// reports federated query p50/p99 latency against node count.
 package main
 
 import (
@@ -44,6 +49,7 @@ type Result struct {
 	NsPerOp      float64 `json:"ns_per_op"`
 	PointsPerSec float64 `json:"points_per_sec,omitempty"`
 	P50Ns        float64 `json:"p50_ns,omitempty"`
+	P99Ns        float64 `json:"p99_ns,omitempty"`
 	BytesPerOp   float64 `json:"bytes_per_op"`
 	AllocsPerOp  float64 `json:"allocs_per_op"`
 }
@@ -75,7 +81,15 @@ type UnderIngest struct {
 	Improvement   float64 `json:"improvement"`
 }
 
-// Report is the BENCH_ingest.json / BENCH_query.json document.
+// FedLatency is one row of the federated-query latency table: end-to-end
+// coordinator p50/p99 at a given data-node count, under concurrent ingest.
+type FedLatency struct {
+	Nodes int     `json:"nodes"`
+	P50Ns float64 `json:"p50_ns"`
+	P99Ns float64 `json:"p99_ns"`
+}
+
+// Report is the BENCH_<suite>.json document.
 type Report struct {
 	GeneratedBy string         `json:"generated_by"`
 	GoVersion   string         `json:"go_version"`
@@ -88,11 +102,12 @@ type Report struct {
 	Speedups    []Speedup      `json:"batch_vs_single,omitempty"`
 	Fused       []FusedSpeedup `json:"fused_vs_legacy,omitempty"`
 	UnderIngest *UnderIngest   `json:"query_under_ingest,omitempty"`
+	FedLatency  []FedLatency   `json:"federated_query_latency,omitempty"`
 }
 
 func main() {
 	var (
-		suite     = flag.String("suite", "ingest", `benchmark suite: "ingest" or "query"`)
+		suite     = flag.String("suite", "ingest", `benchmark suite: "ingest", "query" or "federation"`)
 		out       = flag.String("o", "", "output file (default BENCH_<suite>.json)")
 		benchtime = flag.String("benchtime", "1s", "go test -benchtime value")
 		count     = flag.Int("count", 1, "go test -count value")
@@ -116,8 +131,10 @@ func run(suite, out, benchtime string, count int) error {
 		pattern, pkgs = "BenchmarkIngest", []string{"./internal/core", "./internal/server"}
 	case "query":
 		pattern, pkgs = "^BenchmarkQuery", []string{"./internal/query"}
+	case "federation":
+		pattern, pkgs = "^BenchmarkFed", []string{"./internal/federation"}
 	default:
-		return fmt.Errorf("unknown suite %q (want ingest or query)", suite)
+		return fmt.Errorf("unknown suite %q (want ingest, query or federation)", suite)
 	}
 	args := append([]string{"test", "-run", "^$", "-bench", pattern, "-benchmem",
 		"-benchtime", benchtime, "-count", strconv.Itoa(count)}, pkgs...)
@@ -153,6 +170,8 @@ func run(suite, out, benchtime string, count int) error {
 	case "query":
 		report.Fused = fusedSpeedups(report.Benchmarks)
 		report.UnderIngest = underIngest(report.Benchmarks)
+	case "federation":
+		report.FedLatency = fedLatency(report.Benchmarks)
 	}
 
 	blob, err := json.MarshalIndent(report, "", "  ")
@@ -173,6 +192,10 @@ func run(suite, out, benchtime string, count int) error {
 	if u := report.UnderIngest; u != nil {
 		fmt.Fprintf(os.Stderr, "  query p50 under ingest: mutex %.0fns, snapshot %.0fns (%.2fx)\n",
 			u.MutexP50Ns, u.SnapshotP50Ns, u.Improvement)
+	}
+	for _, f := range report.FedLatency {
+		fmt.Fprintf(os.Stderr, "  federated query, %d node(s): p50 %.0fns, p99 %.0fns\n",
+			f.Nodes, f.P50Ns, f.P99Ns)
 	}
 	return nil
 }
@@ -236,6 +259,8 @@ func parse(r *bytes.Buffer) ([]Result, string, error) {
 				a.PointsPerSec += val
 			case "p50-ns":
 				a.P50Ns += val
+			case "p99-ns":
+				a.P99Ns += val
 			case "B/op":
 				a.BytesPerOp += val
 			case "allocs/op":
@@ -253,6 +278,7 @@ func parse(r *bytes.Buffer) ([]Result, string, error) {
 		a.NsPerOp /= n
 		a.PointsPerSec /= n
 		a.P50Ns /= n
+		a.P99Ns /= n
 		a.BytesPerOp /= n
 		a.AllocsPerOp /= n
 		results = append(results, a.Result)
@@ -333,6 +359,20 @@ func fusedSpeedups(results []Result) []FusedSpeedup {
 		out = append(out, FusedSpeedup{Case: c, LegacyNs: l, FusedNs: f, Speedup: l / f})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Case < out[j].Case })
+	return out
+}
+
+// fedLatency extracts the BenchmarkFedQuery/nodes=N p50/p99 rows.
+func fedLatency(results []Result) []FedLatency {
+	var out []FedLatency
+	for _, r := range results {
+		var nodes int
+		if _, err := fmt.Sscanf(r.Name, "BenchmarkFedQuery/nodes=%d", &nodes); err != nil {
+			continue
+		}
+		out = append(out, FedLatency{Nodes: nodes, P50Ns: r.P50Ns, P99Ns: r.P99Ns})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Nodes < out[j].Nodes })
 	return out
 }
 

@@ -8,6 +8,9 @@
 //	reservoird -addr :8080 -seed 42 [-log-format text|json] [-log-level info] [-pprof :6060]
 //	           [-ingest-workers 4 -ingest-queue 64]
 //	           [-data-dir /var/lib/reservoird -checkpoint-interval 10s]
+//	reservoird -federate -peers http://n1:8080,http://n2:8080 [-addr :8080]
+//	           [-fed-peer-timeout 2s -fed-hedge-delay 250ms]
+//	           [-fed-health-interval 1s -fed-rise 2 -fed-fall 2]
 //
 // Ingest modes:
 //
@@ -29,6 +32,16 @@
 //	checkpointer; -journal-sync-interval is the fsync coalescing window
 //	that bounds data loss after a hard kill. Without -data-dir the
 //	daemon is memory-only, as before. See docs/OPERATIONS.md §8.
+//
+// Federation:
+//
+//	With -federate the process is a coordinator instead of a data node:
+//	it owns a registry of peer data nodes (-peers, extendable at runtime
+//	via POST/DELETE /peers), health-checks them, and serves the query API
+//	by scatter-gathering to every healthy node holding the named stream
+//	and merging per-shard Horvitz–Thompson accumulators. Responses carry
+//	shards_ok/shards_total and degrade to "partial": true when a shard is
+//	down. See internal/federation and docs/OPERATIONS.md §9.
 //
 // Observability:
 //
@@ -65,6 +78,7 @@ import (
 	"time"
 
 	"biasedres/internal/durable"
+	"biasedres/internal/federation"
 	"biasedres/internal/server"
 )
 
@@ -89,6 +103,20 @@ func main() {
 			"journal fsync coalescing window; bounds data loss after a hard kill")
 		maxBody = flag.Int64("max-body-bytes", 8<<20,
 			"maximum request body size in bytes; larger ingest/restore bodies get 413")
+		federate = flag.Bool("federate", false,
+			"run as a federation coordinator over -peers instead of a data node")
+		peers = flag.String("peers", "",
+			"comma-separated peer base URLs, e.g. http://n1:8080,http://n2:8080 (coordinator mode)")
+		fedPeerTimeout = flag.Duration("fed-peer-timeout", 2*time.Second,
+			"per-shard call budget, hedged retry included (coordinator mode)")
+		fedHedgeDelay = flag.Duration("fed-hedge-delay", 250*time.Millisecond,
+			"silence before the one hedged duplicate request fires (coordinator mode)")
+		fedHealthInterval = flag.Duration("fed-health-interval", time.Second,
+			"peer /healthz polling period (coordinator mode)")
+		fedRise = flag.Int("fed-rise", 2,
+			"consecutive successful probes that revive an unhealthy peer")
+		fedFall = flag.Int("fed-fall", 2,
+			"consecutive failed probes that evict a healthy peer")
 	)
 	flag.Parse()
 
@@ -102,30 +130,59 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := []server.Option{server.WithLogger(logger), server.WithMaxBodyBytes(*maxBody)}
-	if *workers > 0 {
-		opts = append(opts, server.WithIngestShards(*workers, *queue))
-		logger.Info("sharded ingest enabled", "workers", *workers, "queue", *queue)
-	}
-	if *dataDir != "" {
-		store, err := durable.Open(durable.OSFS{}, *dataDir)
+	// handler serves the listener; closeAPI drains background work after
+	// the listener stops — either the data node's ingest/durability
+	// machinery or the coordinator's health checker.
+	var handler http.Handler
+	var closeAPI func()
+	if *federate {
+		peerList := splitPeers(*peers)
+		if len(peerList) == 0 {
+			fmt.Fprintln(os.Stderr, "reservoird: -federate needs at least one -peers URL")
+			os.Exit(2)
+		}
+		co, err := federation.New(peerList, federation.Config{
+			PeerTimeout:    *fedPeerTimeout,
+			HedgeDelay:     *fedHedgeDelay,
+			HealthInterval: *fedHealthInterval,
+			Rise:           *fedRise,
+			Fall:           *fedFall,
+		}, federation.WithLogger(logger))
 		if err != nil {
-			logger.Error("opening data dir", "dir", *dataDir, "error", err)
+			logger.Error("starting coordinator", "error", err)
 			os.Exit(1)
 		}
-		opts = append(opts, server.WithDurability(store, server.DurabilityConfig{
-			CheckpointInterval:  *ckptInterval,
-			CheckpointMinOps:    *ckptMinOps,
-			JournalSyncInterval: *syncInterval,
-		}))
-		logger.Info("durability enabled", "data_dir", *dataDir,
-			"checkpoint_interval", *ckptInterval, "checkpoint_min_ops", *ckptMinOps,
-			"journal_sync_interval", *syncInterval)
+		logger.Info("federation coordinator mode", "peers", len(peerList),
+			"peer_timeout", *fedPeerTimeout, "hedge_delay", *fedHedgeDelay,
+			"health_interval", *fedHealthInterval, "rise", *fedRise, "fall", *fedFall)
+		handler, closeAPI = co, co.Close
+	} else {
+		opts := []server.Option{server.WithLogger(logger), server.WithMaxBodyBytes(*maxBody)}
+		if *workers > 0 {
+			opts = append(opts, server.WithIngestShards(*workers, *queue))
+			logger.Info("sharded ingest enabled", "workers", *workers, "queue", *queue)
+		}
+		if *dataDir != "" {
+			store, err := durable.Open(durable.OSFS{}, *dataDir)
+			if err != nil {
+				logger.Error("opening data dir", "dir", *dataDir, "error", err)
+				os.Exit(1)
+			}
+			opts = append(opts, server.WithDurability(store, server.DurabilityConfig{
+				CheckpointInterval:  *ckptInterval,
+				CheckpointMinOps:    *ckptMinOps,
+				JournalSyncInterval: *syncInterval,
+			}))
+			logger.Info("durability enabled", "data_dir", *dataDir,
+				"checkpoint_interval", *ckptInterval, "checkpoint_min_ops", *ckptMinOps,
+				"journal_sync_interval", *syncInterval)
+		}
+		api := server.New(*seed, opts...)
+		handler, closeAPI = api, api.Close
 	}
-	api := server.New(*seed, opts...)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           api,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -166,13 +223,25 @@ func main() {
 			logger.Error("shutdown failed", "error", err)
 			os.Exit(1)
 		}
-		// Drain the ingest queues after the listener stops, then (with
-		// -data-dir) cut a final checkpoint: accepted (202) batches are
-		// applied and persisted before exit, so the next start recovers
-		// every acknowledged point.
-		api.Close()
+		// Drain background work after the listener stops: a data node
+		// applies accepted (202) batches and, with -data-dir, cuts a final
+		// checkpoint so the next start recovers every acknowledged point;
+		// a coordinator stops its health checker.
+		closeAPI()
 		logger.Info("shutdown complete")
 	}
+}
+
+// splitPeers parses the comma-separated -peers value, dropping empty
+// entries so trailing commas are harmless.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // newLogger builds the process logger from the -log-format and -log-level

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"sync"
 	"time"
 )
@@ -15,7 +16,8 @@ import (
 // handoff and one sampler lock acquisition cover hundreds of points.
 //
 // A Batcher is safe for concurrent use. On 429 backpressure it waits the
-// server's Retry-After hint (or its own RetryBackoff when absent) and
+// server's Retry-After hint (or, when absent, a jittered exponential
+// backoff starting at RetryBackoff and capped at MaxRetryBackoff) and
 // resends, up to MaxRetries attempts per batch. Call Close to flush the
 // remainder and stop the background timer; after Close the Batcher
 // rejects new points.
@@ -45,9 +47,15 @@ type BatcherConfig struct {
 	// MaxRetries bounds resends of one batch after 429 backpressure
 	// (default 8). The attempt budget is per flush, not per point.
 	MaxRetries int
-	// RetryBackoff is the wait between resends when the server's 429
-	// carries no Retry-After hint (default 50ms).
+	// RetryBackoff is the base wait between resends when the server's 429
+	// carries no Retry-After hint (default 50ms). The actual wait is
+	// exponential — base doubled per failed attempt, capped at
+	// MaxRetryBackoff — and jittered uniformly over [wait/2, wait] so
+	// concurrent producers hammering one overloaded stream decorrelate
+	// instead of resending in lockstep.
 	RetryBackoff time.Duration
+	// MaxRetryBackoff caps the exponential growth (default 2s).
+	MaxRetryBackoff time.Duration
 }
 
 func (cfg BatcherConfig) withDefaults() BatcherConfig {
@@ -63,7 +71,31 @@ func (cfg BatcherConfig) withDefaults() BatcherConfig {
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = 50 * time.Millisecond
 	}
+	if cfg.MaxRetryBackoff <= 0 {
+		cfg.MaxRetryBackoff = 2 * time.Second
+	}
+	if cfg.MaxRetryBackoff < cfg.RetryBackoff {
+		cfg.MaxRetryBackoff = cfg.RetryBackoff
+	}
 	return cfg
+}
+
+// retryWait returns the wait before resending a batch whose 429 carried no
+// Retry-After hint: RetryBackoff · 2^attempt, capped at MaxRetryBackoff,
+// jittered uniformly over [w/2, w].
+func (cfg BatcherConfig) retryWait(attempt int) time.Duration {
+	w := cfg.RetryBackoff
+	for i := 0; i < attempt && w < cfg.MaxRetryBackoff; i++ {
+		w *= 2
+	}
+	if w > cfg.MaxRetryBackoff {
+		w = cfg.MaxRetryBackoff
+	}
+	half := w / 2
+	if half <= 0 {
+		return w
+	}
+	return half + time.Duration(rand.Int64N(int64(half)+1))
 }
 
 // NewBatcher returns a Batcher pushing to the named stream through c.
@@ -212,7 +244,9 @@ func (b *Batcher) push(ctx context.Context, batch []Point) error {
 		lastErr = err
 		wait := apiErr.RetryAfter
 		if wait <= 0 {
-			wait = b.cfg.RetryBackoff
+			// No server hint: jittered exponential backoff, growing with
+			// each failed attempt for this batch.
+			wait = b.cfg.retryWait(attempt)
 		}
 		timer := time.NewTimer(wait)
 		select {

@@ -190,3 +190,49 @@ func TestAPIErrorRetryAfter(t *testing.T) {
 		t.Fatal("empty error text")
 	}
 }
+
+// TestRetryWaitBounds: the no-Retry-After backoff doubles per attempt,
+// stays inside the jitter window [w/2, w], and caps at MaxRetryBackoff.
+func TestRetryWaitBounds(t *testing.T) {
+	cfg := BatcherConfig{
+		RetryBackoff:    20 * time.Millisecond,
+		MaxRetryBackoff: 100 * time.Millisecond,
+	}.withDefaults()
+	expected := []time.Duration{
+		20 * time.Millisecond,  // attempt 0
+		40 * time.Millisecond,  // attempt 1
+		80 * time.Millisecond,  // attempt 2
+		100 * time.Millisecond, // attempt 3 — capped
+		100 * time.Millisecond, // attempt 9 — still capped
+	}
+	attempts := []int{0, 1, 2, 3, 9}
+	for i, attempt := range attempts {
+		w := expected[i]
+		sawLow, sawHigh := false, false
+		for trial := 0; trial < 200; trial++ {
+			got := cfg.retryWait(attempt)
+			if got < w/2 || got > w {
+				t.Fatalf("attempt %d: wait %v outside [%v, %v]", attempt, got, w/2, w)
+			}
+			if got < w*3/4 {
+				sawLow = true
+			} else {
+				sawHigh = true
+			}
+		}
+		if !sawLow || !sawHigh {
+			t.Errorf("attempt %d: 200 draws never spread across the jitter window (low=%v high=%v)",
+				attempt, sawLow, sawHigh)
+		}
+	}
+
+	// Defaults: base 50ms, cap 2s; a cap below the base is raised to it.
+	def := BatcherConfig{}.withDefaults()
+	if def.RetryBackoff != 50*time.Millisecond || def.MaxRetryBackoff != 2*time.Second {
+		t.Fatalf("defaults = %v/%v", def.RetryBackoff, def.MaxRetryBackoff)
+	}
+	inv := BatcherConfig{RetryBackoff: time.Second, MaxRetryBackoff: time.Millisecond}.withDefaults()
+	if inv.MaxRetryBackoff != time.Second {
+		t.Fatalf("inverted cap not raised: %v", inv.MaxRetryBackoff)
+	}
+}

@@ -13,6 +13,8 @@ import (
 	"net/url"
 	"strconv"
 	"time"
+
+	"biasedres/internal/query"
 )
 
 // Client talks to one reservoird instance.
@@ -332,4 +334,76 @@ func (c *Client) Snapshot(name string) ([]byte, error) {
 // Restore uploads a checkpoint previously produced by Snapshot.
 func (c *Client) Restore(name string, blob []byte) error {
 	return c.do(http.MethodPost, "/streams/"+url.PathEscape(name)+"/restore", blob, nil)
+}
+
+// The context-aware methods below are the federation coordinator's peer
+// surface: liveness/readiness probes, stream discovery, the mergeable
+// accumulator export and raw samples, each bounded by the caller's ctx so
+// scatter-gather fan-outs can enforce per-peer deadlines.
+
+// HealthzContext probes GET /healthz — liveness. A nil error means the
+// peer answered 200.
+func (c *Client) HealthzContext(ctx context.Context) error {
+	return c.doCtx(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// ReadyzContext probes GET /readyz — readiness (durability recovery
+// finished, ingest accepting). A nil error means the peer answered 200.
+func (c *Client) ReadyzContext(ctx context.Context) error {
+	return c.doCtx(ctx, http.MethodGet, "/readyz", nil, nil)
+}
+
+// ListStreamsContext is ListStreams bounded by ctx.
+func (c *Client) ListStreamsContext(ctx context.Context) ([]string, error) {
+	var out struct {
+		Streams []string `json:"streams"`
+	}
+	if err := c.doCtx(ctx, http.MethodGet, "/streams", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Streams, nil
+}
+
+// AccumContext fetches the stream's fused Horvitz–Thompson accumulator
+// (GET /streams/{name}/accum): the per-shard terms of the paper's
+// Equation-8 estimator, mergeable across disjoint shard streams with
+// query.Accum.Merge. rect, when non-nil, asks the shard to accumulate the
+// range-selectivity numerator too.
+func (c *Client) AccumContext(ctx context.Context, name string, h uint64, rect *query.Rect) (*query.Accum, error) {
+	params := url.Values{"h": {strconv.FormatUint(h, 10)}}
+	if rect != nil {
+		dims, lo, hi := rect.Params()
+		params.Set("dims", dims)
+		params.Set("lo", lo)
+		params.Set("hi", hi)
+	}
+	var w query.AccumWire
+	if err := c.doCtx(ctx, http.MethodGet,
+		"/streams/"+url.PathEscape(name)+"/accum?"+params.Encode(), nil, &w); err != nil {
+		return nil, err
+	}
+	return w.Accum()
+}
+
+// SamplePoint is one reservoir resident in a Sample response.
+type SamplePoint struct {
+	Index  uint64    `json:"index"`
+	Values []float64 `json:"values"`
+	Label  int       `json:"label"`
+	Prob   float64   `json:"prob"`
+}
+
+// Sample is the reservoir contents of one stream at position T.
+type Sample struct {
+	T      uint64        `json:"t"`
+	Points []SamplePoint `json:"points"`
+}
+
+// SampleContext downloads the stream's current reservoir contents.
+func (c *Client) SampleContext(ctx context.Context, name string) (*Sample, error) {
+	var out Sample
+	if err := c.doCtx(ctx, http.MethodGet, "/streams/"+url.PathEscape(name)+"/sample", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }

@@ -1,0 +1,607 @@
+// Package federation is the cross-node coordination layer: one
+// Coordinator owns a registry of reservoird data nodes, health-checks
+// them, and serves the familiar query API by scatter-gathering to every
+// healthy node holding the named stream and merging the per-shard
+// results.
+//
+// Correctness rests on the linearity of the paper's Section-4 estimator:
+// H(t) = Σ I(r,t)·c_r·h(X_r)/p(r,t) is a sum over points whose inclusion
+// probabilities depend only on their own shard's stream, so for disjoint
+// shard streams the union's estimate is the sum of the shards' estimates
+// — and the Lemma 4.1 variance sums the same way. The coordinator
+// therefore never merges final floats: it gathers each shard's fused
+// accumulator (GET /streams/{name}/accum, see internal/query's AccumWire)
+// and sums term by term, deriving count/average/classdist/groupavg/
+// selectivity from the merged accumulator exactly as a single node would
+// from its own.
+//
+// API (all bodies JSON):
+//
+//	GET    /streams                     union of healthy peers' streams
+//	GET    /streams/{name}/query        federated estimate (same params as a node)
+//	GET    /streams/{name}/sample       concatenated shard samples, origin-tagged
+//	GET    /peers                       registry with health state
+//	POST   /peers                       add a peer        {"addr":"http://host:port"}
+//	DELETE /peers?addr=...              remove a peer
+//	GET    /healthz                     coordinator liveness + peer counts
+//	GET    /readyz                      ready once a health sweep ran and ≥1 peer is up
+//	GET    /metrics                     Prometheus text exposition (biasedres_fed_*)
+//
+// Partial failure degrades, never fails: every fan-out applies a per-peer
+// timeout and one hedged retry, and a response assembled from fewer
+// shards than were attempted carries "partial": true alongside
+// shards_ok/shards_total instead of an error status.
+package federation
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"biasedres/internal/client"
+	"biasedres/internal/obs"
+	"biasedres/internal/query"
+)
+
+// Config tunes the coordinator. Zero values pick the defaults.
+type Config struct {
+	// PeerTimeout bounds one shard's whole call, hedge included
+	// (default 2s).
+	PeerTimeout time.Duration
+	// HedgeDelay is how long to wait on a silent peer before firing the
+	// one hedged duplicate request (default 250ms). A peer that fails
+	// fast is retried immediately instead.
+	HedgeDelay time.Duration
+	// HealthInterval is the /healthz polling period (default 1s).
+	HealthInterval time.Duration
+	// Rise is how many consecutive successful probes bring an unhealthy
+	// peer back (default 2).
+	Rise int
+	// Fall is how many consecutive failed probes take a healthy peer out
+	// of rotation (default 2).
+	Fall int
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.PeerTimeout <= 0 {
+		cfg.PeerTimeout = 2 * time.Second
+	}
+	if cfg.HedgeDelay <= 0 {
+		cfg.HedgeDelay = 250 * time.Millisecond
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = time.Second
+	}
+	if cfg.Rise <= 0 {
+		cfg.Rise = 2
+	}
+	if cfg.Fall <= 0 {
+		cfg.Fall = 2
+	}
+	return cfg
+}
+
+// Coordinator is the federation http.Handler. Create with New, mount it,
+// and Close it to stop the health checker.
+type Coordinator struct {
+	cfg     Config
+	log     *slog.Logger
+	metrics *obs.Registry
+	httpm   *obs.HTTPMetrics
+	mux     *http.ServeMux
+
+	mu    sync.RWMutex
+	peers map[string]*peer
+
+	peerReqs *obs.CounterVec // biasedres_fed_peer_requests_total{peer}
+	peerErrs *obs.CounterVec // biasedres_fed_peer_errors_total{peer}
+	fanouts  *obs.CounterVec // biasedres_fed_fanouts_total{route}
+	hedges   *obs.Counter    // biasedres_fed_hedged_requests_total
+	partials *obs.Counter    // biasedres_fed_partial_responses_total
+	fanLat   *obs.HistogramVec
+
+	swept     atomic.Bool // a full health sweep has completed
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// Option customizes a Coordinator.
+type Option func(*Coordinator)
+
+// WithLogger enables structured logging through l.
+func WithLogger(l *slog.Logger) Option {
+	return func(co *Coordinator) { co.log = l }
+}
+
+// WithMetrics records the coordinator's instruments into reg instead of a
+// private registry.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(co *Coordinator) { co.metrics = reg }
+}
+
+// New returns a Coordinator over the given peer base URLs (e.g.
+// "http://10.0.0.1:8080") and starts its health checker. Peers start in
+// the healthy state — the fall threshold takes unreachable ones out of
+// rotation after the first sweeps — so a freshly started coordinator can
+// serve immediately.
+func New(peers []string, cfg Config, opts ...Option) (*Coordinator, error) {
+	co := &Coordinator{
+		cfg:   cfg.withDefaults(),
+		peers: make(map[string]*peer),
+		stop:  make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(co)
+	}
+	if co.metrics == nil {
+		co.metrics = obs.NewRegistry()
+	}
+	co.httpm = obs.NewHTTPMetrics(co.metrics, "biasedres_fed")
+	co.peerReqs = co.metrics.Counter("biasedres_fed_peer_requests_total",
+		"Requests sent to each peer across all fan-outs (hedges included).", "peer")
+	co.peerErrs = co.metrics.Counter("biasedres_fed_peer_errors_total",
+		"Peer calls that failed after the hedged retry.", "peer")
+	co.fanouts = co.metrics.Counter("biasedres_fed_fanouts_total",
+		"Scatter-gather operations run, by coordinator route.", "route")
+	co.hedges = co.metrics.Counter("biasedres_fed_hedged_requests_total",
+		"Duplicate (hedged) peer requests fired on slow or failed primaries.").With()
+	co.partials = co.metrics.Counter("biasedres_fed_partial_responses_total",
+		"Federated responses assembled from fewer shards than attempted.").With()
+	co.fanLat = co.metrics.Histogram("biasedres_fed_fanout_seconds",
+		"Whole scatter-gather latency (slowest shard or timeout), by route.",
+		obs.DefLatencyBuckets(), "route")
+	co.metrics.Register(obs.CollectorFunc(co.collectPeers))
+
+	for _, addr := range peers {
+		if err := co.addPeer(addr); err != nil {
+			return nil, fmt.Errorf("federation: peer %q: %w", addr, err)
+		}
+	}
+
+	mux := http.NewServeMux()
+	routes := []struct {
+		pattern string
+		handler http.HandlerFunc
+	}{
+		{"GET /healthz", co.handleHealthz},
+		{"GET /readyz", co.handleReadyz},
+		{"GET /peers", co.handlePeersList},
+		{"POST /peers", co.handlePeerAdd},
+		{"DELETE /peers", co.handlePeerRemove},
+		{"GET /streams", co.handleStreams},
+		{"GET /streams/{name}/query", co.handleQuery},
+		{"GET /streams/{name}/sample", co.handleSample},
+	}
+	for _, rt := range routes {
+		mux.Handle(rt.pattern, co.httpm.Wrap(rt.pattern, rt.handler))
+	}
+	mux.Handle("GET /metrics", co.httpm.Wrap("GET /metrics", co.metrics.Handler()))
+	co.mux = mux
+
+	co.wg.Add(1)
+	go co.runHealth()
+	return co, nil
+}
+
+// Metrics returns the coordinator's registry.
+func (co *Coordinator) Metrics() *obs.Registry { return co.metrics }
+
+// ServeHTTP implements http.Handler.
+func (co *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) { co.mux.ServeHTTP(w, r) }
+
+// Close stops the health checker. Safe to call more than once.
+func (co *Coordinator) Close() {
+	co.closeOnce.Do(func() {
+		close(co.stop)
+		co.wg.Wait()
+	})
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	fmt.Fprintf(w, `{"error":%q}`+"\n", fmt.Sprintf(format, args...))
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// --- scatter-gather machinery ---
+
+// outcome is one shard's contribution to a fan-out.
+type outcome[T any] struct {
+	addr     string
+	val      T
+	err      error
+	notFound bool // peer answered 404: it does not hold the stream
+}
+
+// fanOut runs call against every target concurrently. Each shard call is
+// bounded by the per-peer timeout and gets one hedged retry: a duplicate
+// attempt after HedgeDelay of silence, or immediately when the primary
+// fails with a retryable error; first success wins. 404s are classified
+// as "does not hold the stream", not as failures.
+func fanOut[T any](ctx context.Context, co *Coordinator, targets []*peer, call func(context.Context, *peer) (T, error)) []outcome[T] {
+	outs := make([]outcome[T], len(targets))
+	var wg sync.WaitGroup
+	for i, p := range targets {
+		wg.Add(1)
+		go func(i int, p *peer) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, co.cfg.PeerTimeout)
+			defer cancel()
+			co.peerReqs.With(p.addr).Inc()
+			val, err := hedged(pctx, co.cfg.HedgeDelay, retryable, func() {
+				co.hedges.Inc()
+				co.peerReqs.With(p.addr).Inc()
+			}, func(ctx context.Context) (T, error) {
+				return call(ctx, p)
+			})
+			outs[i] = outcome[T]{addr: p.addr, val: val, err: err}
+			if err != nil {
+				var apiErr *client.APIError
+				if errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusNotFound {
+					outs[i].notFound = true
+					outs[i].err = nil
+					return
+				}
+				co.peerErrs.With(p.addr).Inc()
+				if co.log != nil {
+					co.log.Warn("shard call failed", "peer", p.addr, "error", err)
+				}
+			}
+		}(i, p)
+	}
+	wg.Wait()
+	return outs
+}
+
+// retryable reports whether a failed attempt is worth hedging: transport
+// errors, timeouts and 5xx are; 4xx answers are authoritative.
+func retryable(err error) bool {
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.StatusCode >= 500
+	}
+	return true
+}
+
+// hedged runs do with one hedged retry. The duplicate fires after delay
+// (slow primary) or immediately when the primary fails with a retryable
+// error (fast failure); at most two attempts ever run, and the first
+// success wins. Non-retryable failures return immediately.
+func hedged[T any](ctx context.Context, delay time.Duration, canRetry func(error) bool, onHedge func(), do func(context.Context) (T, error)) (T, error) {
+	type res struct {
+		v   T
+		err error
+	}
+	ch := make(chan res, 2)
+	launch := func() {
+		v, err := do(ctx)
+		ch <- res{v, err}
+	}
+	go launch()
+
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	outstanding := 1
+	hedgeFired := false
+	var firstErr error
+	var zero T
+	for outstanding > 0 {
+		select {
+		case r := <-ch:
+			outstanding--
+			if r.err == nil {
+				return r.v, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if !canRetry(r.err) {
+				// An authoritative answer (e.g. 404): if a hedge is still
+				// in flight its result can't be better; return now — the
+				// goroutine drains into the buffered channel.
+				return zero, r.err
+			}
+			if !hedgeFired {
+				hedgeFired = true
+				onHedge()
+				outstanding++
+				go launch()
+			}
+		case <-timer.C:
+			if !hedgeFired {
+				hedgeFired = true
+				onHedge()
+				outstanding++
+				go launch()
+			}
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		}
+	}
+	return zero, firstErr
+}
+
+// splitHorizon maps a coordinator-level horizon onto each of n shards.
+// Under round-robin sharding the last h global arrivals are the last
+// ⌈h/n⌉ arrivals of each shard; h == 0 (whole stream) passes through.
+func splitHorizon(h uint64, n int) uint64 {
+	if h == 0 || n <= 1 {
+		return h
+	}
+	return (h + uint64(n) - 1) / uint64(n)
+}
+
+// gatherAccums fans the accumulator fetch out to the stream's targets.
+func (co *Coordinator) gatherAccums(ctx context.Context, name string, h uint64, rect *query.Rect) []outcome[*query.Accum] {
+	targets := co.targets(name)
+	per := splitHorizon(h, len(targets))
+	return fanOut(ctx, co, targets, func(ctx context.Context, p *peer) (*query.Accum, error) {
+		return p.c.AccumContext(ctx, name, per, rect)
+	})
+}
+
+// shardStatus folds fan-out outcomes into (ok, total): peers that
+// answered 404 are excluded entirely — they do not hold the stream.
+func shardStatus[T any](outs []outcome[T]) (ok, total int) {
+	for _, o := range outs {
+		switch {
+		case o.notFound:
+		case o.err != nil:
+			total++
+		default:
+			ok++
+			total++
+		}
+	}
+	return ok, total
+}
+
+// federatedTypes are the query types the coordinator can merge. Quantile
+// is deliberately absent: a weighted quantile is not a linear statistic,
+// so per-shard quantiles do not compose.
+var federatedTypes = map[string]bool{
+	"count": true, "average": true, "classdist": true, "groupavg": true, "selectivity": true,
+}
+
+func (co *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	q := r.URL.Query()
+	typ := q.Get("type")
+	if !federatedTypes[typ] {
+		if typ == "quantile" {
+			httpError(w, http.StatusBadRequest,
+				"quantile is not linearly mergeable across shards; query a node directly")
+			return
+		}
+		httpError(w, http.StatusBadRequest, "unknown federated query type %q", typ)
+		return
+	}
+	h, err := parseUint(q.Get("h"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad horizon: %v", err)
+		return
+	}
+	var rect *query.Rect
+	if typ == "selectivity" {
+		rc, err := query.ParseRect(q.Get("dims"), q.Get("lo"), q.Get("hi"))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		rect = &rc
+	}
+
+	start := time.Now()
+	co.fanouts.With("query").Inc()
+	outs := co.gatherAccums(r.Context(), name, h, rect)
+	co.fanLat.With("query").Observe(time.Since(start).Seconds())
+
+	ok, total := shardStatus(outs)
+	if total == 0 {
+		httpError(w, http.StatusNotFound, "stream %q not found on any healthy peer", name)
+		return
+	}
+	if ok == 0 {
+		httpError(w, http.StatusServiceUnavailable,
+			"all %d shards holding stream %q failed", total, name)
+		return
+	}
+	merged := query.NewMergeAccum(h)
+	for _, o := range outs {
+		if o.err == nil && !o.notFound {
+			merged.Merge(o.val)
+		}
+	}
+	partial := ok < total
+	if partial {
+		co.partials.Inc()
+	}
+	resp := map[string]any{"shards_ok": ok, "shards_total": total, "partial": partial}
+
+	switch typ {
+	case "count":
+		resp["estimate"], resp["variance"] = merged.Count, merged.CountVar
+	case "average":
+		avg, err := merged.Average()
+		if err != nil {
+			httpError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		resp["average"] = avg
+	case "classdist":
+		dist, err := merged.Distribution()
+		if err != nil {
+			httpError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		resp["distribution"] = stringKeys(dist)
+	case "groupavg":
+		groups, err := merged.GroupAverage()
+		if err != nil {
+			httpError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		resp["groups"] = stringKeys(groups)
+	case "selectivity":
+		sel, err := merged.Selectivity()
+		if err != nil {
+			httpError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		resp["selectivity"] = sel
+	}
+	writeJSON(w, resp)
+}
+
+// fedSamplePoint is one reservoir point in a federated sample, tagged
+// with the shard it came from.
+type fedSamplePoint struct {
+	Index  uint64    `json:"index"`
+	Values []float64 `json:"values"`
+	Label  int       `json:"label"`
+	Prob   float64   `json:"prob"`
+	Origin string    `json:"origin"`
+}
+
+func (co *Coordinator) handleSample(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	start := time.Now()
+	co.fanouts.With("sample").Inc()
+	targets := co.targets(name)
+	outs := fanOut(r.Context(), co, targets, func(ctx context.Context, p *peer) (*client.Sample, error) {
+		return p.c.SampleContext(ctx, name)
+	})
+	co.fanLat.With("sample").Observe(time.Since(start).Seconds())
+
+	ok, total := shardStatus(outs)
+	if total == 0 {
+		httpError(w, http.StatusNotFound, "stream %q not found on any healthy peer", name)
+		return
+	}
+	if ok == 0 {
+		httpError(w, http.StatusServiceUnavailable,
+			"all %d shards holding stream %q failed", total, name)
+		return
+	}
+	var maxT uint64
+	points := []fedSamplePoint{}
+	for _, o := range outs {
+		if o.err != nil || o.notFound {
+			continue
+		}
+		if o.val.T > maxT {
+			maxT = o.val.T
+		}
+		for _, sp := range o.val.Points {
+			points = append(points, fedSamplePoint{
+				Index: sp.Index, Values: sp.Values, Label: sp.Label, Prob: sp.Prob, Origin: o.addr,
+			})
+		}
+	}
+	partial := ok < total
+	if partial {
+		co.partials.Inc()
+	}
+	writeJSON(w, map[string]any{
+		"t": maxT, "points": points,
+		"shards_ok": ok, "shards_total": total, "partial": partial,
+	})
+}
+
+func (co *Coordinator) handleStreams(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	co.fanouts.With("streams").Inc()
+	targets := co.healthyPeers()
+	outs := fanOut(r.Context(), co, targets, func(ctx context.Context, p *peer) ([]string, error) {
+		return p.c.ListStreamsContext(ctx)
+	})
+	co.fanLat.With("streams").Observe(time.Since(start).Seconds())
+
+	union := map[string]bool{}
+	ok, total := 0, 0
+	for _, o := range outs {
+		total++
+		if o.err != nil {
+			continue
+		}
+		ok++
+		for _, name := range o.val {
+			union[name] = true
+		}
+	}
+	names := make([]string, 0, len(union))
+	for name := range union {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	partial := total > 0 && ok < total
+	if partial {
+		co.partials.Inc()
+	}
+	writeJSON(w, map[string]any{
+		"streams": names, "shards_ok": ok, "shards_total": total, "partial": partial,
+	})
+}
+
+func (co *Coordinator) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	peers := co.peerList()
+	healthy := 0
+	for _, p := range peers {
+		if p.isHealthy() {
+			healthy++
+		}
+	}
+	writeJSON(w, map[string]any{
+		"status": "ok", "role": "coordinator",
+		"peers": len(peers), "peers_healthy": healthy,
+	})
+}
+
+func (co *Coordinator) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if !co.swept.Load() {
+		httpError(w, http.StatusServiceUnavailable, "not ready: first health sweep pending")
+		return
+	}
+	healthy := 0
+	for _, p := range co.peerList() {
+		if p.isHealthy() {
+			healthy++
+		}
+	}
+	if healthy == 0 {
+		httpError(w, http.StatusServiceUnavailable, "not ready: no healthy peers")
+		return
+	}
+	writeJSON(w, map[string]any{"status": "ready", "peers_healthy": healthy})
+}
+
+// stringKeys converts an int-keyed map to the string-keyed form JSON
+// objects need.
+func stringKeys[V any](in map[int]V) map[string]V {
+	out := make(map[string]V, len(in))
+	for k, v := range in {
+		out[fmt.Sprintf("%d", k)] = v
+	}
+	return out
+}
+
+func parseUint(s string) (uint64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	return strconv.ParseUint(s, 10, 64)
+}

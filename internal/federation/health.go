@@ -1,0 +1,84 @@
+package federation
+
+import (
+	"context"
+	"time"
+)
+
+// runHealth is the background health checker: one sweep every
+// HealthInterval until Close.
+func (co *Coordinator) runHealth() {
+	defer co.wg.Done()
+	ticker := time.NewTicker(co.cfg.HealthInterval)
+	defer ticker.Stop()
+	// Probe immediately so readiness and the stream-set hints don't wait
+	// a full interval after startup.
+	co.Sweep(context.Background())
+	for {
+		select {
+		case <-ticker.C:
+			co.Sweep(context.Background())
+		case <-co.stop:
+			return
+		}
+	}
+}
+
+// Sweep probes every registered peer once and applies the rise/fall
+// thresholds. It runs automatically every HealthInterval; tests call it
+// directly for deterministic health transitions.
+func (co *Coordinator) Sweep(ctx context.Context) {
+	for _, p := range co.peerList() {
+		co.probe(ctx, p)
+	}
+	co.swept.Store(true)
+}
+
+// probe checks one peer: GET /healthz decides up/down, and on success the
+// stream-set routing hint is refreshed best-effort (a failed list keeps
+// the previous hint — routing degrades to broader fan-out, never to
+// dropping a peer).
+func (co *Coordinator) probe(ctx context.Context, p *peer) {
+	pctx, cancel := context.WithTimeout(ctx, co.cfg.PeerTimeout)
+	defer cancel()
+	err := p.c.HealthzContext(pctx)
+
+	var streams map[string]bool
+	if err == nil {
+		if names, lerr := p.c.ListStreamsContext(pctx); lerr == nil {
+			streams = make(map[string]bool, len(names))
+			for _, n := range names {
+				streams[n] = true
+			}
+		}
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err != nil {
+		p.lastErr = err.Error()
+		p.up = 0
+		p.down++
+		if p.healthy && p.down >= co.cfg.Fall {
+			p.healthy = false
+			if co.log != nil {
+				co.log.Warn("peer unhealthy", "peer", p.addr,
+					"consecutive_failures", p.down, "error", err)
+			}
+		}
+		return
+	}
+	p.lastErr = ""
+	p.down = 0
+	p.up++
+	if !p.healthy && p.up >= co.cfg.Rise {
+		p.healthy = true
+		if co.log != nil {
+			co.log.Info("peer healthy", "peer", p.addr, "consecutive_successes", p.up)
+		}
+	}
+	if streams != nil {
+		p.streams = streams
+		p.hasStreams = true
+	}
+}

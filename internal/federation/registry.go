@@ -1,0 +1,214 @@
+package federation
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+
+	"biasedres/internal/client"
+	"biasedres/internal/obs"
+)
+
+// peer is one data node in the registry. Health state is mutated only by
+// the health checker; the stream set is a routing hint refreshed on each
+// probe, never authoritative — fan-outs fall back to every healthy peer
+// when no holder is known, and a peer whose set has never been fetched is
+// always included.
+type peer struct {
+	addr string
+	c    *client.Client
+
+	mu         sync.Mutex
+	healthy    bool
+	up, down   int // consecutive probe successes / failures
+	streams    map[string]bool
+	hasStreams bool // the stream set has been fetched at least once
+	lastErr    string
+}
+
+func (p *peer) isHealthy() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.healthy
+}
+
+// mayHold reports whether p could hold the stream: true when the cached
+// set contains it or when no set has been fetched yet (a just-created
+// stream must stay reachable before the next sweep).
+func (p *peer) mayHold(name string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return !p.hasStreams || p.streams[name]
+}
+
+// addPeer registers a peer under its normalized base URL. Called from New
+// and the POST /peers handler.
+func (co *Coordinator) addPeer(addr string) error {
+	u, err := url.Parse(addr)
+	if err != nil {
+		return err
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return fmt.Errorf("peer URL must be http(s), got %q", addr)
+	}
+	if u.Host == "" {
+		return fmt.Errorf("peer URL %q has no host", addr)
+	}
+	norm := u.Scheme + "://" + u.Host
+	c, err := client.New(norm, client.WithTimeout(co.cfg.PeerTimeout))
+	if err != nil {
+		return err
+	}
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if _, ok := co.peers[norm]; ok {
+		return fmt.Errorf("peer %q already registered", norm)
+	}
+	// Optimistically healthy: the fall threshold evicts dead peers after
+	// a few sweeps, while a live one is usable immediately.
+	co.peers[norm] = &peer{addr: norm, c: c, healthy: true}
+	return nil
+}
+
+func (co *Coordinator) removePeer(addr string) bool {
+	u, err := url.Parse(addr)
+	norm := addr
+	if err == nil && u.Host != "" {
+		norm = u.Scheme + "://" + u.Host
+	}
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	_, ok := co.peers[norm]
+	delete(co.peers, norm)
+	return ok
+}
+
+// peerList returns the peers sorted by address.
+func (co *Coordinator) peerList() []*peer {
+	co.mu.RLock()
+	defer co.mu.RUnlock()
+	out := make([]*peer, 0, len(co.peers))
+	for _, p := range co.peers {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].addr < out[j].addr })
+	return out
+}
+
+func (co *Coordinator) healthyPeers() []*peer {
+	var out []*peer
+	for _, p := range co.peerList() {
+		if p.isHealthy() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// targets returns the healthy peers a fan-out for the named stream should
+// hit: those whose cached stream set includes it plus those whose set is
+// unknown. If the hint eliminates everyone (e.g. the stream was created
+// after the last sweep on every node), it falls back to all healthy peers
+// — a wasted 404 per peer is cheaper than a false "not found".
+func (co *Coordinator) targets(name string) []*peer {
+	healthy := co.healthyPeers()
+	var out []*peer
+	for _, p := range healthy {
+		if p.mayHold(name) {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		return healthy
+	}
+	return out
+}
+
+// peerInfo is the JSON shape of one registry entry.
+type peerInfo struct {
+	Addr    string   `json:"addr"`
+	Healthy bool     `json:"healthy"`
+	Streams []string `json:"streams,omitempty"`
+	LastErr string   `json:"last_error,omitempty"`
+}
+
+func (co *Coordinator) handlePeersList(w http.ResponseWriter, _ *http.Request) {
+	peers := co.peerList()
+	infos := make([]peerInfo, 0, len(peers))
+	for _, p := range peers {
+		p.mu.Lock()
+		info := peerInfo{Addr: p.addr, Healthy: p.healthy, LastErr: p.lastErr}
+		for name := range p.streams {
+			info.Streams = append(info.Streams, name)
+		}
+		p.mu.Unlock()
+		sort.Strings(info.Streams)
+		infos = append(infos, info)
+	}
+	writeJSON(w, map[string]any{"peers": infos})
+}
+
+func (co *Coordinator) handlePeerAdd(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Addr string `json:"addr"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	if req.Addr == "" {
+		httpError(w, http.StatusBadRequest, "missing addr")
+		return
+	}
+	if err := co.addPeer(req.Addr); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if co.log != nil {
+		co.log.Info("peer added", "addr", req.Addr)
+	}
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, map[string]any{"added": req.Addr})
+}
+
+func (co *Coordinator) handlePeerRemove(w http.ResponseWriter, r *http.Request) {
+	addr := r.URL.Query().Get("addr")
+	if addr == "" {
+		httpError(w, http.StatusBadRequest, "missing addr parameter")
+		return
+	}
+	if !co.removePeer(addr) {
+		httpError(w, http.StatusNotFound, "peer %q not registered", addr)
+		return
+	}
+	if co.log != nil {
+		co.log.Info("peer removed", "addr", addr)
+	}
+	writeJSON(w, map[string]any{"removed": addr})
+}
+
+// collectPeers exports the registry's scrape-time state:
+// biasedres_fed_peers and biasedres_fed_peer_healthy{peer}.
+func (co *Coordinator) collectPeers() []obs.Family {
+	peers := co.peerList()
+	healthyFam := obs.Family{Name: "biasedres_fed_peer_healthy", Type: "gauge",
+		Help: "1 when the peer passed its last health evaluation, else 0."}
+	for _, p := range peers {
+		v := 0.0
+		if p.isHealthy() {
+			v = 1
+		}
+		healthyFam.Samples = append(healthyFam.Samples, obs.Sample{
+			Labels: []obs.Label{{Key: "peer", Value: p.addr}}, Value: v,
+		})
+	}
+	return []obs.Family{
+		{Name: "biasedres_fed_peers", Type: "gauge",
+			Help:    "Data nodes currently registered with the coordinator.",
+			Samples: []obs.Sample{{Value: float64(len(peers))}}},
+		healthyFam,
+	}
+}

@@ -55,50 +55,23 @@ type Accum struct {
 	// Classes maps each label with sample mass in the horizon to its
 	// per-class accumulators.
 	Classes map[int]*ClassAcc
+
+	// HasRange marks a walk that was given a rect (AccumulateRange):
+	// RangeNum/RangeVar carry the range-selectivity numerator — the
+	// estimated in-horizon count inside the rect — and its Lemma 4.1
+	// variance. Zero-valued otherwise.
+	HasRange bool
+	RangeNum float64
+	RangeVar float64
 }
 
 // Accumulate runs the fused walk: one pass over snap computing every
 // Accum statistic for the given horizon and dimensionality. dim <= 0
 // accumulates no per-dimension sums (count and class statistics only).
+// The walk itself lives in AccumulateRange (merge.go), which additionally
+// accumulates a range numerator when given a rect.
 func Accumulate(snap *core.Snapshot, h uint64, dim int) *Accum {
-	a := &Accum{T: snap.T, Horizon: h, Dim: dim, Classes: make(map[int]*ClassAcc)}
-	if dim > 0 {
-		a.Sums = make([]float64, dim)
-	}
-	t := snap.T
-	for i := range snap.Points {
-		p := &snap.Points[i]
-		if p.Index == 0 || p.Index > t {
-			continue
-		}
-		if h > 0 && t-p.Index >= h {
-			continue
-		}
-		pr := snap.Probs[i]
-		if pr <= 0 {
-			continue
-		}
-		w := 1 / pr
-		a.Count += w
-		a.CountVar += (w - 1) / pr
-		for d := 0; d < dim && d < len(p.Values); d++ {
-			a.Sums[d] += p.Values[d] / pr
-		}
-		ca := a.Classes[p.Label]
-		if ca == nil {
-			ca = &ClassAcc{}
-			if dim > 0 {
-				ca.Sums = make([]float64, dim)
-			}
-			a.Classes[p.Label] = ca
-		}
-		ca.Count += w
-		ca.Var += (w - 1) / pr
-		for d := 0; d < dim && d < len(p.Values); d++ {
-			ca.Sums[d] += w * p.Values[d]
-		}
-	}
-	return a
+	return AccumulateRange(snap, h, dim, nil)
 }
 
 // Average returns the per-dimension horizon average Sums[d]/Count, the

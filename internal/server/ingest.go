@@ -81,6 +81,9 @@ func closeShard(ms *managedStream) {
 // once.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
+		// Fail readiness first so load balancers and federation
+		// coordinators stop routing here while the queues drain.
+		s.ready.Store(false)
 		s.mu.RLock()
 		streams := make([]*managedStream, 0, len(s.streams))
 		for _, ms := range s.streams {

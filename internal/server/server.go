@@ -38,7 +38,6 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -146,6 +145,11 @@ type Server struct {
 	durStop   chan struct{}
 	durWG     sync.WaitGroup
 	closeOnce sync.Once
+
+	// ready flips true once New has finished (durability recovery done,
+	// ingest shards accepting) and false again when Close begins — the
+	// GET /readyz contract load balancers and federation coordinators use.
+	ready atomic.Bool
 }
 
 // Option customizes a Server.
@@ -233,6 +237,7 @@ func New(seed uint64, opts ...Option) *Server {
 		handler http.HandlerFunc
 	}{
 		{"GET /healthz", s.handleHealth},
+		{"GET /readyz", s.handleReady},
 		{"GET /streams", s.handleList},
 		{"PUT /streams/{name}", s.handleCreate},
 		{"GET /streams/{name}", s.handleStats},
@@ -240,6 +245,7 @@ func New(seed uint64, opts ...Option) *Server {
 		{"POST /streams/{name}/points", s.handleIngest},
 		{"GET /streams/{name}/sample", s.handleSample},
 		{"GET /streams/{name}/query", s.handleQuery},
+		{"GET /streams/{name}/accum", s.handleAccum},
 		{"GET /streams/{name}/snapshot", s.handleSnapshot},
 		{"POST /streams/{name}/restore", s.handleRestore},
 	}
@@ -261,6 +267,9 @@ func New(seed uint64, opts ...Option) *Server {
 		s.durWG.Add(1)
 		go s.runDurability()
 	}
+	// Recovery (if any) has run and the ingest shards are accepting:
+	// the server is ready for traffic.
+	s.ready.Store(true)
 	return s
 }
 
@@ -514,6 +523,62 @@ func samplerFactory(req CreateRequest) (func(rng *xrand.Source) (persistentSampl
 		}, nil
 	}
 	return nil, fmt.Errorf("unknown policy %q", req.Policy)
+}
+
+// handleReady is GET /readyz: 200 once the server can take traffic
+// (durability recovery finished, ingest shards accepting — i.e. New has
+// returned) and 503 once Close has begun. Liveness stays on /healthz;
+// readiness is the signal load balancers and the federation health
+// checker should route on.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if !s.ready.Load() {
+		httpError(w, http.StatusServiceUnavailable, "not ready: recovering or shutting down")
+		return
+	}
+	s.mu.RLock()
+	streams := len(s.streams)
+	s.mu.RUnlock()
+	writeJSON(w, map[string]any{"status": "ready", "streams": streams, "durable": s.durable != nil})
+}
+
+// handleAccum is GET /streams/{name}/accum: the stream's fused
+// Horvitz–Thompson accumulator in wire form — per-shard terms a
+// federation coordinator merges by summation rather than averaging final
+// floats. Parameters: h (horizon), dim (defaults to the stream
+// dimensionality), and optionally dims/lo/hi for the range-selectivity
+// numerator. An empty stream answers a zero accumulator, not an error:
+// merging decides whether the union has sample mass.
+func (s *Server) handleAccum(w http.ResponseWriter, r *http.Request) {
+	ms, ok := s.lookup(r.PathValue("name"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "stream %q not found", r.PathValue("name"))
+		return
+	}
+	q := r.URL.Query()
+	h, err := parseUint(q.Get("h"), 0)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad horizon: %v", err)
+		return
+	}
+	ms.qmu.Lock()
+	streamDim := ms.dim
+	ms.qmu.Unlock()
+	dim, err := parseUint(q.Get("dim"), uint64(streamDim))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad dim: %v", err)
+		return
+	}
+	var rect *query.Rect
+	if q.Get("dims") != "" {
+		r, err := parseRect(q.Get("dims"), q.Get("lo"), q.Get("hi"))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		rect = &r
+	}
+	snap := ms.acquireSnapshot()
+	writeJSON(w, query.AccumulateRange(snap, h, int(dim), rect).Wire())
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -1016,38 +1081,9 @@ func parseUint(s string, def uint64) (uint64, error) {
 	return strconv.ParseUint(s, 10, 64)
 }
 
-func parseFloats(s string) ([]float64, error) {
-	parts := strings.Split(s, ",")
-	out := make([]float64, 0, len(parts))
-	for _, p := range parts {
-		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad number %q", p)
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
-
+// parseRect builds the selectivity rectangle from the shared dims/lo/hi
+// parameter format (the parser lives in internal/query so the federation
+// coordinator speaks the same wire form).
 func parseRect(dims, lo, hi string) (query.Rect, error) {
-	if dims == "" {
-		return query.Rect{}, fmt.Errorf("selectivity query needs dims/lo/hi")
-	}
-	df, err := parseFloats(dims)
-	if err != nil {
-		return query.Rect{}, err
-	}
-	lf, err := parseFloats(lo)
-	if err != nil {
-		return query.Rect{}, err
-	}
-	hf, err := parseFloats(hi)
-	if err != nil {
-		return query.Rect{}, err
-	}
-	di := make([]int, len(df))
-	for i, v := range df {
-		di[i] = int(v)
-	}
-	return query.NewRect(di, lf, hf)
+	return query.ParseRect(dims, lo, hi)
 }
