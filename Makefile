@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt linkcheck bench bench-query bench-federation bench-smoke test-durable test-federation ci
+.PHONY: all build test race vet fmt linkcheck bench bench-query bench-federation bench-wire bench-smoke fuzz-smoke test-durable test-federation ci
 
 all: build
 
@@ -39,11 +39,23 @@ bench-query:
 bench-federation:
 	$(GO) run ./cmd/benchingest -suite federation
 
-# bench-smoke runs every query and federation benchmark once so CI catches
-# bit-rot in the harnesses without paying for full measurement runs.
+# bench-wire regenerates BENCH_wire.json: binary-TCP ingest vs
+# JSON-over-HTTP on identical loopback connections and batches.
+bench-wire:
+	$(GO) run ./cmd/benchingest -suite wire
+
+# bench-smoke runs every query, federation and wire benchmark once so CI
+# catches bit-rot in the harnesses without paying for full measurement runs.
 bench-smoke:
 	$(GO) test -run '^$$' -bench '^BenchmarkQuery' -benchtime 1x ./internal/query
 	$(GO) test -run '^$$' -bench '^BenchmarkFed' -benchtime 1x ./internal/federation
+	$(GO) test -run '^$$' -bench '^BenchmarkWire' -benchtime 1x ./internal/server ./internal/wire
+
+# fuzz-smoke runs the wire-frame decoder fuzzer briefly: long enough to
+# exercise the mutation engine over the checked-in corpus, short enough
+# for CI.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzDecodeFrame -fuzztime 10s ./internal/wire
 
 # test-durable runs the durability suite under the race detector: the
 # crash/fault-injection property tests, the server recovery tests, and the
@@ -58,4 +70,4 @@ test-durable:
 test-federation:
 	$(GO) test -race -count=1 ./internal/federation/
 
-ci: fmt build vet linkcheck test race bench-smoke test-durable test-federation
+ci: fmt build vet linkcheck test race bench-smoke fuzz-smoke test-durable test-federation

@@ -18,11 +18,15 @@
 //	go run ./cmd/benchingest                     # writes BENCH_ingest.json
 //	go run ./cmd/benchingest -suite query        # writes BENCH_query.json
 //	go run ./cmd/benchingest -suite federation   # writes BENCH_federation.json
+//	go run ./cmd/benchingest -suite wire         # writes BENCH_wire.json
 //	go run ./cmd/benchingest -o out.json -benchtime 2s
 //
 // The federation suite runs the multi-node scatter-gather harness
 // (in-process coordinator + 1/2/4 data nodes under concurrent ingest) and
-// reports federated query p50/p99 latency against node count.
+// reports federated query p50/p99 latency against node count. The wire
+// suite races the binary TCP ingest protocol against JSON-over-HTTP on
+// identical loopback connections and batches, and reports the protocol
+// speedup plus the decoder's steady-state allocations per frame.
 package main
 
 import (
@@ -89,6 +93,18 @@ type FedLatency struct {
 	P99Ns float64 `json:"p99_ns"`
 }
 
+// WireVsHTTP compares binary-TCP against JSON-over-HTTP ingest from the
+// wire suite: same server, same loopback TCP, same 256-point batches.
+type WireVsHTTP struct {
+	Batch             int     `json:"batch"`
+	BinaryPointsSec   float64 `json:"binary_points_per_sec"`
+	HTTPJSONPointsSec float64 `json:"http_json_points_per_sec"`
+	Speedup           float64 `json:"speedup"`
+	// DecodeAllocsPerOp is the frame decoder's steady-state allocations
+	// per frame (the zero-alloc ingest criterion: must be 0).
+	DecodeAllocsPerOp float64 `json:"decode_allocs_per_op"`
+}
+
 // Report is the BENCH_<suite>.json document.
 type Report struct {
 	GeneratedBy string         `json:"generated_by"`
@@ -103,11 +119,12 @@ type Report struct {
 	Fused       []FusedSpeedup `json:"fused_vs_legacy,omitempty"`
 	UnderIngest *UnderIngest   `json:"query_under_ingest,omitempty"`
 	FedLatency  []FedLatency   `json:"federated_query_latency,omitempty"`
+	Wire        *WireVsHTTP    `json:"wire_vs_http,omitempty"`
 }
 
 func main() {
 	var (
-		suite     = flag.String("suite", "ingest", `benchmark suite: "ingest", "query" or "federation"`)
+		suite     = flag.String("suite", "ingest", `benchmark suite: "ingest", "query", "federation" or "wire"`)
 		out       = flag.String("o", "", "output file (default BENCH_<suite>.json)")
 		benchtime = flag.String("benchtime", "1s", "go test -benchtime value")
 		count     = flag.Int("count", 1, "go test -count value")
@@ -133,8 +150,10 @@ func run(suite, out, benchtime string, count int) error {
 		pattern, pkgs = "^BenchmarkQuery", []string{"./internal/query"}
 	case "federation":
 		pattern, pkgs = "^BenchmarkFed", []string{"./internal/federation"}
+	case "wire":
+		pattern, pkgs = "^BenchmarkWire", []string{"./internal/server", "./internal/wire"}
 	default:
-		return fmt.Errorf("unknown suite %q (want ingest, query or federation)", suite)
+		return fmt.Errorf("unknown suite %q (want ingest, query, federation or wire)", suite)
 	}
 	args := append([]string{"test", "-run", "^$", "-bench", pattern, "-benchmem",
 		"-benchtime", benchtime, "-count", strconv.Itoa(count)}, pkgs...)
@@ -172,6 +191,8 @@ func run(suite, out, benchtime string, count int) error {
 		report.UnderIngest = underIngest(report.Benchmarks)
 	case "federation":
 		report.FedLatency = fedLatency(report.Benchmarks)
+	case "wire":
+		report.Wire = wireVsHTTP(report.Benchmarks)
 	}
 
 	blob, err := json.MarshalIndent(report, "", "  ")
@@ -196,6 +217,10 @@ func run(suite, out, benchtime string, count int) error {
 	for _, f := range report.FedLatency {
 		fmt.Fprintf(os.Stderr, "  federated query, %d node(s): p50 %.0fns, p99 %.0fns\n",
 			f.Nodes, f.P50Ns, f.P99Ns)
+	}
+	if wv := report.Wire; wv != nil {
+		fmt.Fprintf(os.Stderr, "  wire batch=%d: binary %.3g points/s vs JSON-HTTP %.3g points/s = %.2fx (decode %.0f allocs/op)\n",
+			wv.Batch, wv.BinaryPointsSec, wv.HTTPJSONPointsSec, wv.Speedup, wv.DecodeAllocsPerOp)
 	}
 	return nil
 }
@@ -374,6 +399,28 @@ func fedLatency(results []Result) []FedLatency {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Nodes < out[j].Nodes })
 	return out
+}
+
+// wireVsHTTP pairs BenchmarkWireTCP against BenchmarkWireHTTPJSON on the
+// points/s metric, carrying the decode benchmark's allocation count along
+// as the zero-alloc evidence.
+func wireVsHTTP(results []Result) *WireVsHTTP {
+	wv := &WireVsHTTP{Batch: 256}
+	for _, r := range results {
+		switch r.Name {
+		case "BenchmarkWireTCP":
+			wv.BinaryPointsSec = r.PointsPerSec
+		case "BenchmarkWireHTTPJSON":
+			wv.HTTPJSONPointsSec = r.PointsPerSec
+		case "BenchmarkWireDecodeFrame":
+			wv.DecodeAllocsPerOp = r.AllocsPerOp
+		}
+	}
+	if wv.BinaryPointsSec == 0 || wv.HTTPJSONPointsSec == 0 {
+		return nil
+	}
+	wv.Speedup = wv.BinaryPointsSec / wv.HTTPJSONPointsSec
+	return wv
 }
 
 // underIngest pairs BenchmarkQueryUnderIngest/mutex against .../snapshot

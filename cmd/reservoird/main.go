@@ -6,7 +6,7 @@
 // Usage:
 //
 //	reservoird -addr :8080 -seed 42 [-log-format text|json] [-log-level info] [-pprof :6060]
-//	           [-ingest-workers 4 -ingest-queue 64]
+//	           [-ingest-workers 4 -ingest-queue 64] [-wire-addr :8081]
 //	           [-data-dir /var/lib/reservoird -checkpoint-interval 10s]
 //	reservoird -federate -peers http://n1:8080,http://n2:8080 [-addr :8080]
 //	           [-fed-peer-timeout 2s -fed-hedge-delay 250ms]
@@ -20,6 +20,13 @@
 //	its own goroutine; ingest returns 202 immediately, a full queue
 //	returns 429 with Retry-After, and at most N workers apply batches
 //	concurrently. See docs/OPERATIONS.md for tuning.
+//
+//	With -wire-addr set, a data node additionally serves the binary wire
+//	ingest protocol (internal/wire) on that address: persistent TCP
+//	connections carrying length-prefixed binary frames, decoded without
+//	per-point allocations into the same ingest pipeline. Backpressure is
+//	an explicit NACK with a retry hint — the wire form of the 429
+//	contract. See docs/ARCHITECTURE.md §8.
 //
 // Durability:
 //
@@ -80,6 +87,7 @@ import (
 	"biasedres/internal/durable"
 	"biasedres/internal/federation"
 	"biasedres/internal/server"
+	"biasedres/internal/wire"
 )
 
 func main() {
@@ -93,6 +101,10 @@ func main() {
 			"enable sharded async ingest with this many concurrent batch appliers (0 = synchronous ingest)")
 		queue = flag.Int("ingest-queue", 64,
 			"per-stream ingest queue depth in batches (used when -ingest-workers > 0)")
+		wireAddr = flag.String("wire-addr", "",
+			"serve the binary wire ingest protocol on this TCP address (empty = disabled; data node only)")
+		wireMaxFrame = flag.Int("wire-max-frame-bytes", 64<<20,
+			"maximum wire frame body size in bytes; larger frames are rejected and the connection closed")
 		dataDir = flag.String("data-dir", "",
 			"persist streams under this directory: checkpoints + ops journals, recovered on startup (empty = memory-only)")
 		ckptInterval = flag.Duration("checkpoint-interval", 10*time.Second,
@@ -136,6 +148,10 @@ func main() {
 	var handler http.Handler
 	var closeAPI func()
 	if *federate {
+		if *wireAddr != "" {
+			fmt.Fprintln(os.Stderr, "reservoird: -wire-addr is a data-node flag; a coordinator has no ingest path")
+			os.Exit(2)
+		}
 		peerList := splitPeers(*peers)
 		if len(peerList) == 0 {
 			fmt.Fprintln(os.Stderr, "reservoird: -federate needs at least one -peers URL")
@@ -179,6 +195,32 @@ func main() {
 		}
 		api := server.New(*seed, opts...)
 		handler, closeAPI = api, api.Close
+		if *wireAddr != "" {
+			wl := wire.NewListener(api,
+				wire.WithLogger(logger),
+				wire.WithMetrics(api.Metrics()),
+				wire.WithMaxFrameBytes(*wireMaxFrame))
+			wln, err := net.Listen("tcp", *wireAddr)
+			if err != nil {
+				logger.Error("wire listen failed", "addr", *wireAddr, "error", err)
+				os.Exit(1)
+			}
+			go func() {
+				logger.Info("wire protocol listening", "addr", wln.Addr().String())
+				if err := wl.Serve(wln); err != nil {
+					logger.Error("wire serve failed", "error", err)
+				}
+			}()
+			// Shutdown order: stop accepting wire frames first, then drain
+			// the ingest shards — a frame ACKed before the listener closed
+			// is applied by api.Close's drain.
+			closeAPI = func() {
+				if err := wl.Close(); err != nil {
+					logger.Warn("closing wire listener", "error", err)
+				}
+				api.Close()
+			}
+		}
 	}
 	srv := &http.Server{
 		Addr:              *addr,

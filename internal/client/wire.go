@@ -1,0 +1,370 @@
+package client
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"biasedres/internal/wire"
+)
+
+// WireConn is the binary-protocol counterpart of Batcher: a persistent
+// TCP connection to a reservoird wire listener (-wire-addr), pushing
+// point batches as binary frames instead of JSON POSTs. One WireConn can
+// feed many streams — every frame names its target — and buffers points
+// per stream, flushing a stream's buffer when it reaches FlushSize (call
+// Flush to push stragglers; there is no background timer, producers that
+// trickle should Flush on their own cadence).
+//
+// The backpressure contract matches HTTP exactly: a NACK reply means the
+// server consumed nothing, and the WireConn waits the server's retry
+// hint (or its own jittered exponential backoff) and resends the whole
+// frame, up to MaxRetries attempts — nothing is silently dropped. An
+// error reply is authoritative and surfaces as *WireError without
+// retrying.
+//
+// On a transport failure the WireConn redials and resends the in-flight
+// frame once. A frame whose ACK was lost in transit may by then have
+// been applied, so delivery is at-least-once across reconnects; clients
+// that need exactly-once across connection loss should sequence frames
+// with explicit arrival indices, which the server refuses to apply twice.
+//
+// A WireConn is safe for concurrent use; frames are serialized on the
+// connection.
+type WireConn struct {
+	addr string
+	cfg  WireConnConfig
+
+	mu     sync.Mutex
+	conn   net.Conn
+	br     *bufio.Reader
+	bw     *bufio.Writer
+	enc    []byte            // reusable frame encode buffer
+	rep    []byte            // reusable reply read buffer
+	bufs   map[string]*frame // per-stream pending points
+	closed bool
+}
+
+// frame accumulates one stream's buffered points in packed form.
+type frame struct {
+	count   int
+	dim     int
+	values  []float64
+	labels  []int32
+	weights []float64
+	// anyLabel / anyWeight track whether the optional sections carry any
+	// non-default value; all-default sections are omitted from the wire.
+	anyLabel  bool
+	anyWeight bool
+}
+
+// WireConnConfig tunes a WireConn. Zero values pick the defaults.
+type WireConnConfig struct {
+	// FlushSize is the per-stream point count that triggers an immediate
+	// flush (default 256).
+	FlushSize int
+	// MaxRetries bounds resends of one frame after NACK backpressure
+	// (default 8).
+	MaxRetries int
+	// RetryBackoff is the base wait between resends when the NACK carries
+	// no retry hint (default 50ms); grown exponentially per attempt and
+	// jittered exactly like Batcher.
+	RetryBackoff time.Duration
+	// MaxRetryBackoff caps the exponential growth (default 2s).
+	MaxRetryBackoff time.Duration
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+}
+
+func (cfg WireConnConfig) withDefaults() WireConnConfig {
+	if cfg.FlushSize <= 0 {
+		cfg.FlushSize = 256
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 8
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 50 * time.Millisecond
+	}
+	if cfg.MaxRetryBackoff <= 0 {
+		cfg.MaxRetryBackoff = 2 * time.Second
+	}
+	if cfg.MaxRetryBackoff < cfg.RetryBackoff {
+		cfg.MaxRetryBackoff = cfg.RetryBackoff
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	return cfg
+}
+
+// retryWait shares Batcher's backoff shape for hint-less NACKs.
+func (cfg WireConnConfig) retryWait(attempt int) time.Duration {
+	b := BatcherConfig{RetryBackoff: cfg.RetryBackoff, MaxRetryBackoff: cfg.MaxRetryBackoff}
+	return b.retryWait(attempt)
+}
+
+// WireError is an authoritative rejection from the wire listener
+// (unknown stream, dimension mismatch, malformed frame). Resending the
+// same frame cannot succeed.
+type WireError struct {
+	Msg string
+}
+
+// Error implements error.
+func (e *WireError) Error() string { return "wire: server rejected frame: " + e.Msg }
+
+// DialWire connects to a reservoird wire listener at addr.
+func DialWire(addr string, cfg WireConnConfig) (*WireConn, error) {
+	w := &WireConn{
+		addr: addr,
+		cfg:  cfg.withDefaults(),
+		bufs: make(map[string]*frame),
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.redial(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// redial (re)establishes the connection. Called with w.mu held.
+func (w *WireConn) redial() error {
+	if w.conn != nil {
+		w.conn.Close()
+		w.conn = nil
+	}
+	conn, err := net.DialTimeout("tcp", w.addr, w.cfg.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("wire: dialing %s: %w", w.addr, err)
+	}
+	w.conn = conn
+	if w.br == nil {
+		w.br = bufio.NewReaderSize(conn, 4<<10)
+		w.bw = bufio.NewWriterSize(conn, 64<<10)
+	} else {
+		w.br.Reset(conn)
+		w.bw.Reset(conn)
+	}
+	return nil
+}
+
+// Add buffers one point for the named stream, pushing the stream's
+// buffer as a frame once it reaches FlushSize. Point timestamps (TS) are
+// not representable on the wire; use the HTTP client for time-decay
+// streams that need explicit timestamps.
+func (w *WireConn) Add(stream string, p Point) error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return ErrWireConnClosed
+	}
+	f := w.bufs[stream]
+	if f == nil {
+		f = &frame{}
+		w.bufs[stream] = f
+	}
+	if f.count == 0 {
+		f.dim = len(p.Values)
+	} else if len(p.Values) != f.dim {
+		w.mu.Unlock()
+		return fmt.Errorf("wire: point has dim %d, buffered batch has %d", len(p.Values), f.dim)
+	}
+	f.values = append(f.values, p.Values...)
+	label := int32(-1)
+	if p.Label != nil {
+		label = int32(*p.Label)
+		f.anyLabel = true
+	}
+	f.labels = append(f.labels, label)
+	weight := p.Weight
+	if weight == 0 {
+		weight = 1
+	}
+	if weight != 1 {
+		f.anyWeight = true
+	}
+	f.weights = append(f.weights, weight)
+	f.count++
+	if f.count < w.cfg.FlushSize {
+		w.mu.Unlock()
+		return nil
+	}
+	err := w.flushStreamLocked(stream, f)
+	w.mu.Unlock()
+	return err
+}
+
+// Push sends one batch for the named stream immediately, bypassing the
+// buffer. It blocks until the server ACKs the frame (retrying through
+// backpressure) or rejects it.
+func (w *WireConn) Push(stream string, points []Point) error {
+	if len(points) == 0 {
+		return nil
+	}
+	dim := len(points[0].Values)
+	f := frame{count: len(points), dim: dim}
+	for _, p := range points {
+		if len(p.Values) != dim {
+			return fmt.Errorf("wire: point has dim %d, batch has %d", len(p.Values), dim)
+		}
+		f.values = append(f.values, p.Values...)
+		label := int32(-1)
+		if p.Label != nil {
+			label = int32(*p.Label)
+			f.anyLabel = true
+		}
+		f.labels = append(f.labels, label)
+		weight := p.Weight
+		if weight == 0 {
+			weight = 1
+		}
+		if weight != 1 {
+			f.anyWeight = true
+		}
+		f.weights = append(f.weights, weight)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrWireConnClosed
+	}
+	return w.sendLocked(stream, &f)
+}
+
+// Flush pushes every stream's buffered points.
+func (w *WireConn) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrWireConnClosed
+	}
+	return w.flushAllLocked()
+}
+
+func (w *WireConn) flushAllLocked() error {
+	var first error
+	for stream, f := range w.bufs {
+		if f.count == 0 {
+			continue
+		}
+		if err := w.flushStreamLocked(stream, f); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ErrWireConnClosed is returned by Add/Push/Flush after Close.
+var ErrWireConnClosed = &WireError{Msg: "connection closed by Close"}
+
+// Close flushes buffered points and closes the connection.
+func (w *WireConn) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	err := w.flushAllLocked()
+	w.closed = true
+	if w.conn != nil {
+		w.conn.Close()
+		w.conn = nil
+	}
+	return err
+}
+
+// flushStreamLocked sends a stream's buffered frame and resets the
+// buffer (keeping its capacity) regardless of outcome: like Batcher, a
+// frame that exhausts its retries is dropped with an error, not retried
+// forever.
+func (w *WireConn) flushStreamLocked(stream string, f *frame) error {
+	err := w.sendLocked(stream, f)
+	f.count = 0
+	f.dim = 0
+	f.values = f.values[:0]
+	f.labels = f.labels[:0]
+	f.weights = f.weights[:0]
+	f.anyLabel = false
+	f.anyWeight = false
+	return err
+}
+
+// sendLocked encodes f and runs the send/reply/retry loop. Called with
+// w.mu held.
+func (w *WireConn) sendLocked(stream string, f *frame) error {
+	wf := wire.Frame{Dim: f.dim, Count: f.count, Values: f.values}
+	if f.anyLabel {
+		wf.Labels = f.labels
+	}
+	if f.anyWeight {
+		wf.Weights = f.weights
+	}
+	var err error
+	w.enc, err = wire.AppendFrame(w.enc[:0], stream, &wf)
+	if err != nil {
+		return err
+	}
+	var lastNack wire.Reply
+	for attempt := 0; attempt < w.cfg.MaxRetries; attempt++ {
+		r, err := w.roundTripLocked()
+		if err != nil {
+			// Transport failure: redial once and resend this frame. If the
+			// ACK (not the frame) was lost, the resend double-applies —
+			// the documented at-least-once window.
+			if rerr := w.redial(); rerr != nil {
+				return rerr
+			}
+			if r, err = w.roundTripLocked(); err != nil {
+				return fmt.Errorf("wire: resend after reconnect failed: %w", err)
+			}
+		}
+		switch r.Status {
+		case wire.StatusOK:
+			return nil
+		case wire.StatusBackpressure:
+			lastNack = r
+			wait := time.Duration(r.RetryMS) * time.Millisecond
+			if wait <= 0 {
+				wait = w.cfg.retryWait(attempt)
+			}
+			time.Sleep(wait)
+		default:
+			return &WireError{Msg: r.Msg}
+		}
+	}
+	return fmt.Errorf("wire: frame of %d points still backpressured after %d attempts (server hint %dms)",
+		f.count, w.cfg.MaxRetries, lastNack.RetryMS)
+}
+
+// roundTripLocked writes the encoded frame in w.enc and reads one reply.
+func (w *WireConn) roundTripLocked() (wire.Reply, error) {
+	if w.conn == nil {
+		return wire.Reply{}, io.ErrClosedPipe
+	}
+	if _, err := w.bw.Write(w.enc); err != nil {
+		return wire.Reply{}, err
+	}
+	if err := w.bw.Flush(); err != nil {
+		return wire.Reply{}, err
+	}
+	if cap(w.rep) < wire.ReplyHeaderLen {
+		w.rep = make([]byte, wire.ReplyHeaderLen, wire.ReplyHeaderLen+255)
+	}
+	w.rep = w.rep[:wire.ReplyHeaderLen]
+	if _, err := io.ReadFull(w.br, w.rep); err != nil {
+		return wire.Reply{}, err
+	}
+	if msgLen := int(w.rep[1]); msgLen > 0 {
+		w.rep = w.rep[:wire.ReplyHeaderLen+msgLen]
+		if _, err := io.ReadFull(w.br, w.rep[wire.ReplyHeaderLen:]); err != nil {
+			return wire.Reply{}, err
+		}
+	}
+	r, _, err := wire.DecodeReply(w.rep)
+	return r, err
+}

@@ -156,14 +156,17 @@ func (z *ZReservoir) drawSkip() uint64 {
 }
 
 // searchSkip is Algorithm X's sequential inversion, used below the
-// threshold where rejection would be wasteful.
+// threshold where rejection would be wasteful. The uniform comes from
+// u01, not Float64: a draw of exactly 0 would keep the loop grinding
+// until quot underflows (the same stall fixed in SkipReservoir.drawSkip),
+// and the quot > 0 guard bounds it even then.
 func (z *ZReservoir) searchSkip() uint64 {
-	u := z.rng.Float64()
+	u := z.u01()
 	n := float64(z.capacity)
 	t := float64(z.t)
 	var skip uint64
 	quot := (t + 1 - n) / (t + 1)
-	for quot > u {
+	for quot > u && quot > 0 {
 		skip++
 		tt := t + float64(skip) + 1
 		quot *= (tt - n) / tt

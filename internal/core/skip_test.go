@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"testing"
+	"time"
 
 	"biasedres/internal/xrand"
 )
@@ -114,5 +115,59 @@ func TestSkipMatchesAlgorithmR(t *testing.T) {
 	// Uniform over 1..2000: mean age ≈ 1000.
 	if math.Abs(ageR-ageX) > 0.08*ageR {
 		t.Fatalf("Algorithm R mean age %v vs Algorithm X %v", ageR, ageX)
+	}
+}
+
+// TestSkipDrawZeroUniform is the regression test for the unbounded
+// inversion loop: xrand.Float64 legally returns exactly 0, and drawSkip
+// used to compare quot > u against that raw draw — with u = 0 the loop
+// only exited after quot underflowed through the entire denormal range,
+// ~709·t/n iterations (billions deep into a stream), stalling the ingest
+// worker that hit it. xrand.Source is a concrete generator with no seam
+// to stub, so the test drives skipFor with the exact uniform drawSkip
+// now derives from a zero-returning Float64 (1 - 0 = 1), at a stream
+// position where the old loop would grind for days.
+func TestSkipDrawZeroUniform(t *testing.T) {
+	s, err := NewSkipReservoir(10, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.t = 1 << 50
+	done := make(chan uint64, 1)
+	go func() { done <- s.skipFor(1 - 0) }()
+	select {
+	case skip := <-done:
+		// u = 1 is the top of the inverted CDF: P(S >= 1) < 1 always
+		// (the next arrival has probability n/t of replacing), so the
+		// zero-draw case must schedule no skip at all, not ~709·t/n.
+		if skip != 0 {
+			t.Fatalf("skip = %d for the zero-uniform draw, want 0", skip)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("skip draw did not return: the inversion loop is unbounded again")
+	}
+}
+
+// TestSkipForClampsNonPositive covers the defensive half of the fix:
+// a caller handing skipFor a non-positive uniform directly is clamped to
+// the 2^-53 floor and terminated by the quot > 0 guard — the draw
+// returns the distribution's extreme tail instead of spinning.
+func TestSkipForClampsNonPositive(t *testing.T) {
+	s, err := NewSkipReservoir(1024, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.t = 1 << 20
+	done := make(chan uint64, 1)
+	go func() { done <- s.skipFor(0) }()
+	select {
+	case skip := <-done:
+		// The 2^-53 tail sits near 53·ln2·t/n ≈ 36.7·t/n; anything in
+		// that order is fine, the point is it returned at all.
+		if skip == 0 {
+			t.Fatal("clamped zero uniform produced skip 0; clamp not applied")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("skipFor(0) did not return: the quot > 0 guard is gone")
 	}
 }

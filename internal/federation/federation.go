@@ -108,7 +108,8 @@ type Coordinator struct {
 	partials *obs.Counter    // biasedres_fed_partial_responses_total
 	fanLat   *obs.HistogramVec
 
-	swept     atomic.Bool // a full health sweep has completed
+	swept     atomic.Bool   // a full health sweep has completed
+	sweeps    atomic.Uint64 // completed sweeps; tests wait out the startup sweep on it
 	stop      chan struct{}
 	wg        sync.WaitGroup
 	closeOnce sync.Once
@@ -346,9 +347,15 @@ func splitHorizon(h uint64, n int) uint64 {
 }
 
 // gatherAccums fans the accumulator fetch out to the stream's targets.
+// The horizon is split by the stream's total shard count, not by how many
+// targets happen to be reachable: a down shard still owns its share of
+// the last h global arrivals, and dividing by the healthy count would
+// make each surviving shard answer with a deeper window than the query
+// asked for — a partial answer whose *per-point* horizon silently widened
+// rather than one that is merely missing shards.
 func (co *Coordinator) gatherAccums(ctx context.Context, name string, h uint64, rect *query.Rect) []outcome[*query.Accum] {
 	targets := co.targets(name)
-	per := splitHorizon(h, len(targets))
+	per := splitHorizon(h, co.shardCount(name, len(targets)))
 	return fanOut(ctx, co, targets, func(ctx context.Context, p *peer) (*query.Accum, error) {
 		return p.c.AccumContext(ctx, name, per, rect)
 	})

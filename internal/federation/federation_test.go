@@ -85,6 +85,16 @@ func startCoordinator(t *testing.T, nodes []*node, cfg Config) (*Coordinator, *h
 		ts.Close()
 		co.Close()
 	})
+	// runHealth fires one sweep immediately at startup; wait it out so the
+	// manual sweeps below are the only probes and rise/fall counting is
+	// deterministic (testCfg's hour-long interval keeps the ticker silent).
+	deadline := time.Now().Add(5 * time.Second)
+	for co.sweeps.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("startup health sweep never completed")
+		}
+		time.Sleep(time.Millisecond)
+	}
 	co.Sweep(context.Background())
 	return co, ts
 }
@@ -320,6 +330,62 @@ func TestFederatedPartialFailure(t *testing.T) {
 	status, _ = fedGet(t, fed.URL+"/streams/s/query?type=count&h=0")
 	if status != http.StatusServiceUnavailable {
 		t.Fatalf("all-shards-down: status %d, want 503", status)
+	}
+}
+
+// TestPartialFailureHorizonSplit is the regression test for horizon
+// splitting under partial failure: gatherAccums used to divide the
+// global horizon by len(targets) — the peers it could reach — instead of
+// the stream's shard count, so losing one of three shards silently
+// widened each survivor's window from ⌈h/3⌉ to ⌈h/2⌉ and inflated the
+// estimate. Unbiased reservoirs with capacity above the per-shard volume
+// retain everything at p=1, making the counts exact: the discriminating
+// assertion is 600 (two shards × ⌈900/3⌉), where the buggy split
+// returned 900 — indistinguishable from a fully healthy answer.
+func TestPartialFailureHorizonSplit(t *testing.T) {
+	nodes := startNodes(t, 3)
+	shardRoundRobin(t, nodes, "s",
+		client.StreamConfig{Policy: "unbiased", Capacity: 600}, testPoints(1500))
+	co, fed := startCoordinator(t, nodes, testCfg())
+	ctx := context.Background()
+
+	// Healthy baseline: h=900 splits into ⌈900/3⌉ = 300 per shard.
+	status, body := fedGet(t, fed.URL+"/streams/s/query?type=count&h=900")
+	if status != http.StatusOK {
+		t.Fatalf("healthy count: status %d body %v", status, body)
+	}
+	wantShards(t, body, 3, 3, false)
+	if est := body["estimate"].(float64); math.Abs(est-900) > 1e-6 {
+		t.Fatalf("healthy h=900 estimate %v, want exactly 900", est)
+	}
+
+	// Evict node 2 (Fall = 2 sweeps). Its cached stream set survives the
+	// failed probes, so the coordinator still knows the stream spans 3
+	// shards even though it can only reach 2.
+	nodes[2].down.Store(true)
+	co.Sweep(ctx)
+	co.Sweep(ctx)
+
+	status, body = fedGet(t, fed.URL+"/streams/s/query?type=count&h=900")
+	if status != http.StatusOK {
+		t.Fatalf("degraded count: status %d body %v", status, body)
+	}
+	wantShards(t, body, 2, 2, false)
+	// Each surviving shard must still answer for its ⌈900/3⌉ = 300 share:
+	// 600 total. The pre-fix split by reachable peers gave ⌈900/2⌉ per
+	// shard = 900, overstating the degraded estimate by half.
+	if est := body["estimate"].(float64); math.Abs(est-600) > 1e-6 {
+		t.Fatalf("degraded h=900 estimate %v, want exactly 600 (2 shards x 300)", est)
+	}
+
+	// h=0 (whole stream) is unaffected by splitting: the two reachable
+	// shards report their full 500 points each.
+	status, body = fedGet(t, fed.URL+"/streams/s/query?type=count&h=0")
+	if status != http.StatusOK {
+		t.Fatalf("degraded whole-stream count: status %d", status)
+	}
+	if est := body["estimate"].(float64); math.Abs(est-1000) > 1e-6 {
+		t.Fatalf("degraded h=0 estimate %v, want exactly 1000", est)
 	}
 }
 

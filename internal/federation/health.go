@@ -32,6 +32,7 @@ func (co *Coordinator) Sweep(ctx context.Context) {
 		co.probe(ctx, p)
 	}
 	co.swept.Store(true)
+	co.sweeps.Add(1)
 }
 
 // probe checks one peer: GET /healthz decides up/down, and on success the

@@ -127,6 +127,26 @@ func (co *Coordinator) targets(name string) []*peer {
 	return out
 }
 
+// shardCount returns how many shards the named stream spans: every
+// registered peer — healthy or not — whose cached stream set contains it
+// (or has never been fetched, the same benefit of the doubt mayHold gives
+// routing). Horizon splitting divides by this so a shard's share of the
+// global window does not change when a sibling goes down. Floored at the
+// live target count, which covers the targets() fallback where no cached
+// set names the stream but every healthy peer is queried anyway.
+func (co *Coordinator) shardCount(name string, healthyTargets int) int {
+	n := 0
+	for _, p := range co.peerList() {
+		if p.mayHold(name) {
+			n++
+		}
+	}
+	if n < healthyTargets {
+		n = healthyTargets
+	}
+	return n
+}
+
 // peerInfo is the JSON shape of one registry entry.
 type peerInfo struct {
 	Addr    string   `json:"addr"`

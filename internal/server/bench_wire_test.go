@@ -1,0 +1,103 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"biasedres/internal/client"
+	"biasedres/internal/wire"
+)
+
+// The wire suite compares the two network ingest paths on equal terms:
+// both run over real loopback TCP with persistent connections, the same
+// synchronous server, the same stream configuration and the same
+// 256-point batches — the only variable is the protocol (binary frames
+// vs JSON-over-HTTP). cmd/benchingest -suite wire runs these and emits
+// BENCH_wire.json; the acceptance bar is binary ≥ 5× JSON points/s.
+
+const wireBenchBatch = 256
+
+// benchWirePoints builds one client batch of n 2-dim points.
+func benchWirePoints(n int) []client.Point {
+	pts := make([]client.Point, n)
+	for i := range pts {
+		pts[i] = client.Point{Values: []float64{float64(i), float64(n - i)}}
+	}
+	return pts
+}
+
+// BenchmarkWireTCP measures the binary path end to end: WireConn encode →
+// loopback TCP → listener decode → IngestFrame → sampler, one ACKed
+// frame of 256 points per iteration.
+func BenchmarkWireTCP(b *testing.B) {
+	srv := New(1)
+	benchCreateStream(b, srv, "s")
+	wl, addr := startWireListener(b, srv)
+	defer wl.Close()
+	wc, err := client.DialWire(addr, client.WireConnConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer wc.Close()
+	pts := benchWirePoints(wireBenchBatch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := wc.Push("s", pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)*wireBenchBatch/b.Elapsed().Seconds(), "points/s")
+}
+
+// BenchmarkWireHTTPJSON is the JSON baseline over the same loopback TCP:
+// a keep-alive http.Client POSTing the identical batch to the identical
+// server. (The HTTP-named benchmarks in bench_ingest_test.go skip the
+// network with httptest recorders; this one pays it, so the two wire-
+// suite numbers are directly comparable.)
+func BenchmarkWireHTTPJSON(b *testing.B) {
+	srv := New(1)
+	benchCreateStream(b, srv, "s")
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	blob := benchIngestBody(b, wireBenchBatch)
+	url := ts.URL + "/streams/s/points"
+	hc := ts.Client()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := hc.Post(url, "application/json", bytes.NewReader(blob))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	b.ReportMetric(float64(b.N)*wireBenchBatch/b.Elapsed().Seconds(), "points/s")
+}
+
+// BenchmarkWireIngestFrame isolates the server-side frame handoff —
+// decode already done, measuring IngestFrame's validate + batch build +
+// sampler apply. Allocations here are per-frame (the point slice and its
+// contiguous values backing), never per-point.
+func BenchmarkWireIngestFrame(b *testing.B) {
+	srv := New(1)
+	benchCreateStream(b, srv, "s")
+	f := &wire.Frame{Name: []byte("s"), Dim: 2, Count: wireBenchBatch}
+	f.Values = make([]float64, wireBenchBatch*2)
+	for i := range f.Values {
+		f.Values[i] = float64(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := srv.IngestFrame(f); r.Status != wire.StatusOK {
+			b.Fatalf("reply %+v", r)
+		}
+	}
+	b.ReportMetric(float64(b.N)*wireBenchBatch/b.Elapsed().Seconds(), "points/s")
+}

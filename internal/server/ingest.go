@@ -185,12 +185,25 @@ func (s *Server) collectIngest() []obs.Family {
 		Help: "Points accepted (202) but not yet applied to the stream's sampler."}
 	for _, name := range names {
 		ms := byName[name]
-		if ms.shard == nil {
+		// The scrape runs concurrently with enqueues, deletion, and Close,
+		// all of which mutate the queue state under qmu. Reading shard and
+		// the (depth, pending) pair under the same lock keeps the sample
+		// coherent — pending points always have a matching queue view — and
+		// synchronizes with closeShard instead of racing it.
+		ms.qmu.Lock()
+		shard := ms.shard
+		var d, pend float64
+		if shard != nil {
+			d = float64(len(shard.ch))
+			pend = float64(ms.pending.Load())
+		}
+		ms.qmu.Unlock()
+		if shard == nil {
 			continue
 		}
 		label := []obs.Label{{Key: "stream", Value: name}}
-		depth.Samples = append(depth.Samples, obs.Sample{Labels: label, Value: float64(len(ms.shard.ch))})
-		pendPts.Samples = append(pendPts.Samples, obs.Sample{Labels: label, Value: float64(ms.pending.Load())})
+		depth.Samples = append(depth.Samples, obs.Sample{Labels: label, Value: d})
+		pendPts.Samples = append(pendPts.Samples, obs.Sample{Labels: label, Value: pend})
 	}
 	out := []obs.Family{
 		{Name: "biasedres_ingest_queue_capacity_batches", Type: "gauge",

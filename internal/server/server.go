@@ -449,6 +449,15 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Close fails readiness before snapshotting the stream map; checking it
+	// under s.mu means a create either lands before Close's snapshot (and
+	// gets its shard closed and drained like every other stream) or is
+	// refused here — never after, where its worker would leak and its
+	// ingestWG.Add would race Close's Wait.
+	if !s.ready.Load() {
+		httpError(w, http.StatusServiceUnavailable, "not ready: recovering or shutting down")
+		return
+	}
 	if _, ok := s.streams[name]; ok {
 		httpError(w, http.StatusConflict, "stream %q already exists", name)
 		return

@@ -1,0 +1,66 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGenerateSeedCorpus regenerates the checked-in fuzz corpus under
+// testdata/fuzz/FuzzDecodeFrame. It only runs when WIRE_GEN_CORPUS=1 so
+// normal test runs never rewrite testdata.
+func TestGenerateSeedCorpus(t *testing.T) {
+	if os.Getenv("WIRE_GEN_CORPUS") != "1" {
+		t.Skip("set WIRE_GEN_CORPUS=1 to regenerate the seed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecodeFrame")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	mustEncode := func(name string, fr *Frame) []byte {
+		buf, err := AppendFrame(nil, name, fr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+	plain := mustEncode("fuzz", &Frame{Dim: 1, Count: 1, Values: []float64{0}})
+	indexed := mustEncode("fuzz", &Frame{Dim: 2, Count: 3,
+		Values: []float64{1, 2, 3, 4, 5, 6}, Indices: []uint64{1, 2, 3}})
+	full := mustEncode("fuzz", &Frame{Dim: 1, Count: 2,
+		Values: []float64{9, 8}, Labels: []int32{0, -1}, Weights: []float64{1, 2}})
+	longName := mustEncode(strings.Repeat("n", 255), &Frame{Dim: 1, Count: 1, Values: []float64{3.5}})
+
+	mutate := func(src []byte, fn func([]byte)) []byte {
+		out := append([]byte(nil), src...)
+		fn(out)
+		return out
+	}
+	entries := map[string][]byte{
+		"valid-plain":       plain,
+		"valid-indexed":     indexed,
+		"valid-all-flags":   full,
+		"valid-long-name":   longName,
+		"truncated-body":    full[:len(full)-1],
+		"bodylen-inflated":  mutate(plain, func(b []byte) { b[12]++ }),
+		"bad-magic":         mutate(plain, func(b []byte) { b[0] ^= 0xff }),
+		"bad-flags":         mutate(full, func(b []byte) { b[4] |= 0x80 }),
+		"empty-name":        mutate(plain, func(b []byte) { b[5] = 0 }),
+		"count-over-limit":  mutate(indexed, func(b []byte) { binary.LittleEndian.PutUint32(b[8:12], MaxCount+1) }),
+		"empty":             {},
+		"header-only-ones":  bytes.Repeat([]byte{0xff}, HeaderLen),
+		"two-frames-piped":  append(append([]byte(nil), plain...), full...),
+		"second-frame-torn": append(append([]byte(nil), indexed...), indexed[:7]...),
+	}
+	for name, data := range entries {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Logf("wrote %d corpus entries to %s", len(entries), dir)
+}

@@ -1,0 +1,407 @@
+// Package wire is the binary ingest protocol: a compact, length-prefixed
+// framing for pushing point batches over persistent TCP connections,
+// bypassing HTTP request overhead and JSON decode entirely. The core
+// samplers sustain hundreds of millions of points per second; this
+// package exists so the network path in front of them is not an order of
+// magnitude slower than the reservoir maintenance it feeds.
+//
+// One connection carries a sequence of ingest frames, each answered by
+// exactly one reply. A frame names its stream, so one connection can feed
+// many streams. The decoder reads into reusable buffers — on the steady
+// state it performs zero allocations per frame (see BenchmarkWireDecodeFrame)
+// and never reads past the frame's declared length.
+//
+// Frame layout (all integers little-endian):
+//
+//	offset 0   magic    uint32   0x42525731 ("BRW1")
+//	offset 4   flags    uint8    bit 0: explicit arrival indices present
+//	                             bit 1: labels present
+//	                             bit 2: weights present
+//	offset 5   nameLen  uint8    stream name length, 1..255
+//	offset 6   dim      uint16   point dimensionality, 1..MaxDim
+//	offset 8   count    uint32   points in the frame, 1..MaxCount
+//	offset 12  bodyLen  uint32   bytes following this 16-byte header
+//	offset 16  name     [nameLen]byte
+//	           indices  [count]uint64    (only with FlagIndices)
+//	           labels   [count]int32     (only with FlagLabels)
+//	           weights  [count]float64   (only with FlagWeights)
+//	           values   [count*dim]float64, row-major
+//
+// bodyLen must equal the exact sum of the sections implied by the header,
+// so a malformed header can never make the decoder over- or under-read.
+// Without FlagIndices the server assigns arrival indices itself, exactly
+// like the JSON ingest path; without FlagLabels every point is unlabeled
+// (-1); without FlagWeights every weight is 1.
+//
+// Reply layout (server → client, one per frame):
+//
+//	offset 0  status   uint8    0 OK, 1 backpressure, 2 error
+//	offset 1  msgLen   uint8    error message length (status 2 only)
+//	offset 2  retryMS  uint16   backpressure retry hint, milliseconds
+//	offset 4  pending  uint32   points accepted but not yet applied (saturating)
+//	offset 8  msg      [msgLen]byte
+//
+// A backpressure reply is the wire form of the HTTP 429 contract: the
+// server consumed nothing, and the client must resend the whole frame
+// after the hinted delay — nothing is ever silently dropped. An error
+// reply is authoritative (bad stream, bad dimensionality, malformed
+// frame); after a framing-level error the server closes the connection,
+// since byte alignment can no longer be trusted.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Magic opens every frame: "BRW1" read as a little-endian uint32.
+const Magic uint32 = 0x31575242
+
+// HeaderLen is the fixed frame header size in bytes.
+const HeaderLen = 16
+
+// Flag bits for the frame header.
+const (
+	// FlagIndices marks explicit per-point arrival indices; without it
+	// the server sequences arrivals itself.
+	FlagIndices = 1 << 0
+	// FlagLabels marks per-point int32 class labels.
+	FlagLabels = 1 << 1
+	// FlagWeights marks per-point float64 weights.
+	FlagWeights = 1 << 2
+
+	flagAll = FlagIndices | FlagLabels | FlagWeights
+)
+
+// Frame size limits, enforced by the decoder before any section math so a
+// hostile header cannot size a read.
+const (
+	// MaxCount bounds points per frame.
+	MaxCount = 1 << 20
+	// MaxDim bounds point dimensionality.
+	MaxDim = 1 << 16
+)
+
+// Reply status codes.
+const (
+	// StatusOK acknowledges an accepted frame.
+	StatusOK = 0
+	// StatusBackpressure rejects a frame because the stream's ingest
+	// queue is full; the server consumed nothing and the client should
+	// resend after RetryMS (HTTP 429 semantics).
+	StatusBackpressure = 1
+	// StatusError rejects a frame authoritatively (unknown stream, bad
+	// dimensionality, malformed frame); resending the same frame cannot
+	// succeed.
+	StatusError = 2
+)
+
+// ReplyHeaderLen is the fixed reply size before the optional message.
+const ReplyHeaderLen = 8
+
+// Frame is one decoded ingest frame. Decoding reuses the Frame's slices,
+// so a connection loop that passes the same *Frame to every DecodeBody
+// call allocates nothing once the slices have grown to the working batch
+// shape. Name aliases the decode buffer and is only valid until the buffer
+// is reused.
+type Frame struct {
+	// Name is the target stream name. On decode it aliases the frame
+	// buffer; copy it (or use it before the next read) rather than
+	// retaining it.
+	Name []byte
+	// Dim is the point dimensionality.
+	Dim int
+	// Count is the number of points.
+	Count int
+	// Indices holds explicit arrival indices (len Count), or is nil for
+	// server-side sequencing.
+	Indices []uint64
+	// Labels holds per-point class labels (len Count), or is nil when
+	// every point is unlabeled.
+	Labels []int32
+	// Weights holds per-point weights (len Count), or is nil when every
+	// weight is 1.
+	Weights []float64
+	// Values holds the packed coordinates, row-major: point i occupies
+	// Values[i*Dim : (i+1)*Dim]. Len Count*Dim.
+	Values []float64
+}
+
+// Header is the parsed fixed-size frame header; BodyLen tells the
+// transport how many bytes to read before DecodeBody can run.
+type Header struct {
+	Flags   byte
+	NameLen int
+	Dim     int
+	Count   int
+	BodyLen int
+}
+
+// ParseHeader validates the fixed 16-byte header. The returned header's
+// BodyLen has already been cross-checked against the exact section sum, so
+// reading BodyLen bytes and calling DecodeBody cannot over-read.
+func ParseHeader(b []byte) (Header, error) {
+	if len(b) < HeaderLen {
+		return Header{}, fmt.Errorf("wire: short header: %d bytes", len(b))
+	}
+	if m := binary.LittleEndian.Uint32(b[0:4]); m != Magic {
+		return Header{}, fmt.Errorf("wire: bad magic 0x%08x", m)
+	}
+	h := Header{
+		Flags:   b[4],
+		NameLen: int(b[5]),
+		Dim:     int(binary.LittleEndian.Uint16(b[6:8])),
+		Count:   int(binary.LittleEndian.Uint32(b[8:12])),
+		BodyLen: int(binary.LittleEndian.Uint32(b[12:16])),
+	}
+	if h.Flags&^byte(flagAll) != 0 {
+		return Header{}, fmt.Errorf("wire: unknown flag bits 0x%02x", h.Flags)
+	}
+	if h.NameLen == 0 {
+		return Header{}, fmt.Errorf("wire: empty stream name")
+	}
+	if h.Dim == 0 || h.Dim > MaxDim {
+		return Header{}, fmt.Errorf("wire: dim %d out of range [1,%d]", h.Dim, MaxDim)
+	}
+	if h.Count == 0 || h.Count > MaxCount {
+		return Header{}, fmt.Errorf("wire: count %d out of range [1,%d]", h.Count, MaxCount)
+	}
+	if want := h.sectionBytes(); h.BodyLen != want {
+		return Header{}, fmt.Errorf("wire: body length %d, sections need %d", h.BodyLen, want)
+	}
+	return h, nil
+}
+
+// sectionBytes is the exact body size the header implies. Count and Dim
+// are bounded by MaxCount/MaxDim, so the product cannot overflow int64 —
+// and stays well under any int32 platform limit via the int cast check in
+// ParseHeader (BodyLen itself is a uint32).
+func (h Header) sectionBytes() int {
+	n := h.NameLen
+	if h.Flags&FlagIndices != 0 {
+		n += h.Count * 8
+	}
+	if h.Flags&FlagLabels != 0 {
+		n += h.Count * 4
+	}
+	if h.Flags&FlagWeights != 0 {
+		n += h.Count * 8
+	}
+	n += h.Count * h.Dim * 8
+	return n
+}
+
+// DecodeBody parses a frame body of exactly h.BodyLen bytes into f,
+// reusing f's slices. f.Name aliases body. It never reads outside body.
+func (h Header) DecodeBody(body []byte, f *Frame) error {
+	if len(body) != h.BodyLen {
+		return fmt.Errorf("wire: body is %d bytes, header declared %d", len(body), h.BodyLen)
+	}
+	f.Name = body[:h.NameLen]
+	f.Dim = h.Dim
+	f.Count = h.Count
+	off := h.NameLen
+
+	if h.Flags&FlagIndices != 0 {
+		f.Indices = growU64(f.Indices, h.Count)
+		for i := range f.Indices {
+			f.Indices[i] = binary.LittleEndian.Uint64(body[off:])
+			off += 8
+		}
+	} else {
+		f.Indices = nil
+	}
+	if h.Flags&FlagLabels != 0 {
+		f.Labels = growI32(f.Labels, h.Count)
+		for i := range f.Labels {
+			f.Labels[i] = int32(binary.LittleEndian.Uint32(body[off:]))
+			off += 4
+		}
+	} else {
+		f.Labels = nil
+	}
+	if h.Flags&FlagWeights != 0 {
+		f.Weights = growF64(f.Weights, h.Count)
+		for i := range f.Weights {
+			f.Weights[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[off:]))
+			off += 8
+		}
+	} else {
+		f.Weights = nil
+	}
+	f.Values = growF64(f.Values, h.Count*h.Dim)
+	for i := range f.Values {
+		f.Values[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[off:]))
+		off += 8
+	}
+	return nil
+}
+
+// DecodeFrame parses one whole frame (header + body) from the front of
+// buf into f and returns the remaining bytes. It is the in-memory
+// convenience the fuzzer and tests drive; the connection loop uses
+// ParseHeader + DecodeBody so it can size the body read first.
+func DecodeFrame(buf []byte, f *Frame) (rest []byte, err error) {
+	h, err := ParseHeader(buf)
+	if err != nil {
+		return buf, err
+	}
+	if len(buf)-HeaderLen < h.BodyLen {
+		return buf, fmt.Errorf("wire: frame truncated: body has %d of %d bytes",
+			len(buf)-HeaderLen, h.BodyLen)
+	}
+	if err := h.DecodeBody(buf[HeaderLen:HeaderLen+h.BodyLen], f); err != nil {
+		return buf, err
+	}
+	return buf[HeaderLen+h.BodyLen:], nil
+}
+
+// AppendFrame validates f and appends its encoded form to dst, returning
+// the extended slice. The encoder is the client side's hot path; it only
+// allocates when dst must grow.
+func AppendFrame(dst []byte, name string, f *Frame) ([]byte, error) {
+	if len(name) == 0 || len(name) > 255 {
+		return dst, fmt.Errorf("wire: stream name length %d out of range [1,255]", len(name))
+	}
+	if f.Dim <= 0 || f.Dim > MaxDim {
+		return dst, fmt.Errorf("wire: dim %d out of range [1,%d]", f.Dim, MaxDim)
+	}
+	if f.Count <= 0 || f.Count > MaxCount {
+		return dst, fmt.Errorf("wire: count %d out of range [1,%d]", f.Count, MaxCount)
+	}
+	if len(f.Values) != f.Count*f.Dim {
+		return dst, fmt.Errorf("wire: %d values, count %d × dim %d needs %d",
+			len(f.Values), f.Count, f.Dim, f.Count*f.Dim)
+	}
+	var flags byte
+	if f.Indices != nil {
+		if len(f.Indices) != f.Count {
+			return dst, fmt.Errorf("wire: %d indices for %d points", len(f.Indices), f.Count)
+		}
+		flags |= FlagIndices
+	}
+	if f.Labels != nil {
+		if len(f.Labels) != f.Count {
+			return dst, fmt.Errorf("wire: %d labels for %d points", len(f.Labels), f.Count)
+		}
+		flags |= FlagLabels
+	}
+	if f.Weights != nil {
+		if len(f.Weights) != f.Count {
+			return dst, fmt.Errorf("wire: %d weights for %d points", len(f.Weights), f.Count)
+		}
+		flags |= FlagWeights
+	}
+	h := Header{Flags: flags, NameLen: len(name), Dim: f.Dim, Count: f.Count}
+	h.BodyLen = h.sectionBytes()
+
+	dst = binary.LittleEndian.AppendUint32(dst, Magic)
+	dst = append(dst, flags, byte(len(name)))
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(f.Dim))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(f.Count))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(h.BodyLen))
+	dst = append(dst, name...)
+	for _, v := range f.Indices {
+		dst = binary.LittleEndian.AppendUint64(dst, v)
+	}
+	for _, v := range f.Labels {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(v))
+	}
+	for _, v := range f.Weights {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	for _, v := range f.Values {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst, nil
+}
+
+// Reply is the server's answer to one frame.
+type Reply struct {
+	// Status is StatusOK, StatusBackpressure or StatusError.
+	Status byte
+	// RetryMS is the backpressure retry hint in milliseconds.
+	RetryMS uint16
+	// Pending is the stream's accepted-but-unapplied point count after
+	// this frame, saturated at MaxUint32.
+	Pending uint32
+	// Msg is the error message (StatusError only, truncated to 255 bytes).
+	Msg string
+}
+
+// Ack builds an OK reply carrying the stream's pending point count.
+func Ack(pending int64) Reply {
+	if pending < 0 {
+		pending = 0
+	}
+	if pending > math.MaxUint32 {
+		pending = math.MaxUint32
+	}
+	return Reply{Status: StatusOK, Pending: uint32(pending)}
+}
+
+// Nack builds a backpressure reply with a retry hint.
+func Nack(retryMS uint16) Reply { return Reply{Status: StatusBackpressure, RetryMS: retryMS} }
+
+// Errorf builds an authoritative error reply.
+func Errorf(format string, args ...any) Reply {
+	return Reply{Status: StatusError, Msg: fmt.Sprintf(format, args...)}
+}
+
+// AppendReply appends r's encoded form to dst.
+func AppendReply(dst []byte, r Reply) []byte {
+	msg := r.Msg
+	if len(msg) > 255 {
+		msg = msg[:255]
+	}
+	dst = append(dst, r.Status, byte(len(msg)))
+	dst = binary.LittleEndian.AppendUint16(dst, r.RetryMS)
+	dst = binary.LittleEndian.AppendUint32(dst, r.Pending)
+	return append(dst, msg...)
+}
+
+// DecodeReply parses one reply from the front of buf and returns the
+// remaining bytes. A short buffer is an error; the transport reads the
+// fixed ReplyHeaderLen first, then msgLen more.
+func DecodeReply(buf []byte) (Reply, []byte, error) {
+	if len(buf) < ReplyHeaderLen {
+		return Reply{}, buf, fmt.Errorf("wire: short reply: %d bytes", len(buf))
+	}
+	r := Reply{
+		Status:  buf[0],
+		RetryMS: binary.LittleEndian.Uint16(buf[2:4]),
+		Pending: binary.LittleEndian.Uint32(buf[4:8]),
+	}
+	msgLen := int(buf[1])
+	if len(buf)-ReplyHeaderLen < msgLen {
+		return Reply{}, buf, fmt.Errorf("wire: reply message truncated: %d of %d bytes",
+			len(buf)-ReplyHeaderLen, msgLen)
+	}
+	r.Msg = string(buf[ReplyHeaderLen : ReplyHeaderLen+msgLen])
+	return r, buf[ReplyHeaderLen+msgLen:], nil
+}
+
+// growU64 returns s resized to n, reusing capacity.
+func growU64(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
+// growI32 returns s resized to n, reusing capacity.
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// growF64 returns s resized to n, reusing capacity.
+func growF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}

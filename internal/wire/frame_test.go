@@ -1,0 +1,347 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// testFrame builds a frame with n points of the given dim, optionally
+// carrying each section.
+func testFrame(n, dim int, indices, labels, weights bool) *Frame {
+	f := &Frame{Dim: dim, Count: n}
+	f.Values = make([]float64, n*dim)
+	for i := range f.Values {
+		f.Values[i] = float64(i) * 0.5
+	}
+	if indices {
+		f.Indices = make([]uint64, n)
+		for i := range f.Indices {
+			f.Indices[i] = uint64(i + 1)
+		}
+	}
+	if labels {
+		f.Labels = make([]int32, n)
+		for i := range f.Labels {
+			f.Labels[i] = int32(i%3) - 1
+		}
+	}
+	if weights {
+		f.Weights = make([]float64, n)
+		for i := range f.Weights {
+			f.Weights[i] = 1 + float64(i)/10
+		}
+	}
+	return f
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name                     string
+		indices, labels, weights bool
+	}{
+		{"values-only", false, false, false},
+		{"indices", true, false, false},
+		{"labels", false, true, false},
+		{"weights", false, false, true},
+		{"all", true, true, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			want := testFrame(7, 3, tc.indices, tc.labels, tc.weights)
+			buf, err := AppendFrame(nil, "sensor", want)
+			if err != nil {
+				t.Fatalf("AppendFrame: %v", err)
+			}
+			var got Frame
+			rest, err := DecodeFrame(buf, &got)
+			if err != nil {
+				t.Fatalf("DecodeFrame: %v", err)
+			}
+			if len(rest) != 0 {
+				t.Fatalf("DecodeFrame left %d bytes", len(rest))
+			}
+			if string(got.Name) != "sensor" {
+				t.Errorf("name = %q", got.Name)
+			}
+			if got.Dim != want.Dim || got.Count != want.Count {
+				t.Errorf("shape = (%d,%d), want (%d,%d)", got.Count, got.Dim, want.Count, want.Dim)
+			}
+			checkSlices(t, "indices", got.Indices, want.Indices)
+			checkSlices(t, "labels", got.Labels, want.Labels)
+			checkSlices(t, "weights", got.Weights, want.Weights)
+			checkSlices(t, "values", got.Values, want.Values)
+		})
+	}
+}
+
+func checkSlices[T comparable](t *testing.T, what string, got, want []T) {
+	t.Helper()
+	if (got == nil) != (want == nil) {
+		t.Fatalf("%s: got nil=%v, want nil=%v", what, got == nil, want == nil)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%s: len %d, want %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s[%d] = %v, want %v", what, i, got[i], want[i])
+		}
+	}
+}
+
+// TestFrameRoundTripBackToBack decodes two frames packed in one buffer,
+// the pipelining case the listener's buffered reader hits.
+func TestFrameRoundTripBackToBack(t *testing.T) {
+	a := testFrame(4, 2, false, true, false)
+	b := testFrame(9, 1, true, false, true)
+	buf, err := AppendFrame(nil, "a", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err = AppendFrame(buf, "bb", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f Frame
+	rest, err := DecodeFrame(buf, &f)
+	if err != nil {
+		t.Fatalf("first frame: %v", err)
+	}
+	if string(f.Name) != "a" || f.Count != 4 {
+		t.Fatalf("first frame = %q/%d", f.Name, f.Count)
+	}
+	rest, err = DecodeFrame(rest, &f)
+	if err != nil {
+		t.Fatalf("second frame: %v", err)
+	}
+	if string(f.Name) != "bb" || f.Count != 9 || len(rest) != 0 {
+		t.Fatalf("second frame = %q/%d, %d bytes left", f.Name, f.Count, len(rest))
+	}
+}
+
+// TestDecodeReuseShrinks proves a large decode followed by a small one
+// leaves no stale tail: section slices are resized per frame.
+func TestDecodeReuseShrinks(t *testing.T) {
+	big, _ := AppendFrame(nil, "s", testFrame(100, 4, true, true, true))
+	small, _ := AppendFrame(nil, "s", testFrame(2, 1, false, false, false))
+	var f Frame
+	if _, err := DecodeFrame(big, &f); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeFrame(small, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Count != 2 || f.Dim != 1 || len(f.Values) != 2 {
+		t.Fatalf("small decode shape = count %d dim %d values %d", f.Count, f.Dim, len(f.Values))
+	}
+	if f.Indices != nil || f.Labels != nil || f.Weights != nil {
+		t.Fatalf("optional sections not cleared: %v %v %v", f.Indices, f.Labels, f.Weights)
+	}
+}
+
+func TestParseHeaderRejects(t *testing.T) {
+	good, err := AppendFrame(nil, "s", testFrame(2, 2, false, false, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(mut func(h []byte)) []byte {
+		b := append([]byte(nil), good...)
+		mut(b)
+		return b
+	}
+	cases := []struct {
+		name string
+		buf  []byte
+		want string
+	}{
+		{"short", good[:HeaderLen-1], "short header"},
+		{"magic", mutate(func(b []byte) { b[0] = 'X' }), "bad magic"},
+		{"flags", mutate(func(b []byte) { b[4] = 0x80 }), "unknown flag"},
+		{"empty-name", mutate(func(b []byte) { b[5] = 0 }), "empty stream name"},
+		{"zero-dim", mutate(func(b []byte) { binary.LittleEndian.PutUint16(b[6:8], 0) }), "dim 0 out of range"},
+		{"zero-count", mutate(func(b []byte) { binary.LittleEndian.PutUint32(b[8:12], 0) }), "count 0 out of range"},
+		{"count-over-limit", mutate(func(b []byte) { binary.LittleEndian.PutUint32(b[8:12], MaxCount+1) }), "out of range"},
+		{"body-mismatch", mutate(func(b []byte) { binary.LittleEndian.PutUint32(b[12:16], 7) }), "sections need"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseHeader(tc.buf); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("ParseHeader error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDecodeFrameTruncated(t *testing.T) {
+	buf, err := AppendFrame(nil, "s", testFrame(3, 2, true, false, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f Frame
+	for cut := HeaderLen; cut < len(buf); cut += 7 {
+		if _, err := DecodeFrame(buf[:cut], &f); err == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded successfully", cut, len(buf))
+		}
+	}
+}
+
+func TestAppendFrameValidates(t *testing.T) {
+	ok := testFrame(2, 2, false, false, false)
+	cases := []struct {
+		name string
+		mut  func(f *Frame) (string, *Frame)
+	}{
+		{"empty-name", func(f *Frame) (string, *Frame) { return "", f }},
+		{"long-name", func(f *Frame) (string, *Frame) { return strings.Repeat("n", 256), f }},
+		{"zero-dim", func(f *Frame) (string, *Frame) { f.Dim = 0; return "s", f }},
+		{"zero-count", func(f *Frame) (string, *Frame) { f.Count = 0; return "s", f }},
+		{"values-mismatch", func(f *Frame) (string, *Frame) { f.Values = f.Values[:3]; return "s", f }},
+		{"indices-mismatch", func(f *Frame) (string, *Frame) { f.Indices = []uint64{1}; return "s", f }},
+		{"labels-mismatch", func(f *Frame) (string, *Frame) { f.Labels = []int32{0}; return "s", f }},
+		{"weights-mismatch", func(f *Frame) (string, *Frame) { f.Weights = []float64{1}; return "s", f }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cp := *ok
+			cp.Values = append([]float64(nil), ok.Values...)
+			name, f := tc.mut(&cp)
+			if _, err := AppendFrame(nil, name, f); err == nil {
+				t.Fatal("AppendFrame accepted an invalid frame")
+			}
+		})
+	}
+}
+
+func TestReplyRoundTrip(t *testing.T) {
+	for _, want := range []Reply{
+		Ack(0),
+		Ack(123456),
+		Ack(-5),      // clamped to 0
+		Ack(1 << 40), // saturated at MaxUint32
+		Nack(1000),
+		Errorf("stream %q not found", "x"),
+		{Status: StatusError, Msg: strings.Repeat("m", 400)}, // truncated to 255
+	} {
+		buf := AppendReply(nil, want)
+		got, rest, err := DecodeReply(buf)
+		if err != nil {
+			t.Fatalf("DecodeReply(%+v): %v", want, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("DecodeReply left %d bytes", len(rest))
+		}
+		if got.Status != want.Status || got.RetryMS != want.RetryMS {
+			t.Fatalf("reply = %+v, want %+v", got, want)
+		}
+		if len(want.Msg) > 255 {
+			if got.Msg != want.Msg[:255] {
+				t.Fatalf("long message not truncated: %d bytes", len(got.Msg))
+			}
+		} else if got.Msg != want.Msg {
+			t.Fatalf("msg = %q, want %q", got.Msg, want.Msg)
+		}
+	}
+	if r := Ack(-5); r.Pending != 0 {
+		t.Fatalf("Ack(-5).Pending = %d", r.Pending)
+	}
+	if r := Ack(1 << 40); r.Pending != 1<<32-1 {
+		t.Fatalf("Ack(2^40).Pending = %d", r.Pending)
+	}
+}
+
+func TestDecodeReplyTruncated(t *testing.T) {
+	buf := AppendReply(nil, Errorf("boom"))
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := DecodeReply(buf[:cut]); err == nil {
+			t.Fatalf("reply truncated at %d decoded successfully", cut)
+		}
+	}
+}
+
+// TestDecodeFrameZeroAlloc is the steady-state guarantee: decoding into a
+// warm Frame allocates nothing.
+func TestDecodeFrameZeroAlloc(t *testing.T) {
+	buf, err := AppendFrame(nil, "sensor", testFrame(256, 4, true, true, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f Frame
+	if _, err := DecodeFrame(buf, &f); err != nil { // warm the slices
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := DecodeFrame(buf, &f); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state DecodeFrame allocates %.1f times per frame, want 0", allocs)
+	}
+}
+
+// BenchmarkWireDecodeFrame is the acceptance benchmark: 0 allocs/op on
+// the steady state, points/s for the decode alone.
+func BenchmarkWireDecodeFrame(b *testing.B) {
+	const points, dim = 256, 4
+	buf, err := AppendFrame(nil, "sensor", testFrame(points, dim, false, true, false))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var f Frame
+	if _, err := DecodeFrame(buf, &f); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeFrame(buf, &f); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(points)*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+}
+
+// BenchmarkWireEncodeFrame measures the client-side encode into a reused
+// buffer.
+func BenchmarkWireEncodeFrame(b *testing.B) {
+	const points, dim = 256, 4
+	f := testFrame(points, dim, false, true, false)
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = AppendFrame(buf[:0], "sensor", f)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(points)*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+}
+
+// TestEncodedLayout pins the exact byte layout so the format cannot
+// drift silently: a one-point frame is compared field by field.
+func TestEncodedLayout(t *testing.T) {
+	f := &Frame{Dim: 2, Count: 1, Values: []float64{1, 2}, Indices: []uint64{7}}
+	buf, err := AppendFrame(nil, "ab", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{
+		0x42, 0x52, 0x57, 0x31, // "BRW1"
+		FlagIndices,
+		2,    // nameLen
+		2, 0, // dim
+		1, 0, 0, 0, // count
+		26, 0, 0, 0, // bodyLen = 2 name + 8 index + 16 values
+		'a', 'b',
+		7, 0, 0, 0, 0, 0, 0, 0, // index
+		0, 0, 0, 0, 0, 0, 0xf0, 0x3f, // 1.0
+		0, 0, 0, 0, 0, 0, 0x00, 0x40, // 2.0
+	}
+	if !bytes.Equal(buf, want) {
+		t.Fatalf("layout drifted:\n got %x\nwant %x", buf, want)
+	}
+}
