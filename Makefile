@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt linkcheck bench bench-query bench-federation bench-wire bench-smoke fuzz-smoke test-durable test-federation ci
+.PHONY: all build test race vet fmt linkcheck flagcheck bench bench-query bench-federation bench-wire bench-tiers bench-smoke fuzz-smoke test-durable test-federation ci
 
 all: build
 
@@ -25,6 +25,11 @@ fmt:
 linkcheck:
 	$(GO) run ./cmd/linkcheck
 
+# flagcheck cross-references every cmd/reservoird flag against the flag
+# table in docs/OPERATIONS.md — docs-freshness as a CI gate.
+flagcheck:
+	$(GO) run ./cmd/flagcheck
+
 # bench regenerates BENCH_ingest.json with the ingest throughput harness.
 bench:
 	$(GO) run ./cmd/benchingest
@@ -44,12 +49,18 @@ bench-federation:
 bench-wire:
 	$(GO) run ./cmd/benchingest -suite wire
 
+# bench-tiers regenerates BENCH_tiers.json: GET /range p50/p99 against
+# multi-horizon ladder depth (1, 2 and 4 tiers).
+bench-tiers:
+	$(GO) run ./cmd/benchingest -suite tiers
+
 # bench-smoke runs every query, federation and wire benchmark once so CI
 # catches bit-rot in the harnesses without paying for full measurement runs.
 bench-smoke:
 	$(GO) test -run '^$$' -bench '^BenchmarkQuery' -benchtime 1x ./internal/query
 	$(GO) test -run '^$$' -bench '^BenchmarkFed' -benchtime 1x ./internal/federation
 	$(GO) test -run '^$$' -bench '^BenchmarkWire' -benchtime 1x ./internal/server ./internal/wire
+	$(GO) test -run '^$$' -bench '^BenchmarkTiers' -benchtime 1x ./internal/server
 
 # fuzz-smoke runs the wire-frame decoder fuzzer briefly: long enough to
 # exercise the mutation engine over the checked-in corpus, short enough
@@ -70,4 +81,4 @@ test-durable:
 test-federation:
 	$(GO) test -race -count=1 ./internal/federation/
 
-ci: fmt build vet linkcheck test race bench-smoke fuzz-smoke test-durable test-federation
+ci: fmt build vet linkcheck flagcheck test race bench-smoke fuzz-smoke test-durable test-federation

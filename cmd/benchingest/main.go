@@ -19,6 +19,7 @@
 //	go run ./cmd/benchingest -suite query        # writes BENCH_query.json
 //	go run ./cmd/benchingest -suite federation   # writes BENCH_federation.json
 //	go run ./cmd/benchingest -suite wire         # writes BENCH_wire.json
+//	go run ./cmd/benchingest -suite tiers        # writes BENCH_tiers.json
 //	go run ./cmd/benchingest -o out.json -benchtime 2s
 //
 // The federation suite runs the multi-node scatter-gather harness
@@ -93,6 +94,15 @@ type FedLatency struct {
 	P99Ns float64 `json:"p99_ns"`
 }
 
+// TierLatency is one row of the tiered range-query latency table:
+// GET /range p50/p99 at a given ladder depth (tiers=1 is the plain
+// single-reservoir baseline).
+type TierLatency struct {
+	Tiers int     `json:"tiers"`
+	P50Ns float64 `json:"p50_ns"`
+	P99Ns float64 `json:"p99_ns"`
+}
+
 // WireVsHTTP compares binary-TCP against JSON-over-HTTP ingest from the
 // wire suite: same server, same loopback TCP, same 256-point batches.
 type WireVsHTTP struct {
@@ -120,11 +130,12 @@ type Report struct {
 	UnderIngest *UnderIngest   `json:"query_under_ingest,omitempty"`
 	FedLatency  []FedLatency   `json:"federated_query_latency,omitempty"`
 	Wire        *WireVsHTTP    `json:"wire_vs_http,omitempty"`
+	TierLatency []TierLatency  `json:"tiered_range_latency,omitempty"`
 }
 
 func main() {
 	var (
-		suite     = flag.String("suite", "ingest", `benchmark suite: "ingest", "query", "federation" or "wire"`)
+		suite     = flag.String("suite", "ingest", `benchmark suite: "ingest", "query", "federation", "wire" or "tiers"`)
 		out       = flag.String("o", "", "output file (default BENCH_<suite>.json)")
 		benchtime = flag.String("benchtime", "1s", "go test -benchtime value")
 		count     = flag.Int("count", 1, "go test -count value")
@@ -152,8 +163,10 @@ func run(suite, out, benchtime string, count int) error {
 		pattern, pkgs = "^BenchmarkFed", []string{"./internal/federation"}
 	case "wire":
 		pattern, pkgs = "^BenchmarkWire", []string{"./internal/server", "./internal/wire"}
+	case "tiers":
+		pattern, pkgs = "^BenchmarkTiers", []string{"./internal/server"}
 	default:
-		return fmt.Errorf("unknown suite %q (want ingest, query, federation or wire)", suite)
+		return fmt.Errorf("unknown suite %q (want ingest, query, federation, wire or tiers)", suite)
 	}
 	args := append([]string{"test", "-run", "^$", "-bench", pattern, "-benchmem",
 		"-benchtime", benchtime, "-count", strconv.Itoa(count)}, pkgs...)
@@ -193,6 +206,8 @@ func run(suite, out, benchtime string, count int) error {
 		report.FedLatency = fedLatency(report.Benchmarks)
 	case "wire":
 		report.Wire = wireVsHTTP(report.Benchmarks)
+	case "tiers":
+		report.TierLatency = tierLatency(report.Benchmarks)
 	}
 
 	blob, err := json.MarshalIndent(report, "", "  ")
@@ -221,6 +236,10 @@ func run(suite, out, benchtime string, count int) error {
 	if wv := report.Wire; wv != nil {
 		fmt.Fprintf(os.Stderr, "  wire batch=%d: binary %.3g points/s vs JSON-HTTP %.3g points/s = %.2fx (decode %.0f allocs/op)\n",
 			wv.Batch, wv.BinaryPointsSec, wv.HTTPJSONPointsSec, wv.Speedup, wv.DecodeAllocsPerOp)
+	}
+	for _, tl := range report.TierLatency {
+		fmt.Fprintf(os.Stderr, "  range query, %d tier(s): p50 %.0fns, p99 %.0fns\n",
+			tl.Tiers, tl.P50Ns, tl.P99Ns)
 	}
 	return nil
 }
@@ -384,6 +403,20 @@ func fusedSpeedups(results []Result) []FusedSpeedup {
 		out = append(out, FusedSpeedup{Case: c, LegacyNs: l, FusedNs: f, Speedup: l / f})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Case < out[j].Case })
+	return out
+}
+
+// tierLatency extracts the BenchmarkTiersRange/tiers=N p50/p99 rows.
+func tierLatency(results []Result) []TierLatency {
+	var out []TierLatency
+	for _, r := range results {
+		var tiers int
+		if _, err := fmt.Sscanf(r.Name, "BenchmarkTiersRange/tiers=%d", &tiers); err != nil {
+			continue
+		}
+		out = append(out, TierLatency{Tiers: tiers, P50Ns: r.P50Ns, P99Ns: r.P99Ns})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tiers < out[j].Tiers })
 	return out
 }
 

@@ -1,0 +1,129 @@
+// Command flagcheck is the docs-freshness gate for the daemon's flag
+// reference, wired into `make ci`. It extracts every flag cmd/reservoird
+// defines (by scanning its source for flag.String/Int/... registrations)
+// and every flag documented in docs/OPERATIONS.md (table rows whose first
+// cell is a single `-flag` code span), then fails in both directions:
+//
+//   - a defined flag missing from the docs (the table drifted behind the
+//     binary), and
+//
+//   - a documented flag the binary no longer defines (the table describes
+//     a ghost).
+//
+//     go run ./cmd/flagcheck                      # repo-root defaults
+//     go run ./cmd/flagcheck -src cmd/reservoird -doc docs/OPERATIONS.md
+//
+// Exit status is non-zero on any drift, one line per offending flag.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// defRe matches a flag registration in Go source: flag.String("name", ...,
+// including the typed variants (Int, Bool, Duration, ...). Only the name
+// matters here.
+var defRe = regexp.MustCompile(`flag\.[A-Z]\w*\(\s*"([^"]+)"`)
+
+// docRe matches a Markdown flag-table row whose first cell is exactly one
+// `-flag` code span: "| `-addr` | ... |".
+var docRe = regexp.MustCompile("^\\|\\s*`-([A-Za-z0-9][-A-Za-z0-9]*)`\\s*\\|")
+
+func main() {
+	src := flag.String("src", "cmd/reservoird", "directory holding the daemon's Go source")
+	doc := flag.String("doc", "docs/OPERATIONS.md", "operations manual with the flag tables")
+	flag.Parse()
+
+	defined, err := definedFlags(*src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flagcheck:", err)
+		os.Exit(2)
+	}
+	if len(defined) == 0 {
+		fmt.Fprintf(os.Stderr, "flagcheck: no flag definitions found under %s\n", *src)
+		os.Exit(2)
+	}
+	documented, err := documentedFlags(*doc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flagcheck:", err)
+		os.Exit(2)
+	}
+
+	drift := 0
+	for _, name := range sorted(defined) {
+		if !documented[name] {
+			fmt.Fprintf(os.Stderr, "flagcheck: -%s is defined in %s but has no row in %s\n",
+				name, *src, *doc)
+			drift++
+		}
+	}
+	for _, name := range sorted(documented) {
+		if !defined[name] {
+			fmt.Fprintf(os.Stderr, "flagcheck: -%s has a row in %s but is not defined in %s\n",
+				name, *doc, *src)
+			drift++
+		}
+	}
+	if drift > 0 {
+		fmt.Fprintf(os.Stderr, "flagcheck: %d flag(s) out of sync between %s and %s\n",
+			drift, *src, *doc)
+		os.Exit(1)
+	}
+	fmt.Printf("flagcheck: %d flags OK (%s ↔ %s)\n", len(defined), *src, *doc)
+}
+
+// definedFlags scans every non-test .go file under dir for flag
+// registrations.
+func definedFlags(dir string) (map[string]bool, error) {
+	out := make(map[string]bool)
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range defRe.FindAllStringSubmatch(string(blob), -1) {
+			out[m[1]] = true
+		}
+		return nil
+	})
+	return out, err
+}
+
+// documentedFlags collects the flag names that head a table row in the
+// Markdown file. Prose mentions (`-addr` mid-sentence) are deliberately
+// ignored: the contract is a table row per flag.
+func documentedFlags(path string) (map[string]bool, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]bool)
+	for _, line := range strings.Split(string(blob), "\n") {
+		if m := docRe.FindStringSubmatch(line); m != nil {
+			out[m[1]] = true
+		}
+	}
+	return out, nil
+}
+
+func sorted(set map[string]bool) []string {
+	names := make([]string, 0, len(set))
+	for name := range set {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

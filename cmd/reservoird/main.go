@@ -8,6 +8,7 @@
 //	reservoird -addr :8080 -seed 42 [-log-format text|json] [-log-level info] [-pprof :6060]
 //	           [-ingest-workers 4 -ingest-queue 64] [-wire-addr :8081]
 //	           [-data-dir /var/lib/reservoird -checkpoint-interval 10s]
+//	           [-retention-floor 1e-6 -retention-interval 30s]
 //	reservoird -federate -peers http://n1:8080,http://n2:8080 [-addr :8080]
 //	           [-fed-peer-timeout 2s -fed-hedge-delay 250ms]
 //	           [-fed-health-interval 1s -fed-rise 2 -fed-fall 2]
@@ -39,6 +40,15 @@
 //	checkpointer; -journal-sync-interval is the fsync coalescing window
 //	that bounds data loss after a hard kill. Without -data-dir the
 //	daemon is memory-only, as before. See docs/OPERATIONS.md §8.
+//
+// Retention:
+//
+//	With -retention-floor p > 0 a background sweep removes reservoir
+//	residents whose inclusion probability decayed below p (bounding the
+//	largest Horvitz–Thompson weight at 1/p) every -retention-interval.
+//	Tiers of multi-horizon streams whose points have fully decayed are
+//	emptied and counted in biasedres_tier_drops_total; with -data-dir the
+//	compacted state is re-checkpointed immediately. See docs/OPERATIONS.md.
 //
 // Federation:
 //
@@ -115,6 +125,10 @@ func main() {
 			"journal fsync coalescing window; bounds data loss after a hard kill")
 		maxBody = flag.Int64("max-body-bytes", 8<<20,
 			"maximum request body size in bytes; larger ingest/restore bodies get 413")
+		retFloor = flag.Float64("retention-floor", 0,
+			"drop reservoir residents whose inclusion probability decayed below this floor (0 = retention disabled)")
+		retInterval = flag.Duration("retention-interval", 30*time.Second,
+			"retention sweep period (used when -retention-floor > 0)")
 		federate = flag.Bool("federate", false,
 			"run as a federation coordinator over -peers instead of a data node")
 		peers = flag.String("peers", "",
@@ -174,6 +188,14 @@ func main() {
 		handler, closeAPI = co, co.Close
 	} else {
 		opts := []server.Option{server.WithLogger(logger), server.WithMaxBodyBytes(*maxBody)}
+		if *retFloor < 0 || *retFloor >= 1 {
+			fmt.Fprintln(os.Stderr, "reservoird: -retention-floor must be in [0, 1)")
+			os.Exit(2)
+		}
+		if *retFloor > 0 {
+			opts = append(opts, server.WithRetention(*retFloor, *retInterval))
+			logger.Info("retention enabled", "floor", *retFloor, "interval", *retInterval)
+		}
 		if *workers > 0 {
 			opts = append(opts, server.WithIngestShards(*workers, *queue))
 			logger.Info("sharded ingest enabled", "workers", *workers, "queue", *queue)

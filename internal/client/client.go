@@ -147,12 +147,17 @@ func (c *Client) doCtx(ctx context.Context, method, path string, body, out any) 
 	return nil
 }
 
-// StreamConfig mirrors the service's create request.
+// StreamConfig mirrors the service's create request. Tiers > 1 asks for a
+// multi-horizon ladder: that many reservoirs at geometrically-spaced λ
+// (consecutive tiers TierRatio apart, default 8), each holding Capacity
+// points, with horizon-carrying queries routed to the best-covering tier.
 type StreamConfig struct {
-	Policy   string  `json:"policy,omitempty"`
-	Lambda   float64 `json:"lambda,omitempty"`
-	Capacity int     `json:"capacity,omitempty"`
-	Window   uint64  `json:"window,omitempty"`
+	Policy    string  `json:"policy,omitempty"`
+	Lambda    float64 `json:"lambda,omitempty"`
+	Capacity  int     `json:"capacity,omitempty"`
+	Window    uint64  `json:"window,omitempty"`
+	Tiers     int     `json:"tiers,omitempty"`
+	TierRatio float64 `json:"tier_ratio,omitempty"`
 }
 
 // CreateStream registers a new named stream.
@@ -309,6 +314,69 @@ func (c *Client) Quantile(name string, h uint64, dim int, q float64) (float64, e
 		return 0, err
 	}
 	return out.Quantile, nil
+}
+
+// RangeBucket is one grouping interval of a Range response: Horvitz–
+// Thompson estimates of how many points arrived in [Start, End) and their
+// per-dimension sums/means, with the Lemma-4.1 variance of the count.
+type RangeBucket struct {
+	Start    uint64    `json:"start"`
+	End      uint64    `json:"end"`
+	Count    float64   `json:"count"`
+	Variance float64   `json:"variance"`
+	Sums     []float64 `json:"sums,omitempty"`
+	Mean     []float64 `json:"mean,omitempty"`
+}
+
+// RangeTier identifies the reservoir tier that served a Range call on a
+// tiered stream.
+type RangeTier struct {
+	Index   int     `json:"index"`
+	Lambda  float64 `json:"lambda"`
+	Horizon float64 `json:"horizon"`
+}
+
+// RangeResult is the GET /streams/{name}/range response: the arrival-index
+// range actually served, the auto-selected bucket width, and one bucket per
+// granularity step (empty buckets included).
+type RangeResult struct {
+	T           uint64        `json:"t"`
+	Start       uint64        `json:"start"`
+	End         uint64        `json:"end"`
+	Granularity uint64        `json:"granularity"`
+	Tier        *RangeTier    `json:"tier,omitempty"`
+	Buckets     []RangeBucket `json:"buckets"`
+}
+
+// Range fetches bucketed estimates over the arrival-index range
+// [start, end). end == 0 means "through the newest point"; maxPoints == 0
+// accepts the server default budget (200 buckets). The server picks the
+// bucket width from the span and the budget.
+func (c *Client) Range(name string, start, end uint64, maxPoints int) (*RangeResult, error) {
+	return c.RangeContext(context.Background(), name, start, end, maxPoints)
+}
+
+// RangeContext is Range bounded by ctx.
+func (c *Client) RangeContext(ctx context.Context, name string, start, end uint64, maxPoints int) (*RangeResult, error) {
+	params := url.Values{}
+	if start > 0 {
+		params.Set("start", strconv.FormatUint(start, 10))
+	}
+	if end > 0 {
+		params.Set("end", strconv.FormatUint(end, 10))
+	}
+	if maxPoints > 0 {
+		params.Set("max_points", strconv.Itoa(maxPoints))
+	}
+	var out RangeResult
+	path := "/streams/" + url.PathEscape(name) + "/range"
+	if enc := params.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	if err := c.doCtx(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // Metrics fetches the service's GET /metrics endpoint: the Prometheus

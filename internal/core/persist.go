@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"math"
 
 	"biasedres/internal/stream"
 	"biasedres/internal/xrand"
@@ -28,6 +29,7 @@ const (
 	kindWindow
 	kindTimeDecay
 	kindZ
+	kindTiered
 )
 
 func marshalState(kind byte, state any) ([]byte, error) {
@@ -300,6 +302,69 @@ func (w *WindowReservoir) UnmarshalBinary(data []byte) error {
 		w.slots[i] = windowChain{chain: s.Chain, next: s.Next}
 	}
 	w.ver++
+	return nil
+}
+
+type tieredState struct {
+	Ratio     float64
+	Lambdas   []float64
+	Compacted []uint64
+	Drops     []uint64
+	Tiers     [][]byte
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler: the ladder shape plus
+// each tier's own complete snapshot (including its RNG), so a restored
+// ladder resumes identically on every tier.
+func (tr *TieredReservoir) MarshalBinary() ([]byte, error) {
+	st := tieredState{
+		Ratio:     tr.ratio,
+		Lambdas:   tr.lambdas,
+		Compacted: make([]uint64, len(tr.tiers)),
+		Drops:     make([]uint64, len(tr.tiers)),
+		Tiers:     make([][]byte, len(tr.tiers)),
+	}
+	for i, t := range tr.tiers {
+		blob, err := t.s.MarshalBinary()
+		if err != nil {
+			return nil, fmt.Errorf("core: marshaling tier %d: %w", i, err)
+		}
+		st.Tiers[i] = blob
+		st.Compacted[i] = t.compacted
+		st.Drops[i] = t.drops
+	}
+	return marshalState(kindTiered, st)
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. The receiver must
+// have been constructed with the same tier count and λ ladder the snapshot
+// was taken with; each tier blob is restored into the corresponding
+// factory-built tier, which enforces its own kind tag.
+func (tr *TieredReservoir) UnmarshalBinary(data []byte) error {
+	var st tieredState
+	if err := unmarshalState(kindTiered, data, &st); err != nil {
+		return err
+	}
+	if len(st.Tiers) != len(tr.tiers) {
+		return fmt.Errorf("core: snapshot has %d tiers, sampler has %d", len(st.Tiers), len(tr.tiers))
+	}
+	if len(st.Lambdas) != len(tr.lambdas) || len(st.Compacted) != len(tr.tiers) || len(st.Drops) != len(tr.tiers) {
+		return fmt.Errorf("core: corrupt tiered snapshot: mismatched section lengths")
+	}
+	for i, l := range st.Lambdas {
+		if math.Abs(l-tr.lambdas[i]) > 1e-12*tr.lambdas[i] {
+			return fmt.Errorf("core: snapshot tier %d has λ=%v, sampler has λ=%v", i, l, tr.lambdas[i])
+		}
+	}
+	for i, blob := range st.Tiers {
+		if err := tr.tiers[i].s.UnmarshalBinary(blob); err != nil {
+			return fmt.Errorf("core: restoring tier %d: %w", i, err)
+		}
+		tr.tiers[i].compacted = st.Compacted[i]
+		tr.tiers[i].drops = st.Drops[i]
+	}
+	tr.ratio = st.Ratio
+	tr.mutated()
 	return nil
 }
 

@@ -1,0 +1,346 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"biasedres/internal/stream"
+	"biasedres/internal/xrand"
+)
+
+func variableTierFactory(nmax int) func(i int, lambda float64, rng *xrand.Source) (PersistentSampler, error) {
+	return func(i int, lambda float64, rng *xrand.Source) (PersistentSampler, error) {
+		return NewVariableReservoir(lambda, nmax, rng)
+	}
+}
+
+func newTestLadder(t *testing.T, lambda, ratio float64, tiers, nmax int, seed uint64) *TieredReservoir {
+	t.Helper()
+	tr, err := NewTieredReservoir(lambda, ratio, tiers, xrand.New(seed), variableTierFactory(nmax))
+	if err != nil {
+		t.Fatalf("NewTieredReservoir: %v", err)
+	}
+	return tr
+}
+
+func TestTieredConstruction(t *testing.T) {
+	tr := newTestLadder(t, 0.01, 8, 4, 64, 1)
+	if tr.NumTiers() != 4 {
+		t.Fatalf("NumTiers = %d, want 4", tr.NumTiers())
+	}
+	for i := 0; i < 4; i++ {
+		want := 0.01 / math.Pow(8, float64(i))
+		if math.Abs(tr.TierLambda(i)-want) > 1e-15 {
+			t.Errorf("tier %d λ = %v, want %v", i, tr.TierLambda(i), want)
+		}
+		if got := tr.TierHorizon(i); math.Abs(got-1/want) > 1e-6 {
+			t.Errorf("tier %d horizon = %v, want %v", i, got, 1/want)
+		}
+	}
+	if tr.Lambda() != 0.01 {
+		t.Errorf("Lambda = %v, want 0.01", tr.Lambda())
+	}
+	if tr.TotalCapacity() != 4*64 {
+		t.Errorf("TotalCapacity = %d, want %d", tr.TotalCapacity(), 4*64)
+	}
+
+	for _, bad := range []struct {
+		lambda, ratio float64
+		tiers         int
+	}{
+		{0, 8, 2}, {0.01, 1, 2}, {0.01, 0.5, 2}, {0.01, 8, 0},
+	} {
+		if _, err := NewTieredReservoir(bad.lambda, bad.ratio, bad.tiers, xrand.New(1), variableTierFactory(8)); err == nil {
+			t.Errorf("NewTieredReservoir(%v, %v, %d) accepted invalid config", bad.lambda, bad.ratio, bad.tiers)
+		}
+	}
+}
+
+// Every tier sees every arrival: the fan-out must keep all tiers at the same
+// stream position, and reads through the Sampler interface must match tier 0.
+func TestTieredFanOut(t *testing.T) {
+	tr := newTestLadder(t, 0.02, 4, 3, 32, 7)
+	pts := make([]stream.Point, 500)
+	for i := range pts {
+		pts[i] = stream.Point{Index: uint64(i + 1), Values: []float64{float64(i)}}
+	}
+	tr.AddBatch(pts[:300])
+	for _, p := range pts[300:] {
+		tr.Add(p)
+	}
+	for i := 0; i < tr.NumTiers(); i++ {
+		if got := tr.Tier(i).Processed(); got != 500 {
+			t.Errorf("tier %d processed %d, want 500", i, got)
+		}
+		if tr.Tier(i).Len() == 0 {
+			t.Errorf("tier %d is empty after 500 arrivals", i)
+		}
+	}
+	if tr.Processed() != tr.Tier(0).Processed() || tr.Len() != tr.Tier(0).Len() {
+		t.Errorf("Sampler reads do not delegate to tier 0")
+	}
+	if tr.TotalLen() < tr.Len() {
+		t.Errorf("TotalLen %d < tier-0 Len %d", tr.TotalLen(), tr.Len())
+	}
+}
+
+func TestTieredSelectTier(t *testing.T) {
+	// Horizons: 100, 800, 6400, 51200.
+	tr := newTestLadder(t, 0.01, 8, 4, 64, 3)
+	cases := []struct {
+		h    uint64
+		want int
+	}{
+		{1, 0}, {100, 0}, {101, 1}, {800, 1}, {801, 2},
+		{6400, 2}, {6401, 3}, {51200, 3},
+		{1 << 30, 3}, // beyond every horizon: deepest tier
+		{0, 3},       // whole stream: deepest tier
+	}
+	for _, c := range cases {
+		if got := tr.SelectTier(c.h); got != c.want {
+			t.Errorf("SelectTier(%d) = %d, want %d", c.h, got, c.want)
+		}
+	}
+}
+
+// The ladder's version must change on every mutation and the per-tier caches
+// must be invalidated, so stale snapshots are never served.
+func TestTieredCacheInvalidation(t *testing.T) {
+	tr := newTestLadder(t, 0.01, 8, 2, 32, 11)
+	build := func(i int) *Snapshot { return BuildSnapshot(tr.Tier(i)) }
+	s0 := tr.TierCache(0).Acquire(func() *Snapshot { return build(0) })
+	tr.Add(stream.Point{Index: 1, Values: []float64{1}})
+	s1 := tr.TierCache(0).Acquire(func() *Snapshot { return build(0) })
+	if s0 == s1 {
+		t.Fatalf("tier cache served a stale snapshot across a mutation")
+	}
+	if s1.T != 1 {
+		t.Fatalf("rebuilt snapshot at T=%d, want 1", s1.T)
+	}
+}
+
+func TestTieredCompactBelow(t *testing.T) {
+	// Constrained tiers with tiny p_in: after a long quiet stretch of
+	// arrivals, every tier-0 resident's inclusion probability decays below
+	// the floor and the tier must empty (a "drop").
+	factory := func(i int, lambda float64, rng *xrand.Source) (PersistentSampler, error) {
+		return NewConstrainedReservoir(lambda, 4, rng)
+	}
+	tr, err := NewTieredReservoir(0.05, 8, 2, xrand.New(5), factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := make([]stream.Point, 2000)
+	for i := range pts {
+		pts[i] = stream.Point{Index: uint64(i + 1), Values: []float64{1}}
+	}
+	tr.AddBatch(pts)
+	if tr.Tier(0).Len() == 0 {
+		t.Fatalf("tier 0 empty before compaction; cannot exercise drop")
+	}
+	// Floor above tier 0's p_in = 4·0.05 = 0.2: every tier-0 resident is
+	// below it regardless of age, so tier 0 must fully drop. Tier 1 has
+	// p_in = 0.025 < floor too, so it also empties.
+	removed := tr.CompactBelow(0.5)
+	if removed == 0 {
+		t.Fatalf("CompactBelow removed nothing")
+	}
+	if tr.Tier(0).Len() != 0 {
+		t.Errorf("tier 0 holds %d points above-floor after compaction", tr.Tier(0).Len())
+	}
+	st := tr.Stats(0)
+	if st.Compacted == 0 || st.Drops != 1 {
+		t.Errorf("tier 0 stats = %+v, want compacted > 0 and drops == 1", st)
+	}
+	// Compacting an empty tier is a no-op, not another drop.
+	if tr.CompactBelow(0.5) != 0 {
+		t.Errorf("second CompactBelow removed points from empty tiers")
+	}
+	if got := tr.Stats(0).Drops; got != 1 {
+		t.Errorf("drops = %d after no-op sweep, want 1", got)
+	}
+	// Floor <= 0 disables compaction.
+	tr.AddBatch(pts)
+	if tr.CompactBelow(0) != 0 {
+		t.Errorf("CompactBelow(0) removed points")
+	}
+}
+
+// CompactBelow on a single reservoir keeps exactly the residents at or above
+// the floor and leaves survivors' inclusion probabilities untouched.
+func TestCompactBelowKeepsAboveFloor(t *testing.T) {
+	b, err := NewConstrainedReservoir(0.01, 50, xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5000; i++ {
+		b.Add(stream.Point{Index: uint64(i), Values: []float64{1}})
+	}
+	floor := 0.5 * b.PIn()
+	wantKeep := 0
+	for _, p := range b.Points() {
+		if b.InclusionProb(p.Index) >= floor {
+			wantKeep++
+		}
+	}
+	removed := b.CompactBelow(floor)
+	if b.Len() != wantKeep {
+		t.Errorf("kept %d residents, want %d", b.Len(), wantKeep)
+	}
+	if removed == 0 {
+		t.Skip("seed produced no below-floor residents; widen the stream")
+	}
+	for _, p := range b.Points() {
+		if b.InclusionProb(p.Index) < floor {
+			t.Errorf("resident %d below floor survived compaction", p.Index)
+		}
+	}
+}
+
+func TestTimeDecayCompactBelow(t *testing.T) {
+	d, err := NewTimeDecayReservoir(0.1, 100, xrand.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 50; i++ {
+		if err := d.AddAt(stream.Point{Index: uint64(i), Values: []float64{1}}, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := d.Len()
+	if before == 0 {
+		t.Fatalf("empty reservoir; cannot test compaction")
+	}
+	// A floor above 1 exceeds every resident's p (probabilities cap at 1),
+	// so compaction must empty the reservoir.
+	removed := d.CompactBelow(1.01)
+	if removed != before || d.Len() != 0 {
+		t.Errorf("removed %d of %d, len now %d; want full drop", removed, before, d.Len())
+	}
+	// The reservoir stays consistent after compaction.
+	if err := d.AddAt(stream.Point{Index: 51, Values: []float64{1}}, 51); err != nil {
+		t.Fatalf("AddAt after compaction: %v", err)
+	}
+}
+
+func TestTieredAddAt(t *testing.T) {
+	timedFactory := func(i int, lambda float64, rng *xrand.Source) (PersistentSampler, error) {
+		return NewTimeDecayReservoir(lambda, 32, rng)
+	}
+	tr, err := NewTieredReservoir(0.1, 4, 2, xrand.New(17), timedFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Timed() {
+		t.Fatalf("time-decay ladder not Timed")
+	}
+	if err := tr.AddAt(stream.Point{Index: 1, Values: []float64{1}}, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.AddAt(stream.Point{Index: 2, Values: []float64{1}}, 5); err == nil {
+		t.Fatalf("out-of-order timestamp accepted")
+	}
+	if tr.Now() != 10 {
+		t.Errorf("Now = %v, want 10", tr.Now())
+	}
+	for i := 0; i < tr.NumTiers(); i++ {
+		if got := tr.Tier(i).Processed(); got != 1 {
+			t.Errorf("tier %d processed %d, want 1 (rejected point must not apply anywhere)", i, got)
+		}
+	}
+
+	// A ladder over arrival-indexed tiers refuses AddAt.
+	arr := newTestLadder(t, 0.01, 8, 2, 16, 19)
+	if arr.Timed() {
+		t.Fatalf("variable ladder claims Timed")
+	}
+	if err := arr.AddAt(stream.Point{Index: 1}, 1); err == nil {
+		t.Fatalf("AddAt on arrival-indexed ladder accepted")
+	}
+}
+
+// Checkpoint + restore must resume identically: a ladder restored from a
+// snapshot and fed the same suffix produces byte-identical tier contents to
+// the uninterrupted run.
+func TestTieredResumeIdentical(t *testing.T) {
+	mk := func() *TieredReservoir { return newTestLadder(t, 0.01, 8, 3, 32, 23) }
+	pts := make([]stream.Point, 3000)
+	for i := range pts {
+		pts[i] = stream.Point{Index: uint64(i + 1), Values: []float64{float64(i % 97)}}
+	}
+
+	// Feed the uninterrupted run in the same two batches as the
+	// checkpointed run: batch boundaries discard the trailing geometric
+	// skip, so identical boundaries are required for sample-path identity.
+	full := mk()
+	full.AddBatch(pts[:1500])
+	full.AddBatch(pts[1500:])
+
+	half := mk()
+	half.AddBatch(pts[:1500])
+	blob, err := half.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := mk()
+	if err := restored.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	restored.AddBatch(pts[1500:])
+
+	for i := 0; i < full.NumTiers(); i++ {
+		a, b := full.Tier(i).Points(), restored.Tier(i).Points()
+		if len(a) != len(b) {
+			t.Fatalf("tier %d: %d vs %d points after resume", i, len(a), len(b))
+		}
+		for j := range a {
+			if a[j].Index != b[j].Index {
+				t.Fatalf("tier %d point %d: index %d vs %d", i, j, a[j].Index, b[j].Index)
+			}
+		}
+	}
+
+	// Restoring into a mismatched ladder shape fails loudly.
+	two := newTestLadder(t, 0.01, 8, 2, 32, 23)
+	if err := two.UnmarshalBinary(blob); err == nil {
+		t.Fatalf("3-tier snapshot restored into 2-tier ladder")
+	}
+	otherLambda, err := NewTieredReservoir(0.02, 8, 3, xrand.New(23), variableTierFactory(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := otherLambda.UnmarshalBinary(blob); err == nil {
+		t.Fatalf("λ=0.01 snapshot restored into λ=0.02 ladder")
+	}
+}
+
+// Compaction counters survive checkpoint + restore.
+func TestTieredPersistCompactionCounters(t *testing.T) {
+	factory := func(i int, lambda float64, rng *xrand.Source) (PersistentSampler, error) {
+		return NewConstrainedReservoir(lambda, 4, rng)
+	}
+	tr, err := NewTieredReservoir(0.05, 8, 2, xrand.New(29), factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 500; i++ {
+		tr.Add(stream.Point{Index: uint64(i), Values: []float64{1}})
+	}
+	tr.CompactBelow(0.5)
+	want := tr.Stats(0)
+	blob, err := tr.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewTieredReservoir(0.05, 8, 2, xrand.New(1), factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	got := fresh.Stats(0)
+	if got.Compacted != want.Compacted || got.Drops != want.Drops {
+		t.Errorf("restored stats %+v, want %+v", got, want)
+	}
+}

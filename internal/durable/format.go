@@ -59,6 +59,12 @@ type StreamMeta struct {
 	Lambda   float64
 	Capacity int
 	Window   uint64
+	// Tiers and TierRatio describe a multi-horizon ladder (0/absent for
+	// single-reservoir streams — gob leaves them zero when decoding
+	// checkpoints written before tiers existed, which recovery reads as
+	// untiered).
+	Tiers     int
+	TierRatio float64
 }
 
 // Checkpoint is one durable cut of a stream: its configuration, ingest

@@ -33,10 +33,22 @@ type Manager struct {
 	streams map[string]*entry
 }
 
+// managedSampler is what the manager requires of a stream's sampler: the
+// persistable core contract (fleet checkpoints marshal every stream) plus
+// the current insertion probability for StreamStats. Both
+// core.VariableReservoir (Register) and core.TieredReservoir
+// (RegisterTiered, delegating to its shortest-horizon tier) satisfy it.
+type managedSampler interface {
+	core.PersistentSampler
+	PIn() float64
+}
+
 type entry struct {
 	mu      sync.Mutex
-	sampler *core.VariableReservoir
-	share   int
+	sampler managedSampler
+	// share is the total slot charge against the budget (for tiered
+	// streams: per-tier share × tiers).
+	share int
 	// snap caches the read path: mutations invalidate it, estimator
 	// calls are served lock-free from the published snapshot.
 	snap core.SnapshotCache
@@ -102,6 +114,56 @@ func (m *Manager) Register(name string, share int) error {
 	}
 	m.streams[name] = &entry{sampler: sampler, share: share}
 	m.used += share
+	return nil
+}
+
+// RegisterTiered allocates a multi-horizon ladder to a new stream: `tiers`
+// variable reservoirs of `share` slots each at geometrically-spaced bias
+// rates (tier i runs λ/ratio^i; ratio 0 means the default 8). The full
+// ladder — share × tiers slots — is charged against the global budget.
+// Horizon-carrying reads route through SnapshotFor to the tier covering
+// the horizon.
+func (m *Manager) RegisterTiered(name string, share, tiers int, ratio float64) error {
+	if share <= 0 {
+		return fmt.Errorf("multi: share must be positive, got %d", share)
+	}
+	if tiers < 2 {
+		return fmt.Errorf("multi: tiered registration needs >= 2 tiers, got %d", tiers)
+	}
+	if ratio == 0 {
+		ratio = 8
+	}
+	if !(ratio > 1) {
+		return fmt.Errorf("multi: tier ratio must be > 1, got %v", ratio)
+	}
+	// Tier 0 runs the largest λ and therefore the tightest capacity cap
+	// ⌊1/λ⌋; deeper tiers only relax it, so one check covers the ladder.
+	maxShare, err := core.ReservoirCapacity(m.lambda)
+	if err != nil {
+		return fmt.Errorf("multi: %w", err)
+	}
+	if share > maxShare {
+		return fmt.Errorf("multi: share %d exceeds the maximum requirement 1/λ = %d", share, maxShare)
+	}
+	total := share * tiers
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.streams[name]; ok {
+		return fmt.Errorf("multi: stream %q already registered", name)
+	}
+	if m.used+total > m.budget {
+		return fmt.Errorf("multi: budget exhausted: %d used + %d requested (%d slots x %d tiers) > %d total",
+			m.used, total, share, tiers, m.budget)
+	}
+	sampler, err := core.NewTieredReservoir(m.lambda, ratio, tiers, m.rng.Split(),
+		func(_ int, lambda float64, rng *xrand.Source) (core.PersistentSampler, error) {
+			return core.NewVariableReservoir(lambda, share, rng)
+		})
+	if err != nil {
+		return fmt.Errorf("multi: creating tiered reservoir for %q: %w", name, err)
+	}
+	m.streams[name] = &entry{sampler: sampler, share: total}
+	m.used += total
 	return nil
 }
 
@@ -220,11 +282,36 @@ func (m *Manager) Snapshot(name string) (*core.Snapshot, error) {
 	return e.acquireSnapshot(), nil
 }
 
+// SnapshotFor returns the snapshot that should serve a query over the last
+// h arrivals: for tiered streams, the tier whose effective horizon 1/λ_i
+// best covers h (served through that tier's own snapshot cache); for plain
+// streams it is Snapshot. The second return is the tier index served, -1
+// for untiered streams.
+func (m *Manager) SnapshotFor(name string, h uint64) (*core.Snapshot, int, error) {
+	m.mu.RLock()
+	e, ok := m.streams[name]
+	m.mu.RUnlock()
+	if !ok {
+		return nil, -1, fmt.Errorf("multi: stream %q not registered", name)
+	}
+	tr, tiered := e.sampler.(*core.TieredReservoir)
+	if !tiered {
+		return e.acquireSnapshot(), -1, nil
+	}
+	i := tr.SelectTier(h)
+	snap := tr.TierCache(i).Acquire(func() *core.Snapshot {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		return core.BuildSnapshot(tr.Tier(i))
+	})
+	return snap, i, nil
+}
+
 // Average estimates the per-dimension average of the named stream's last h
 // arrivals (see query.HorizonAverage) in one fused pass over the stream's
-// snapshot.
+// snapshot — the best-covering tier's snapshot when the stream is tiered.
 func (m *Manager) Average(name string, h uint64, dim int) ([]float64, error) {
-	snap, err := m.Snapshot(name)
+	snap, _, err := m.SnapshotFor(name, h)
 	if err != nil {
 		return nil, err
 	}
@@ -232,9 +319,9 @@ func (m *Manager) Average(name string, h uint64, dim int) ([]float64, error) {
 }
 
 // ClassDistribution estimates the fractional class distribution of the
-// named stream's last h arrivals.
+// named stream's last h arrivals, tier-routed like Average.
 func (m *Manager) ClassDistribution(name string, h uint64) (map[int]float64, error) {
-	snap, err := m.Snapshot(name)
+	snap, _, err := m.SnapshotFor(name, h)
 	if err != nil {
 		return nil, err
 	}

@@ -375,3 +375,78 @@ func TestAddBatchConcurrent(t *testing.T) {
 		}
 	}
 }
+
+func TestRegisterTiered(t *testing.T) {
+	m, err := NewManager(1000, 1e-3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 tiers × 100 slots charge 300 against the budget.
+	if err := m.RegisterTiered("s", 100, 3, 8); err != nil {
+		t.Fatal(err)
+	}
+	if m.Used() != 300 {
+		t.Fatalf("used = %d, want 300 (share × tiers)", m.Used())
+	}
+	// Validation: bad shapes are rejected without charging the budget.
+	for name, call := range map[string]func() error{
+		"one tier":    func() error { return m.RegisterTiered("x", 100, 1, 8) },
+		"bad ratio":   func() error { return m.RegisterTiered("x", 100, 3, 0.5) },
+		"zero share":  func() error { return m.RegisterTiered("x", 0, 3, 8) },
+		"over cap":    func() error { return m.RegisterTiered("x", 2000, 3, 8) },
+		"over budget": func() error { return m.RegisterTiered("x", 300, 3, 8) },
+		"duplicate":   func() error { return m.RegisterTiered("s", 100, 3, 8) },
+	} {
+		if err := call(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if m.Used() != 300 {
+		t.Fatalf("used after rejections = %d, want 300", m.Used())
+	}
+
+	for i := 1; i <= 20000; i++ {
+		if err := m.Add("s", stream.Point{Index: uint64(i), Values: []float64{1}, Weight: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Horizon routing: h within tier 0's horizon 1000 stays shallow, wider
+	// horizons walk down the ladder.
+	for _, tc := range []struct {
+		h    uint64
+		tier int
+	}{{500, 0}, {5000, 1}, {20000, 2}} {
+		_, tier, err := m.SnapshotFor("s", tc.h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tier != tc.tier {
+			t.Errorf("SnapshotFor(h=%d) routed to tier %d, want %d", tc.h, tier, tc.tier)
+		}
+	}
+	// Untiered streams report tier -1 through the same call.
+	if err := m.Register("plain", 50); err != nil {
+		t.Fatal(err)
+	}
+	if _, tier, err := m.SnapshotFor("plain", 100); err != nil || tier != -1 {
+		t.Fatalf("SnapshotFor(plain) = tier %d err %v, want -1, nil", tier, err)
+	}
+
+	// Tier-routed estimators answer near the truth (count of last h ≈ h
+	// via the average path: all values are 1, so the average is exactly 1).
+	avg, err := m.Average("s", 5000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(avg) != 1 || avg[0] != 1 {
+		t.Fatalf("tier-routed Average = %v, want [1]", avg)
+	}
+
+	// Unregister returns the whole ladder's charge.
+	if err := m.Unregister("s"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Used() != 50 {
+		t.Fatalf("used after unregister = %d, want 50", m.Used())
+	}
+}

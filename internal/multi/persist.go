@@ -24,6 +24,11 @@ type fleetState struct {
 type streamState struct {
 	Share    int
 	Snapshot []byte
+	// Tiers/Ratio describe a multi-horizon ladder (RegisterTiered); zero
+	// means a plain variable reservoir — gob leaves them zero when decoding
+	// checkpoints written before tiers existed.
+	Tiers int
+	Ratio float64
 }
 
 // SaveTo writes a checkpoint of the manager and every registered stream.
@@ -51,11 +56,16 @@ func (m *Manager) SaveTo(w io.Writer) error {
 		e.mu.Lock()
 		blob, err := e.sampler.MarshalBinary()
 		share := e.share
+		var tiers int
+		var ratio float64
+		if tr, ok := e.sampler.(*core.TieredReservoir); ok {
+			tiers, ratio = tr.NumTiers(), tr.Ratio()
+		}
 		e.mu.Unlock()
 		if err != nil {
 			return fmt.Errorf("multi: snapshotting %q: %w", name, err)
 		}
-		state.Streams[name] = streamState{Share: share, Snapshot: blob}
+		state.Streams[name] = streamState{Share: share, Snapshot: blob, Tiers: tiers, Ratio: ratio}
 	}
 	if err := gob.NewEncoder(w).Encode(state); err != nil {
 		return fmt.Errorf("multi: encoding fleet checkpoint: %w", err)
@@ -82,9 +92,29 @@ func LoadFrom(r io.Reader, seed uint64) (*Manager, error) {
 		if m.used+st.Share > m.budget {
 			return nil, fmt.Errorf("multi: checkpoint overcommits budget at stream %q", name)
 		}
-		sampler, err := core.NewVariableReservoir(state.Lambda, st.Share, xrand.New(0))
-		if err != nil {
-			return nil, fmt.Errorf("multi: rebuilding %q: %w", name, err)
+		var sampler managedSampler
+		if st.Tiers > 1 {
+			// st.Share stores the whole ladder's charge; each tier holds an
+			// equal slice of it.
+			if st.Share%st.Tiers != 0 {
+				return nil, fmt.Errorf("multi: stream %q share %d is not divisible by its %d tiers",
+					name, st.Share, st.Tiers)
+			}
+			perTier := st.Share / st.Tiers
+			tr, err := core.NewTieredReservoir(state.Lambda, st.Ratio, st.Tiers, xrand.New(0),
+				func(_ int, lambda float64, rng *xrand.Source) (core.PersistentSampler, error) {
+					return core.NewVariableReservoir(lambda, perTier, rng)
+				})
+			if err != nil {
+				return nil, fmt.Errorf("multi: rebuilding %q: %w", name, err)
+			}
+			sampler = tr
+		} else {
+			vr, err := core.NewVariableReservoir(state.Lambda, st.Share, xrand.New(0))
+			if err != nil {
+				return nil, fmt.Errorf("multi: rebuilding %q: %w", name, err)
+			}
+			sampler = vr
 		}
 		if err := sampler.UnmarshalBinary(st.Snapshot); err != nil {
 			return nil, fmt.Errorf("multi: restoring %q: %w", name, err)

@@ -137,3 +137,80 @@ func TestFleetCheckpointManyStreams(t *testing.T) {
 		}
 	}
 }
+
+func TestFleetCheckpointTieredRoundTrip(t *testing.T) {
+	m, err := NewManager(1000, 1e-3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RegisterTiered("tiered", 100, 3, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register("plain", 200); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5000; i++ {
+		p := stream.Point{Index: uint64(i), Values: []float64{float64(i)}, Weight: 1}
+		if err := m.Add("tiered", p); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Add("plain", p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := m.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadFrom(&buf, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Used() != m.Used() {
+		t.Fatalf("restored used = %d, want %d", restored.Used(), m.Used())
+	}
+	// The ladder structure survives: deep horizons still route deep, and
+	// every tier resumes with identical residents.
+	for _, h := range []uint64{100, 2000, 5000} {
+		wantSnap, wantTier, err := m.SnapshotFor("tiered", h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotSnap, gotTier, err := restored.SnapshotFor("tiered", h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotTier != wantTier {
+			t.Fatalf("h=%d: restored routes to tier %d, original to %d", h, gotTier, wantTier)
+		}
+		if len(gotSnap.Points) != len(wantSnap.Points) {
+			t.Fatalf("h=%d: restored tier holds %d points, want %d", h, len(gotSnap.Points), len(wantSnap.Points))
+		}
+		for i := range wantSnap.Points {
+			if gotSnap.Points[i].Index != wantSnap.Points[i].Index {
+				t.Fatalf("h=%d: slot %d diverged", h, i)
+			}
+		}
+	}
+	// Resume-identical: both ladders keep sampling in lockstep.
+	for i := 0; i < 2000; i++ {
+		p := stream.Point{Index: uint64(10000 + i), Values: []float64{1}, Weight: 1}
+		if err := m.Add("tiered", p); err != nil {
+			t.Fatal(err)
+		}
+		if err := restored.Add("tiered", p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w, _, _ := m.SnapshotFor("tiered", 20000)
+	g, _, _ := restored.SnapshotFor("tiered", 20000)
+	if len(w.Points) != len(g.Points) {
+		t.Fatalf("post-restore lengths diverged: %d vs %d", len(w.Points), len(g.Points))
+	}
+	for i := range w.Points {
+		if w.Points[i].Index != g.Points[i].Index {
+			t.Fatalf("post-restore sampling diverged at slot %d", i)
+		}
+	}
+}

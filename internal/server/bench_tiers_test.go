@@ -1,0 +1,108 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"testing"
+	"time"
+)
+
+// BenchmarkTiersRange measures GET /streams/{name}/range latency against
+// ladder depth 1 (a plain single-reservoir stream), 2 and 4 tiers, on a
+// preloaded stream. Each shape reports its p50 and p99 as
+// "p50-ns"/"p99-ns"; cmd/benchingest -suite tiers turns one run into
+// BENCH_tiers.json.
+func BenchmarkTiersRange(b *testing.B) {
+	for _, k := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("tiers=%d", k), func(b *testing.B) {
+			srv := New(42)
+			defer srv.Close()
+			ts := httptest.NewServer(srv)
+			defer ts.Close()
+
+			cfg := map[string]any{
+				"policy": "variable", "lambda": 1e-3, "capacity": 512,
+			}
+			if k > 1 {
+				cfg["tiers"] = k
+			}
+			putJSON(b, ts.URL+"/streams/s", cfg)
+
+			const total, batch = 20000, 1000
+			for base := 0; base < total; base += batch {
+				pts := make([]map[string]any, batch)
+				for i := range pts {
+					v := base + i
+					pts[i] = map[string]any{
+						"values": []float64{float64(v % 10), float64(v % 7)},
+						"label":  v % 3,
+					}
+				}
+				postJSON(b, ts.URL+"/streams/s/points", map[string]any{"points": pts})
+			}
+
+			// A wide span exercises the deepest tier and a full bucket
+			// budget — the expensive shape of the endpoint.
+			url := ts.URL + "/streams/s/range?start=1&max_points=100"
+			lats := make([]time.Duration, 0, b.N)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				start := time.Now()
+				resp, err := http.Get(url)
+				if err != nil {
+					b.Fatal(err)
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					b.Fatalf("status %d", resp.StatusCode)
+				}
+				lats = append(lats, time.Since(start))
+			}
+			b.StopTimer()
+			sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+			b.ReportMetric(float64(lats[len(lats)/2].Nanoseconds()), "p50-ns")
+			b.ReportMetric(float64(lats[len(lats)*99/100].Nanoseconds()), "p99-ns")
+		})
+	}
+}
+
+func putJSON(b *testing.B, url string, body any) {
+	b.Helper()
+	blob, err := json.Marshal(body)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(blob))
+	if err != nil {
+		b.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		b.Fatalf("PUT %s: status %d", url, resp.StatusCode)
+	}
+}
+
+func postJSON(b *testing.B, url string, body any) {
+	b.Helper()
+	blob, err := json.Marshal(body)
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(blob))
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		b.Fatalf("POST %s: status %d", url, resp.StatusCode)
+	}
+}

@@ -73,21 +73,25 @@ func WithDurability(store *durable.Store, cfg DurabilityConfig) Option {
 // durableMeta renders a stream's configuration for its checkpoints.
 func durableMeta(name string, req CreateRequest) durable.StreamMeta {
 	return durable.StreamMeta{
-		Name:     name,
-		Policy:   req.Policy,
-		Lambda:   req.Lambda,
-		Capacity: req.Capacity,
-		Window:   req.Window,
+		Name:      name,
+		Policy:    req.Policy,
+		Lambda:    req.Lambda,
+		Capacity:  req.Capacity,
+		Window:    req.Window,
+		Tiers:     req.Tiers,
+		TierRatio: req.TierRatio,
 	}
 }
 
 // createRequestOf inverts durableMeta for recovery.
 func createRequestOf(meta durable.StreamMeta) CreateRequest {
 	return CreateRequest{
-		Policy:   meta.Policy,
-		Lambda:   meta.Lambda,
-		Capacity: meta.Capacity,
-		Window:   meta.Window,
+		Policy:    meta.Policy,
+		Lambda:    meta.Lambda,
+		Capacity:  meta.Capacity,
+		Window:    meta.Window,
+		Tiers:     meta.Tiers,
+		TierRatio: meta.TierRatio,
 	}
 }
 
@@ -275,10 +279,11 @@ func (s *Server) adoptRecovered(rec durable.Recovered) error {
 		return fmt.Errorf("restoring snapshot: %w", err)
 	}
 
-	// Replay the journal tail in order. Time-decay streams replay through
-	// AddAt to reproduce their clock; everything else takes the batch path.
+	// Replay the journal tail in order. Time-decay streams (including
+	// time-decay tier ladders) replay through AddAt to reproduce their
+	// clock; everything else takes the batch path.
 	next, dim := rec.Checkpoint.Next, rec.Checkpoint.Dim
-	td, timed := any(sampler).(*core.TimeDecayReservoir)
+	td, timed := core.AsTimed(sampler)
 	for _, r := range rec.Tail {
 		if timed {
 			for _, op := range r.Ops {

@@ -94,6 +94,12 @@ func (s *Server) Close() {
 			closeShard(ms)
 		}
 		s.ingestWG.Wait()
+		if s.retStop != nil {
+			// Stop the retention sweep before the final checkpoint so the
+			// shutdown cut is not raced by compactions.
+			close(s.retStop)
+			s.retWG.Wait()
+		}
 		if s.durable != nil {
 			close(s.durStop)
 			s.durWG.Wait()

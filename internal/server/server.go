@@ -14,13 +14,22 @@
 //	POST   /streams/{name}/points     ingest            {"points":[{"values":[...],"label":0,"weight":1}, ...]}
 //	GET    /streams/{name}/sample     current reservoir contents
 //	GET    /streams/{name}/query      estimate; see Query parameters below
+//	GET    /streams/{name}/range      bucketed estimates over [start,end)
+//	GET    /streams/{name}/accum      fused HT accumulator (federation wire form)
 //	GET    /streams/{name}/snapshot   binary checkpoint (octet-stream)
 //	POST   /streams/{name}/restore    restore from a checkpoint body
 //	GET    /metrics                   Prometheus text exposition
 //
 // Query parameters: type=count|average|classdist|groupavg|selectivity|quantile,
 // h=<horizon>, dim=<dimension>, q=<quantile>, dims=<d0,d1,...> with
-// lo=<l0,l1,...> hi=<h0,h1,...> for selectivity rectangles.
+// lo=<l0,l1,...> hi=<h0,h1,...> for selectivity rectangles. Range
+// parameters: start/end (arrival indices, end defaults to t+1) and
+// max_points (bucket budget; granularity is auto-selected, see
+// docs/QUERY_API.md).
+//
+// Streams created with "tiers" > 1 maintain a ladder of reservoirs at
+// geometrically-spaced λ; horizon-carrying queries are served by the tier
+// whose effective horizon 1/λ_i best covers h (docs/THEORY.md §10).
 //
 // Every route is instrumented: request counts by route and status class,
 // per-route latency histograms, and per-stream sampler gauges are exported
@@ -29,7 +38,6 @@
 package server
 
 import (
-	"encoding"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -56,11 +64,7 @@ import (
 const defaultMaxBodyBytes = 8 << 20
 
 // persistentSampler is a sampler that supports checkpointing.
-type persistentSampler interface {
-	core.Sampler
-	encoding.BinaryMarshaler
-	encoding.BinaryUnmarshaler
-}
+type persistentSampler = core.PersistentSampler
 
 // managedStream is one named stream. Two locks split its state so async
 // ingest handlers never wait on sampler work:
@@ -138,6 +142,17 @@ type Server struct {
 
 	// maxBody bounds request bodies; oversized requests get 413.
 	maxBody int64
+
+	// Retention sweep (zero floor = disabled): tierQueries counts
+	// horizon-routed reads per (stream, tier); the sweep compacts
+	// below-floor residents on retInterval.
+	tierQueries *obs.CounterVec
+	retRemoved  *obs.CounterVec
+	retSweeps   atomic.Uint64
+	retFloor    float64
+	retInterval time.Duration
+	retStop     chan struct{}
+	retWG       sync.WaitGroup
 
 	// Durability layer (nil = in-memory only).
 	durable   *durable.Store
@@ -228,8 +243,13 @@ func New(seed uint64, opts ...Option) *Server {
 	if s.ingestWorkers > 0 {
 		s.ingestSem = make(chan struct{}, s.ingestWorkers)
 	}
+	s.tierQueries = s.metrics.Counter("biasedres_tier_queries_total",
+		"Queries routed to a tier of a multi-horizon stream, by tier index.", "stream", "tier")
+	s.retRemoved = s.metrics.Counter("biasedres_tier_retention_removed_points_total",
+		"Residents removed by the retention sweep (inclusion probability below -retention-floor).", "stream")
 	s.metrics.Register(obs.CollectorFunc(s.collectStreams))
 	s.metrics.Register(obs.CollectorFunc(s.collectIngest))
+	s.metrics.Register(obs.CollectorFunc(s.collectTiers))
 
 	mux := http.NewServeMux()
 	routes := []struct {
@@ -245,6 +265,7 @@ func New(seed uint64, opts ...Option) *Server {
 		{"POST /streams/{name}/points", s.handleIngest},
 		{"GET /streams/{name}/sample", s.handleSample},
 		{"GET /streams/{name}/query", s.handleQuery},
+		{"GET /streams/{name}/range", s.handleRange},
 		{"GET /streams/{name}/accum", s.handleAccum},
 		{"GET /streams/{name}/snapshot", s.handleSnapshot},
 		{"POST /streams/{name}/restore", s.handleRestore},
@@ -266,6 +287,11 @@ func New(seed uint64, opts ...Option) *Server {
 		s.durStop = make(chan struct{})
 		s.durWG.Add(1)
 		go s.runDurability()
+	}
+	if s.retFloor > 0 {
+		s.retStop = make(chan struct{})
+		s.retWG.Add(1)
+		go s.runRetention()
 	}
 	// Recovery (if any) has run and the ingest shards are accepting:
 	// the server is ready for traffic.
@@ -427,6 +453,14 @@ type CreateRequest struct {
 	Capacity int `json:"capacity"`
 	// Window is the window length for the "window" policy.
 	Window uint64 `json:"window"`
+	// Tiers, when > 1, turns the stream into a multi-horizon ladder: tier
+	// i runs the stream's policy at λ/TierRatio^i, so horizon-carrying
+	// queries can be routed to the tier covering them. Policies "variable",
+	// "biased", "constrained" and "timedecay" support tiers; Capacity is
+	// the per-tier budget.
+	Tiers int `json:"tiers"`
+	// TierRatio is the geometric spacing between tier λs (default 8).
+	TierRatio float64 `json:"tier_ratio"`
 }
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
@@ -500,6 +534,12 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 // requested policy; the constructor is kept on the stream so restores can
 // build a scratch instance of the same configuration.
 func samplerFactory(req CreateRequest) (func(rng *xrand.Source) (persistentSampler, error), error) {
+	if req.Tiers > 1 {
+		return tieredFactory(req)
+	}
+	if req.Tiers < 0 {
+		return nil, fmt.Errorf("tiers must be >= 0, got %d", req.Tiers)
+	}
 	switch req.Policy {
 	case "variable":
 		return func(rng *xrand.Source) (persistentSampler, error) {
@@ -571,6 +611,7 @@ func (s *Server) handleAccum(w http.ResponseWriter, r *http.Request) {
 	}
 	ms.qmu.Lock()
 	streamDim := ms.dim
+	tr := ms.tiered()
 	ms.qmu.Unlock()
 	dim, err := parseUint(q.Get("dim"), uint64(streamDim))
 	if err != nil {
@@ -586,7 +627,8 @@ func (s *Server) handleAccum(w http.ResponseWriter, r *http.Request) {
 		}
 		rect = &r
 	}
-	snap := ms.acquireSnapshot()
+	snap, tier := ms.snapshotFor(tr, h)
+	s.countTierQuery(r.PathValue("name"), tier)
 	writeJSON(w, query.AccumulateRange(snap, h, int(dim), rect).Wire())
 }
 
@@ -686,7 +728,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	_, timed := ms.sampler.(*core.TimeDecayReservoir)
+	_, timed := core.AsTimed(ms.sampler)
 	if ms.shard != nil && !timed {
 		// Sharded fast path: enqueue for the stream's worker and return.
 		// handleIngestAsync releases qmu itself; the sampler lock is
@@ -703,7 +745,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 // Called with ms.qmu held; releases it.
 func (s *Server) handleIngestSync(w http.ResponseWriter, name string, ms *managedStream, req IngestRequest, dim int) {
 	ms.mu.Lock()
-	td, timed := ms.sampler.(*core.TimeDecayReservoir)
+	td, timed := core.AsTimed(ms.sampler)
 	if timed {
 		// Time-decay timestamps must be non-decreasing and no older than
 		// the stream's current clock; points without a timestamp advance
@@ -804,11 +846,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	ms.qmu.Lock()
 	dim := ms.dim
+	tr := ms.tiered()
 	ms.qmu.Unlock()
 	// Serve from the snapshot: no sampler lock, and nothing is held
 	// during JSON encoding or the network write.
 	snap := ms.acquireSnapshot()
-	writeJSON(w, map[string]any{
+	out := map[string]any{
 		"policy":    ms.policy,
 		"lambda":    ms.lambda,
 		"dim":       dim,
@@ -817,7 +860,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"capacity":  snap.Cap,
 		"fill":      snap.Fill(),
 		"pending":   ms.pending.Load(),
-	})
+	}
+	if tr != nil {
+		out["tiers"] = ms.tierInfo(tr)
+	}
+	writeJSON(w, out)
 }
 
 // SamplePoint is one reservoir point in a sample response.
@@ -860,12 +907,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	ms.qmu.Lock()
 	streamDim := ms.dim
+	tr := ms.tiered()
 	ms.qmu.Unlock()
 	// One snapshot serves the whole request: on a cache hit the handler
 	// acquires no sampler lock, and the fused kernels answer every query
 	// type in a single reservoir pass. Nothing is held during JSON
-	// encoding or the network write.
-	snap := ms.acquireSnapshot()
+	// encoding or the network write. Tiered streams route the horizon to
+	// the best-covering tier's snapshot.
+	snap, tier := ms.snapshotFor(tr, h)
+	s.countTierQuery(r.PathValue("name"), tier)
 	switch q.Get("type") {
 	case "count":
 		est, variance := query.EstimateWithVarianceOn(snap, query.Count(h))
