@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt linkcheck flagcheck bench bench-query bench-federation bench-wire bench-tiers bench-smoke fuzz-smoke test-durable test-federation ci
+.PHONY: all build test race vet fmt linkcheck flagcheck bench bench-query bench-federation bench-wire bench-tiers bench-failover bench-smoke fuzz-smoke test-durable test-federation test-failover ci
 
 all: build
 
@@ -54,13 +54,20 @@ bench-wire:
 bench-tiers:
 	$(GO) run ./cmd/benchingest -suite tiers
 
-# bench-smoke runs every query, federation and wire benchmark once so CI
-# catches bit-rot in the harnesses without paying for full measurement runs.
+# bench-failover regenerates BENCH_failover.json: mean time from
+# blackholing a replica to the coordinator serving a whole answer again.
+bench-failover:
+	$(GO) run ./cmd/benchingest -suite failover
+
+# bench-smoke runs every query, federation, wire and failover benchmark
+# once so CI catches bit-rot in the harnesses without paying for full
+# measurement runs.
 bench-smoke:
 	$(GO) test -run '^$$' -bench '^BenchmarkQuery' -benchtime 1x ./internal/query
 	$(GO) test -run '^$$' -bench '^BenchmarkFed' -benchtime 1x ./internal/federation
 	$(GO) test -run '^$$' -bench '^BenchmarkWire' -benchtime 1x ./internal/server ./internal/wire
 	$(GO) test -run '^$$' -bench '^BenchmarkTiers' -benchtime 1x ./internal/server
+	$(GO) test -run '^$$' -bench '^BenchmarkFailover' -benchtime 1x ./internal/federation
 
 # fuzz-smoke runs the wire-frame decoder fuzzer briefly: long enough to
 # exercise the mutation engine over the checked-in corpus, short enough
@@ -81,4 +88,11 @@ test-durable:
 test-federation:
 	$(GO) test -race -count=1 ./internal/federation/
 
-ci: fmt build vet linkcheck flagcheck test race bench-smoke fuzz-smoke test-durable test-federation
+# test-failover runs the fault-injection suite under the race detector:
+# the internal/faulty proxy tests plus the federation failover sweep
+# (kills across ingest/query/migration) and the replica/migration tests.
+test-failover:
+	$(GO) test -race -count=1 ./internal/faulty/
+	$(GO) test -race -count=1 -run 'Failover|Replicated|Drain|WritesDuringOutage|Backfills|Readyz' ./internal/federation/
+
+ci: fmt build vet linkcheck flagcheck test race bench-smoke fuzz-smoke test-durable test-federation test-failover

@@ -20,6 +20,7 @@
 //	go run ./cmd/benchingest -suite federation   # writes BENCH_federation.json
 //	go run ./cmd/benchingest -suite wire         # writes BENCH_wire.json
 //	go run ./cmd/benchingest -suite tiers        # writes BENCH_tiers.json
+//	go run ./cmd/benchingest -suite failover     # writes BENCH_failover.json
 //	go run ./cmd/benchingest -o out.json -benchtime 2s
 //
 // The federation suite runs the multi-node scatter-gather harness
@@ -27,7 +28,10 @@
 // reports federated query p50/p99 latency against node count. The wire
 // suite races the binary TCP ingest protocol against JSON-over-HTTP on
 // identical loopback connections and batches, and reports the protocol
-// speedup plus the decoder's steady-state allocations per frame.
+// speedup plus the decoder's steady-state allocations per frame. The
+// failover suite blackholes a replicated data node behind a fault proxy
+// and reports the mean time until the coordinator serves a whole
+// (partial:false, exact) answer again.
 package main
 
 import (
@@ -57,6 +61,7 @@ type Result struct {
 	P99Ns        float64 `json:"p99_ns,omitempty"`
 	BytesPerOp   float64 `json:"bytes_per_op"`
 	AllocsPerOp  float64 `json:"allocs_per_op"`
+	RecoveryMS   float64 `json:"recovery_ms,omitempty"`
 }
 
 // Speedup compares the batch and single-point ingest paths for one
@@ -103,6 +108,14 @@ type TierLatency struct {
 	P99Ns float64 `json:"p99_ns"`
 }
 
+// FailoverRecovery summarizes the failover suite: the mean time from a
+// replica being blackholed until the coordinator again serves a whole
+// (partial:false, exact) answer. With replication the expected cost is
+// one hedge grace, not a health-sweep interval.
+type FailoverRecovery struct {
+	RecoveryMS float64 `json:"recovery_ms"`
+}
+
 // WireVsHTTP compares binary-TCP against JSON-over-HTTP ingest from the
 // wire suite: same server, same loopback TCP, same 256-point batches.
 type WireVsHTTP struct {
@@ -117,25 +130,26 @@ type WireVsHTTP struct {
 
 // Report is the BENCH_<suite>.json document.
 type Report struct {
-	GeneratedBy string         `json:"generated_by"`
-	GoVersion   string         `json:"go_version"`
-	GOOS        string         `json:"goos"`
-	GOARCH      string         `json:"goarch"`
-	CPU         string         `json:"cpu,omitempty"`
-	Date        string         `json:"date"`
-	BenchTime   string         `json:"benchtime"`
-	Benchmarks  []Result       `json:"benchmarks"`
-	Speedups    []Speedup      `json:"batch_vs_single,omitempty"`
-	Fused       []FusedSpeedup `json:"fused_vs_legacy,omitempty"`
-	UnderIngest *UnderIngest   `json:"query_under_ingest,omitempty"`
-	FedLatency  []FedLatency   `json:"federated_query_latency,omitempty"`
-	Wire        *WireVsHTTP    `json:"wire_vs_http,omitempty"`
-	TierLatency []TierLatency  `json:"tiered_range_latency,omitempty"`
+	GeneratedBy string            `json:"generated_by"`
+	GoVersion   string            `json:"go_version"`
+	GOOS        string            `json:"goos"`
+	GOARCH      string            `json:"goarch"`
+	CPU         string            `json:"cpu,omitempty"`
+	Date        string            `json:"date"`
+	BenchTime   string            `json:"benchtime"`
+	Benchmarks  []Result          `json:"benchmarks"`
+	Speedups    []Speedup         `json:"batch_vs_single,omitempty"`
+	Fused       []FusedSpeedup    `json:"fused_vs_legacy,omitempty"`
+	UnderIngest *UnderIngest      `json:"query_under_ingest,omitempty"`
+	FedLatency  []FedLatency      `json:"federated_query_latency,omitempty"`
+	Wire        *WireVsHTTP       `json:"wire_vs_http,omitempty"`
+	TierLatency []TierLatency     `json:"tiered_range_latency,omitempty"`
+	Failover    *FailoverRecovery `json:"failover_recovery,omitempty"`
 }
 
 func main() {
 	var (
-		suite     = flag.String("suite", "ingest", `benchmark suite: "ingest", "query", "federation", "wire" or "tiers"`)
+		suite     = flag.String("suite", "ingest", `benchmark suite: "ingest", "query", "federation", "wire", "tiers" or "failover"`)
 		out       = flag.String("o", "", "output file (default BENCH_<suite>.json)")
 		benchtime = flag.String("benchtime", "1s", "go test -benchtime value")
 		count     = flag.Int("count", 1, "go test -count value")
@@ -165,8 +179,10 @@ func run(suite, out, benchtime string, count int) error {
 		pattern, pkgs = "^BenchmarkWire", []string{"./internal/server", "./internal/wire"}
 	case "tiers":
 		pattern, pkgs = "^BenchmarkTiers", []string{"./internal/server"}
+	case "failover":
+		pattern, pkgs = "^BenchmarkFailover", []string{"./internal/federation"}
 	default:
-		return fmt.Errorf("unknown suite %q (want ingest, query, federation, wire or tiers)", suite)
+		return fmt.Errorf("unknown suite %q (want ingest, query, federation, wire, tiers or failover)", suite)
 	}
 	args := append([]string{"test", "-run", "^$", "-bench", pattern, "-benchmem",
 		"-benchtime", benchtime, "-count", strconv.Itoa(count)}, pkgs...)
@@ -208,6 +224,8 @@ func run(suite, out, benchtime string, count int) error {
 		report.Wire = wireVsHTTP(report.Benchmarks)
 	case "tiers":
 		report.TierLatency = tierLatency(report.Benchmarks)
+	case "failover":
+		report.Failover = failoverRecovery(report.Benchmarks)
 	}
 
 	blob, err := json.MarshalIndent(report, "", "  ")
@@ -240,6 +258,10 @@ func run(suite, out, benchtime string, count int) error {
 	for _, tl := range report.TierLatency {
 		fmt.Fprintf(os.Stderr, "  range query, %d tier(s): p50 %.0fns, p99 %.0fns\n",
 			tl.Tiers, tl.P50Ns, tl.P99Ns)
+	}
+	if fo := report.Failover; fo != nil {
+		fmt.Fprintf(os.Stderr, "  failover: whole answers resume %.1fms after a replica is blackholed\n",
+			fo.RecoveryMS)
 	}
 	return nil
 }
@@ -309,6 +331,8 @@ func parse(r *bytes.Buffer) ([]Result, string, error) {
 				a.BytesPerOp += val
 			case "allocs/op":
 				a.AllocsPerOp += val
+			case "recovery-ms":
+				a.RecoveryMS += val
 			}
 		}
 	}
@@ -325,6 +349,7 @@ func parse(r *bytes.Buffer) ([]Result, string, error) {
 		a.P99Ns /= n
 		a.BytesPerOp /= n
 		a.AllocsPerOp /= n
+		a.RecoveryMS /= n
 		results = append(results, a.Result)
 	}
 	return results, cpu, nil
@@ -432,6 +457,16 @@ func fedLatency(results []Result) []FedLatency {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Nodes < out[j].Nodes })
 	return out
+}
+
+// failoverRecovery extracts BenchmarkFailover's recovery-ms metric.
+func failoverRecovery(results []Result) *FailoverRecovery {
+	for _, r := range results {
+		if r.Name == "BenchmarkFailover" && r.RecoveryMS > 0 {
+			return &FailoverRecovery{RecoveryMS: r.RecoveryMS}
+		}
+	}
+	return nil
 }
 
 // wireVsHTTP pairs BenchmarkWireTCP against BenchmarkWireHTTPJSON on the

@@ -10,8 +10,14 @@
 //   - a documented flag the binary no longer defines (the table describes
 //     a ghost).
 //
-//     go run ./cmd/flagcheck                      # repo-root defaults
-//     go run ./cmd/flagcheck -src cmd/reservoird -doc docs/OPERATIONS.md
+// Coordinator-mode flags (`-federate`, `-peers`, `-replication`, `-shards`
+// and every `-fed-*`) are additionally cross-referenced against the
+// "Coordinator flags" table specifically: each must have its row in that
+// table, and that table must not describe data-node flags — so replication
+// and placement knobs cannot drift into the wrong half of the manual.
+//
+//	go run ./cmd/flagcheck                      # repo-root defaults
+//	go run ./cmd/flagcheck -src cmd/reservoird -doc docs/OPERATIONS.md
 //
 // Exit status is non-zero on any drift, one line per offending flag.
 package main
@@ -36,6 +42,21 @@ var defRe = regexp.MustCompile(`flag\.[A-Z]\w*\(\s*"([^"]+)"`)
 // `-flag` code span: "| `-addr` | ... |".
 var docRe = regexp.MustCompile("^\\|\\s*`-([A-Za-z0-9][-A-Za-z0-9]*)`\\s*\\|")
 
+// coordSection is the heading whose table documents coordinator-mode
+// flags; rows before the next heading belong to it.
+const coordSection = "### Coordinator flags"
+
+// isCoordFlag classifies a flag as coordinator-mode: meaningful only with
+// -federate. New coordinator knobs must either take the fed- prefix or be
+// added here, or the section check below will flag them.
+func isCoordFlag(name string) bool {
+	switch name {
+	case "federate", "peers", "replication", "shards":
+		return true
+	}
+	return strings.HasPrefix(name, "fed-")
+}
+
 func main() {
 	src := flag.String("src", "cmd/reservoird", "directory holding the daemon's Go source")
 	doc := flag.String("doc", "docs/OPERATIONS.md", "operations manual with the flag tables")
@@ -50,7 +71,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "flagcheck: no flag definitions found under %s\n", *src)
 		os.Exit(2)
 	}
-	documented, err := documentedFlags(*doc)
+	documented, inCoord, err := documentedFlags(*doc)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "flagcheck:", err)
 		os.Exit(2)
@@ -68,6 +89,20 @@ func main() {
 		if !defined[name] {
 			fmt.Fprintf(os.Stderr, "flagcheck: -%s has a row in %s but is not defined in %s\n",
 				name, *doc, *src)
+			drift++
+		}
+	}
+	// Coordinator-mode flags must sit in the coordinator table, and only
+	// they may: the runbook's two halves must not trade rows.
+	for _, name := range sorted(defined) {
+		switch {
+		case isCoordFlag(name) && documented[name] && !inCoord[name]:
+			fmt.Fprintf(os.Stderr, "flagcheck: coordinator flag -%s is documented outside the %q table in %s\n",
+				name, coordSection, *doc)
+			drift++
+		case !isCoordFlag(name) && inCoord[name]:
+			fmt.Fprintf(os.Stderr, "flagcheck: data-node flag -%s has a row in the %q table in %s\n",
+				name, coordSection, *doc)
 			drift++
 		}
 	}
@@ -103,20 +138,30 @@ func definedFlags(dir string) (map[string]bool, error) {
 }
 
 // documentedFlags collects the flag names that head a table row in the
-// Markdown file. Prose mentions (`-addr` mid-sentence) are deliberately
-// ignored: the contract is a table row per flag.
-func documentedFlags(path string) (map[string]bool, error) {
+// Markdown file, and separately the subset whose row falls inside the
+// coordinator-flags section (between its heading and the next one). Prose
+// mentions (`-addr` mid-sentence) are deliberately ignored: the contract
+// is a table row per flag.
+func documentedFlags(path string) (all, coord map[string]bool, err error) {
 	blob, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	out := make(map[string]bool)
+	all, coord = make(map[string]bool), make(map[string]bool)
+	inCoord := false
 	for _, line := range strings.Split(string(blob), "\n") {
+		if strings.HasPrefix(line, "#") {
+			inCoord = strings.TrimSpace(line) == coordSection
+			continue
+		}
 		if m := docRe.FindStringSubmatch(line); m != nil {
-			out[m[1]] = true
+			all[m[1]] = true
+			if inCoord {
+				coord[m[1]] = true
+			}
 		}
 	}
-	return out, nil
+	return all, coord, nil
 }
 
 func sorted(set map[string]bool) []string {

@@ -12,6 +12,7 @@
 //	reservoird -federate -peers http://n1:8080,http://n2:8080 [-addr :8080]
 //	           [-fed-peer-timeout 2s -fed-hedge-delay 250ms]
 //	           [-fed-health-interval 1s -fed-rise 2 -fed-fall 2]
+//	           [-replication 2 -shards 4] [-wire-addr :8081]
 //
 // Ingest modes:
 //
@@ -59,6 +60,15 @@
 //	and merging per-shard Horvitz–Thompson accumulators. Responses carry
 //	shards_ok/shards_total and degrade to "partial": true when a shard is
 //	down. See internal/federation and docs/OPERATIONS.md §9.
+//
+//	Streams created through the coordinator (PUT /streams/{name}) are
+//	placed by rendezvous hashing onto -shards round-robin shards with
+//	-replication replicas each; with -replication 2+ any single node
+//	loss leaves queries whole (partial:false, estimates unchanged), and
+//	POST /peers/drain live-migrates a departing node's streams onto
+//	their next placement before removal. A coordinator given -wire-addr
+//	accepts binary ingest frames and fans them out to the shard
+//	replicas. See docs/OPERATIONS.md §11.
 //
 // Observability:
 //
@@ -143,6 +153,10 @@ func main() {
 			"consecutive successful probes that revive an unhealthy peer")
 		fedFall = flag.Int("fed-fall", 2,
 			"consecutive failed probes that evict a healthy peer")
+		replication = flag.Int("replication", 1,
+			"replicas per shard of coordinator-managed streams; 2+ makes any single node loss invisible (coordinator mode)")
+		shards = flag.Int("shards", 1,
+			"default shard count for streams created through the coordinator without an explicit \"shards\" field")
 	)
 	flag.Parse()
 
@@ -162,10 +176,6 @@ func main() {
 	var handler http.Handler
 	var closeAPI func()
 	if *federate {
-		if *wireAddr != "" {
-			fmt.Fprintln(os.Stderr, "reservoird: -wire-addr is a data-node flag; a coordinator has no ingest path")
-			os.Exit(2)
-		}
 		peerList := splitPeers(*peers)
 		if len(peerList) == 0 {
 			fmt.Fprintln(os.Stderr, "reservoird: -federate needs at least one -peers URL")
@@ -177,6 +187,8 @@ func main() {
 			HealthInterval: *fedHealthInterval,
 			Rise:           *fedRise,
 			Fall:           *fedFall,
+			Replication:    *replication,
+			Shards:         *shards,
 		}, federation.WithLogger(logger))
 		if err != nil {
 			logger.Error("starting coordinator", "error", err)
@@ -184,8 +196,35 @@ func main() {
 		}
 		logger.Info("federation coordinator mode", "peers", len(peerList),
 			"peer_timeout", *fedPeerTimeout, "hedge_delay", *fedHedgeDelay,
-			"health_interval", *fedHealthInterval, "rise", *fedRise, "fall", *fedFall)
+			"health_interval", *fedHealthInterval, "rise", *fedRise, "fall", *fedFall,
+			"replication", *replication, "shards", *shards)
 		handler, closeAPI = co, co.Close
+		if *wireAddr != "" {
+			// A coordinator can front the binary ingest protocol too: each
+			// frame fans out to the stream's shard replicas exactly like an
+			// HTTP batch.
+			wl := wire.NewListener(co,
+				wire.WithLogger(logger),
+				wire.WithMetrics(co.Metrics()),
+				wire.WithMaxFrameBytes(*wireMaxFrame))
+			wln, err := net.Listen("tcp", *wireAddr)
+			if err != nil {
+				logger.Error("wire listen failed", "addr", *wireAddr, "error", err)
+				os.Exit(1)
+			}
+			go func() {
+				logger.Info("wire protocol listening", "addr", wln.Addr().String(), "role", "coordinator")
+				if err := wl.Serve(wln); err != nil {
+					logger.Error("wire serve failed", "error", err)
+				}
+			}()
+			closeAPI = func() {
+				if err := wl.Close(); err != nil {
+					logger.Warn("closing wire listener", "error", err)
+				}
+				co.Close()
+			}
+		}
 	} else {
 		opts := []server.Option{server.WithLogger(logger), server.WithMaxBodyBytes(*maxBody)}
 		if *retFloor < 0 || *retFloor >= 1 {
@@ -227,6 +266,9 @@ func main() {
 				logger.Error("wire listen failed", "addr", *wireAddr, "error", err)
 				os.Exit(1)
 			}
+			// Advertise the resolved wire address in GET /healthz so
+			// coordinators discover the binary ingest path on their own.
+			api.SetWireAddr(wln.Addr().String())
 			go func() {
 				logger.Info("wire protocol listening", "addr", wln.Addr().String())
 				if err := wl.Serve(wln); err != nil {

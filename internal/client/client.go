@@ -475,3 +475,54 @@ func (c *Client) SampleContext(ctx context.Context, name string) (*Sample, error
 	}
 	return &out, nil
 }
+
+// CreateStreamContext is CreateStream bounded by ctx — the coordinator's
+// replica-backfill path uses it under per-peer deadlines.
+func (c *Client) CreateStreamContext(ctx context.Context, name string, cfg StreamConfig) error {
+	return c.doCtx(ctx, http.MethodPut, "/streams/"+url.PathEscape(name), cfg, nil)
+}
+
+// DeleteStreamContext is DeleteStream bounded by ctx.
+func (c *Client) DeleteStreamContext(ctx context.Context, name string) error {
+	return c.doCtx(ctx, http.MethodDelete, "/streams/"+url.PathEscape(name), nil, nil)
+}
+
+// HealthInfo is the GET /healthz payload: liveness plus the node's
+// advertised capabilities (currently its wire-protocol listen address).
+type HealthInfo struct {
+	Status   string `json:"status"`
+	Streams  int    `json:"streams"`
+	Points   uint64 `json:"points"`
+	WireAddr string `json:"wire_addr"`
+}
+
+// HealthInfoContext probes GET /healthz and returns the full payload —
+// coordinators use it to discover a peer's wire-ingest address alongside
+// liveness.
+func (c *Client) HealthInfoContext(ctx context.Context) (*HealthInfo, error) {
+	var out HealthInfo
+	if err := c.doCtx(ctx, http.MethodGet, "/healthz", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// TransferContext downloads the stream's full durable chain as one
+// self-verifying transfer blob (GET /streams/{name}/transfer) — the unit
+// a federation drain ships between nodes.
+func (c *Client) TransferContext(ctx context.Context, name string) ([]byte, error) {
+	var raw []byte
+	if err := c.doCtx(ctx, http.MethodGet,
+		"/streams/"+url.PathEscape(name)+"/transfer", nil, &raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// InstallTransferContext installs a transfer blob on the peer under name
+// (POST /streams/{name}/transfer). The peer refuses with 409 if it
+// already holds the stream.
+func (c *Client) InstallTransferContext(ctx context.Context, name string, blob []byte) error {
+	return c.doCtx(ctx, http.MethodPost,
+		"/streams/"+url.PathEscape(name)+"/transfer", blob, nil)
+}

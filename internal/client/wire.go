@@ -2,6 +2,7 @@ package client
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"net"
@@ -134,11 +135,18 @@ func DialWire(addr string, cfg WireConnConfig) (*WireConn, error) {
 
 // redial (re)establishes the connection. Called with w.mu held.
 func (w *WireConn) redial() error {
+	return w.redialCtx(context.Background())
+}
+
+// redialCtx is redial honoring ctx: a canceled context aborts the dial
+// immediately, not after DialTimeout. Called with w.mu held.
+func (w *WireConn) redialCtx(ctx context.Context) error {
 	if w.conn != nil {
 		w.conn.Close()
 		w.conn = nil
 	}
-	conn, err := net.DialTimeout("tcp", w.addr, w.cfg.DialTimeout)
+	d := net.Dialer{Timeout: w.cfg.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", w.addr)
 	if err != nil {
 		return fmt.Errorf("wire: dialing %s: %w", w.addr, err)
 	}
@@ -194,7 +202,7 @@ func (w *WireConn) Add(stream string, p Point) error {
 		w.mu.Unlock()
 		return nil
 	}
-	err := w.flushStreamLocked(stream, f)
+	err := w.flushStreamLocked(context.Background(), stream, f)
 	w.mu.Unlock()
 	return err
 }
@@ -203,6 +211,15 @@ func (w *WireConn) Add(stream string, p Point) error {
 // buffer. It blocks until the server ACKs the frame (retrying through
 // backpressure) or rejects it.
 func (w *WireConn) Push(stream string, points []Point) error {
+	return w.PushContext(context.Background(), stream, points)
+}
+
+// PushContext is Push bounded by ctx: cancellation aborts the dial, cuts
+// short a retry backoff, and unblocks a round trip stuck on a silent
+// (blackholed) connection by poisoning its deadline. After a ctx-aborted
+// round trip the frame may or may not have been applied — the same
+// at-least-once window as a reconnect.
+func (w *WireConn) PushContext(ctx context.Context, stream string, points []Point) error {
 	if len(points) == 0 {
 		return nil
 	}
@@ -233,26 +250,31 @@ func (w *WireConn) Push(stream string, points []Point) error {
 	if w.closed {
 		return ErrWireConnClosed
 	}
-	return w.sendLocked(stream, &f)
+	return w.sendCtxLocked(ctx, stream, &f)
 }
 
 // Flush pushes every stream's buffered points.
 func (w *WireConn) Flush() error {
+	return w.FlushContext(context.Background())
+}
+
+// FlushContext is Flush bounded by ctx.
+func (w *WireConn) FlushContext(ctx context.Context) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
 		return ErrWireConnClosed
 	}
-	return w.flushAllLocked()
+	return w.flushAllLocked(ctx)
 }
 
-func (w *WireConn) flushAllLocked() error {
+func (w *WireConn) flushAllLocked(ctx context.Context) error {
 	var first error
 	for stream, f := range w.bufs {
 		if f.count == 0 {
 			continue
 		}
-		if err := w.flushStreamLocked(stream, f); err != nil && first == nil {
+		if err := w.flushStreamLocked(ctx, stream, f); err != nil && first == nil {
 			first = err
 		}
 	}
@@ -269,7 +291,7 @@ func (w *WireConn) Close() error {
 	if w.closed {
 		return nil
 	}
-	err := w.flushAllLocked()
+	err := w.flushAllLocked(context.Background())
 	w.closed = true
 	if w.conn != nil {
 		w.conn.Close()
@@ -282,8 +304,8 @@ func (w *WireConn) Close() error {
 // buffer (keeping its capacity) regardless of outcome: like Batcher, a
 // frame that exhausts its retries is dropped with an error, not retried
 // forever.
-func (w *WireConn) flushStreamLocked(stream string, f *frame) error {
-	err := w.sendLocked(stream, f)
+func (w *WireConn) flushStreamLocked(ctx context.Context, stream string, f *frame) error {
+	err := w.sendCtxLocked(ctx, stream, f)
 	f.count = 0
 	f.dim = 0
 	f.values = f.values[:0]
@@ -294,9 +316,12 @@ func (w *WireConn) flushStreamLocked(stream string, f *frame) error {
 	return err
 }
 
-// sendLocked encodes f and runs the send/reply/retry loop. Called with
-// w.mu held.
-func (w *WireConn) sendLocked(stream string, f *frame) error {
+// sendCtxLocked encodes f and runs the send/reply/retry loop, honoring
+// ctx at every blocking point: the dial, the round trip (a cancellation
+// poisons the connection deadline, so even a reply that never comes —
+// blackholed network — unblocks immediately), and the NACK backoff wait.
+// Called with w.mu held.
+func (w *WireConn) sendCtxLocked(ctx context.Context, stream string, f *frame) error {
 	wf := wire.Frame{Dim: f.dim, Count: f.count, Values: f.values}
 	if f.anyLabel {
 		wf.Labels = f.labels
@@ -311,15 +336,24 @@ func (w *WireConn) sendLocked(stream string, f *frame) error {
 	}
 	var lastNack wire.Reply
 	for attempt := 0; attempt < w.cfg.MaxRetries; attempt++ {
-		r, err := w.roundTripLocked()
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("wire: send aborted: %w", err)
+		}
+		r, err := w.roundTripLocked(ctx)
 		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return fmt.Errorf("wire: send aborted: %w", cerr)
+			}
 			// Transport failure: redial once and resend this frame. If the
 			// ACK (not the frame) was lost, the resend double-applies —
 			// the documented at-least-once window.
-			if rerr := w.redial(); rerr != nil {
+			if rerr := w.redialCtx(ctx); rerr != nil {
 				return rerr
 			}
-			if r, err = w.roundTripLocked(); err != nil {
+			if r, err = w.roundTripLocked(ctx); err != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					return fmt.Errorf("wire: send aborted: %w", cerr)
+				}
 				return fmt.Errorf("wire: resend after reconnect failed: %w", err)
 			}
 		}
@@ -332,7 +366,13 @@ func (w *WireConn) sendLocked(stream string, f *frame) error {
 			if wait <= 0 {
 				wait = w.cfg.retryWait(attempt)
 			}
-			time.Sleep(wait)
+			timer := time.NewTimer(wait)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return fmt.Errorf("wire: send aborted during backoff: %w", ctx.Err())
+			case <-timer.C:
+			}
 		default:
 			return &WireError{Msg: r.Msg}
 		}
@@ -342,9 +382,27 @@ func (w *WireConn) sendLocked(stream string, f *frame) error {
 }
 
 // roundTripLocked writes the encoded frame in w.enc and reads one reply.
-func (w *WireConn) roundTripLocked() (wire.Reply, error) {
+// While the round trip is in flight a ctx cancellation (or deadline)
+// fires a watcher that moves the connection deadline to now, failing the
+// pending read/write; the poisoned connection is then discarded so a
+// later attempt redials cleanly.
+func (w *WireConn) roundTripLocked(ctx context.Context) (wire.Reply, error) {
 	if w.conn == nil {
 		return wire.Reply{}, io.ErrClosedPipe
+	}
+	if ctx.Done() != nil {
+		conn := w.conn
+		stop := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Now()) })
+		defer func() {
+			if !stop() {
+				// The watcher fired: the deadline is in the past, so no
+				// future I/O on this connection can succeed. Drop it.
+				conn.Close()
+				if w.conn == conn {
+					w.conn = nil
+				}
+			}
+		}()
 	}
 	if _, err := w.bw.Write(w.enc); err != nil {
 		return wire.Reply{}, err

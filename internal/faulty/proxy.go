@@ -1,0 +1,299 @@
+// Package faulty is a fault-injection TCP proxy for robustness tests:
+// put one in front of a data node (HTTP or wire listener) and make the
+// node misbehave on demand — drop connections, delay traffic, blackhole
+// it entirely, reset with RST, or flap between working and broken. The
+// failover suites in internal/federation and internal/client drive their
+// kill sweeps through it, so "a node died mid-traffic" is a one-line
+// SetMode call instead of process orchestration.
+//
+// Fault model, per accepted connection:
+//
+//	Pass       forward both directions unchanged
+//	Delay      forward, sleeping Delay() before each upstream write
+//	Blackhole  accept and read the client forever, never answer, never
+//	           dial upstream; existing piped connections stop forwarding
+//	Reset      close the client connection immediately with SO_LINGER 0
+//	           (an RST, not a FIN, where the platform supports it)
+//	Drop       close the client connection immediately (clean close)
+//	Flap       alternate Pass / Reset per accepted connection
+//
+// Mode changes apply to new connections at accept time and to live piped
+// connections at the next forwarded chunk — switching to Blackhole
+// mid-stream silences an established connection without closing it,
+// which is exactly how a partitioned-but-alive node looks. KillConns
+// closes every live connection (both halves), forcing clients off their
+// pools so the new mode is felt immediately.
+package faulty
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode selects the proxy's fault behaviour. See the package comment for
+// the per-mode semantics.
+type Mode int32
+
+const (
+	Pass Mode = iota
+	Delay
+	Blackhole
+	Reset
+	Drop
+	Flap
+)
+
+// String implements fmt.Stringer for test logs.
+func (m Mode) String() string {
+	switch m {
+	case Pass:
+		return "pass"
+	case Delay:
+		return "delay"
+	case Blackhole:
+		return "blackhole"
+	case Reset:
+		return "reset"
+	case Drop:
+		return "drop"
+	case Flap:
+		return "flap"
+	}
+	return fmt.Sprintf("mode(%d)", int32(m))
+}
+
+// Proxy is one listener forwarding to one target address. Safe for
+// concurrent use; all knobs are atomic.
+type Proxy struct {
+	target string
+	ln     net.Listener
+
+	mode    atomic.Int32
+	delayNS atomic.Int64
+	flapSeq atomic.Uint64
+
+	accepted atomic.Uint64
+	refused  atomic.Uint64 // connections reset/dropped at accept time
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New starts a proxy on a fresh loopback port forwarding to target
+// (host:port). It begins in Pass mode.
+func New(target string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("faulty: listen: %w", err)
+	}
+	p := &Proxy{target: target, ln: ln, conns: make(map[net.Conn]struct{})}
+	p.delayNS.Store(int64(10 * time.Millisecond))
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address (host:port) — the address to
+// hand to the client under test.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// URL returns the proxy address as an http base URL.
+func (p *Proxy) URL() string { return "http://" + p.Addr() }
+
+// SetMode switches the fault behaviour for new connections and, for
+// Blackhole/Reset, for live piped connections at their next chunk.
+func (p *Proxy) SetMode(m Mode) { p.mode.Store(int32(m)) }
+
+// CurMode returns the current mode.
+func (p *Proxy) CurMode() Mode { return Mode(p.mode.Load()) }
+
+// SetDelay tunes the Delay mode's per-write sleep (default 10ms).
+func (p *Proxy) SetDelay(d time.Duration) { p.delayNS.Store(int64(d)) }
+
+// Accepted returns how many connections the proxy has accepted.
+func (p *Proxy) Accepted() uint64 { return p.accepted.Load() }
+
+// Refused returns how many connections were reset or dropped at accept.
+func (p *Proxy) Refused() uint64 { return p.refused.Load() }
+
+// KillConns closes every live connection through the proxy, both the
+// client and upstream halves. Combine with SetMode(Blackhole) to knock a
+// node out from under clients holding pooled keep-alive connections.
+func (p *Proxy) KillConns() {
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+}
+
+// Close stops the listener and closes every live connection.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.KillConns()
+	p.wg.Wait()
+	return err
+}
+
+// track registers a live connection for KillConns/Close. It reports
+// false (and closes c) when the proxy is already closed.
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		c.Close()
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.accepted.Add(1)
+		mode := p.CurMode()
+		if mode == Flap {
+			// Odd accepts pass, even accepts reset: every retry sees the
+			// other behaviour.
+			if p.flapSeq.Add(1)%2 == 0 {
+				mode = Reset
+			} else {
+				mode = Pass
+			}
+		}
+		switch mode {
+		case Reset:
+			p.refused.Add(1)
+			abort(c)
+		case Drop:
+			p.refused.Add(1)
+			c.Close()
+		case Blackhole:
+			if !p.track(c) {
+				continue
+			}
+			p.wg.Add(1)
+			go p.swallow(c)
+		default: // Pass, Delay
+			if !p.track(c) {
+				continue
+			}
+			p.wg.Add(1)
+			go p.pipe(c)
+		}
+	}
+}
+
+// abort closes c so the peer sees an RST where the platform allows it.
+func abort(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	c.Close()
+}
+
+// swallow is the Blackhole service: read and discard until the client
+// gives up or KillConns/Close intervenes. Nothing is ever written back.
+func (p *Proxy) swallow(c net.Conn) {
+	defer p.wg.Done()
+	defer p.untrack(c)
+	defer c.Close()
+	io.Copy(io.Discard, c)
+}
+
+// pipe connects upstream and forwards both directions, honouring
+// mid-stream mode changes chunk by chunk.
+func (p *Proxy) pipe(client net.Conn) {
+	defer p.wg.Done()
+	upstream, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+	if err != nil {
+		p.untrack(client)
+		client.Close()
+		return
+	}
+	if !p.track(upstream) {
+		p.untrack(client)
+		client.Close()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		p.copyChunks(upstream, client, true)
+	}()
+	go func() {
+		defer wg.Done()
+		p.copyChunks(client, upstream, false)
+	}()
+	wg.Wait()
+	p.untrack(client)
+	p.untrack(upstream)
+	client.Close()
+	upstream.Close()
+}
+
+// copyChunks forwards src→dst one read at a time, consulting the mode
+// before each write: Blackhole keeps reading but forwards nothing (the
+// connection goes silent without closing), Reset tears it down, Delay
+// sleeps before delaying-direction writes.
+func (p *Proxy) copyChunks(dst, src net.Conn, toUpstream bool) {
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			switch p.CurMode() {
+			case Blackhole:
+				// Swallow silently; keep draining src so the sender does
+				// not block on TCP flow control and time out early.
+			case Reset:
+				abort(dst)
+				abort(src)
+				return
+			case Delay:
+				if toUpstream {
+					time.Sleep(time.Duration(p.delayNS.Load()))
+				}
+				if _, werr := dst.Write(buf[:n]); werr != nil {
+					return
+				}
+			default:
+				if _, werr := dst.Write(buf[:n]); werr != nil {
+					return
+				}
+			}
+		}
+		if err != nil {
+			// Half-close so the other direction can finish its in-flight
+			// reply before the deferred full close.
+			if tc, ok := dst.(*net.TCPConn); ok && err == io.EOF {
+				tc.CloseWrite()
+			}
+			return
+		}
+	}
+}

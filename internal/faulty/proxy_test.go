@@ -1,0 +1,217 @@
+package faulty
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newBackend returns an httptest server answering "ok" plus a proxy in
+// front of it and a client whose every request runs through the proxy.
+func newBackend(t *testing.T) (*Proxy, *http.Client) {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	t.Cleanup(ts.Close)
+	p, err := New(ts.Listener.Addr().String())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { p.Close() })
+	// Fresh transport per test: pooled connections are part of what the
+	// proxy must be able to kill, so keep them under test control.
+	hc := &http.Client{Timeout: 2 * time.Second, Transport: &http.Transport{}}
+	return p, hc
+}
+
+func get(hc *http.Client, p *Proxy) (string, error) {
+	resp, err := hc.Get(p.URL() + "/")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+func TestPassForwards(t *testing.T) {
+	p, hc := newBackend(t)
+	body, err := get(hc, p)
+	if err != nil {
+		t.Fatalf("GET through pass proxy: %v", err)
+	}
+	if body != "ok" {
+		t.Fatalf("body = %q, want ok", body)
+	}
+	if p.Accepted() == 0 {
+		t.Fatal("proxy accepted no connections")
+	}
+}
+
+func TestBlackholeTimesOutNewConnections(t *testing.T) {
+	p, hc := newBackend(t)
+	p.SetMode(Blackhole)
+	hc.Timeout = 200 * time.Millisecond
+	start := time.Now()
+	if _, err := get(hc, p); err == nil {
+		t.Fatal("GET through blackhole succeeded")
+	}
+	if d := time.Since(start); d < 150*time.Millisecond {
+		t.Fatalf("blackhole failed fast (%v); want a timeout, not a refusal", d)
+	}
+}
+
+func TestBlackholeSilencesLiveConnections(t *testing.T) {
+	p, hc := newBackend(t)
+	if _, err := get(hc, p); err != nil {
+		t.Fatalf("warm-up GET: %v", err)
+	}
+	// The pooled connection is piped; switching modes must silence it
+	// without KillConns.
+	p.SetMode(Blackhole)
+	hc.Timeout = 200 * time.Millisecond
+	if _, err := get(hc, p); err == nil {
+		t.Fatal("GET over silenced pooled connection succeeded")
+	}
+}
+
+func TestResetRefusesImmediately(t *testing.T) {
+	p, hc := newBackend(t)
+	p.SetMode(Reset)
+	start := time.Now()
+	if _, err := get(hc, p); err == nil {
+		t.Fatal("GET through reset proxy succeeded")
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("reset took %v; want an immediate failure", d)
+	}
+	if p.Refused() == 0 {
+		t.Fatal("reset connections not counted as refused")
+	}
+}
+
+func TestDropClosesCleanly(t *testing.T) {
+	p, _ := newBackend(t)
+	p.SetMode(Drop)
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	c.SetReadDeadline(time.Now().Add(time.Second))
+	buf := make([]byte, 1)
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("read from dropped connection returned data")
+	}
+}
+
+func TestFlapAlternates(t *testing.T) {
+	p, hc := newBackend(t)
+	p.SetMode(Flap)
+	oks, fails := 0, 0
+	for i := 0; i < 6; i++ {
+		// One request per connection: flap decides at accept time.
+		hc.Transport.(*http.Transport).CloseIdleConnections()
+		if _, err := get(hc, p); err != nil {
+			fails++
+		} else {
+			oks++
+		}
+	}
+	if oks == 0 || fails == 0 {
+		t.Fatalf("flap gave %d successes and %d failures; want both", oks, fails)
+	}
+}
+
+func TestDelaySlowsTraffic(t *testing.T) {
+	p, hc := newBackend(t)
+	p.SetDelay(100 * time.Millisecond)
+	p.SetMode(Delay)
+	start := time.Now()
+	if _, err := get(hc, p); err != nil {
+		t.Fatalf("GET through delay proxy: %v", err)
+	}
+	if d := time.Since(start); d < 80*time.Millisecond {
+		t.Fatalf("delayed GET took %v; want ≥ ~100ms", d)
+	}
+}
+
+func TestKillConnsForcesRedial(t *testing.T) {
+	p, hc := newBackend(t)
+	if _, err := get(hc, p); err != nil {
+		t.Fatalf("warm-up GET: %v", err)
+	}
+	before := p.Accepted()
+	p.KillConns()
+	if _, err := get(hc, p); err != nil {
+		t.Fatalf("GET after KillConns: %v", err)
+	}
+	if p.Accepted() == before {
+		t.Fatal("client reused a killed connection; want a fresh accept")
+	}
+}
+
+func TestRecoveryAfterBlackhole(t *testing.T) {
+	p, hc := newBackend(t)
+	p.SetMode(Blackhole)
+	p.KillConns()
+	hc.Timeout = 150 * time.Millisecond
+	if _, err := get(hc, p); err == nil {
+		t.Fatal("GET during blackhole succeeded")
+	}
+	p.SetMode(Pass)
+	p.KillConns() // shed the swallowed connection
+	hc.Timeout = 2 * time.Second
+	body, err := get(hc, p)
+	if err != nil || body != "ok" {
+		t.Fatalf("GET after recovery = %q, %v; want ok", body, err)
+	}
+}
+
+func TestCloseUnblocksEverything(t *testing.T) {
+	p, hc := newBackend(t)
+	p.SetMode(Blackhole)
+	done := make(chan error, 1)
+	go func() {
+		_, err := get(hc, p)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	if err := p.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("blackholed GET succeeded after Close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close left a blackholed client blocked")
+	}
+	// Idempotent.
+	if err := p.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestContextCancelThroughBlackhole(t *testing.T) {
+	p, _ := newBackend(t)
+	p.SetMode(Blackhole)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, p.URL()+"/", nil)
+	_, err := (&http.Client{Transport: &http.Transport{}}).Do(req)
+	if err == nil {
+		t.Fatal("blackholed request succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) && !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("err = %v; want a deadline error", err)
+	}
+}

@@ -40,7 +40,6 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
-	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -68,6 +67,13 @@ type Config struct {
 	// Fall is how many consecutive failed probes take a healthy peer out
 	// of rotation (default 2).
 	Fall int
+	// Replication is how many placement-chosen peers each shard of a
+	// coordinator-managed stream is written to (default 1; 2+ makes any
+	// single node loss invisible to queries).
+	Replication int
+	// Shards is the default shard count for streams created without an
+	// explicit "shards" field (default 1).
+	Shards int
 }
 
 func (cfg Config) withDefaults() Config {
@@ -86,6 +92,12 @@ func (cfg Config) withDefaults() Config {
 	if cfg.Fall <= 0 {
 		cfg.Fall = 2
 	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = 1
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
 	return cfg
 }
 
@@ -98,8 +110,12 @@ type Coordinator struct {
 	httpm   *obs.HTTPMetrics
 	mux     *http.ServeMux
 
-	mu    sync.RWMutex
-	peers map[string]*peer
+	mu       sync.RWMutex
+	peers    map[string]*peer
+	fstreams map[string]*fedStream // coordinator-managed (sharded, replicated) streams
+
+	wmu   sync.Mutex                  // guards wires
+	wires map[string]*client.WireConn // pooled binary-ingest conns, by peer addr
 
 	peerReqs *obs.CounterVec // biasedres_fed_peer_requests_total{peer}
 	peerErrs *obs.CounterVec // biasedres_fed_peer_errors_total{peer}
@@ -108,8 +124,18 @@ type Coordinator struct {
 	partials *obs.Counter    // biasedres_fed_partial_responses_total
 	fanLat   *obs.HistogramVec
 
+	replicaWrites    *obs.CounterVec // biasedres_fed_replica_writes_total{peer}
+	replicaWriteErrs *obs.CounterVec // biasedres_fed_replica_write_errors_total{peer}
+	dedupDropped     *obs.Counter    // biasedres_fed_replica_dedup_dropped_total
+	migrStreams      *obs.Counter    // biasedres_fed_migration_streams_total
+	migrBytes        *obs.Counter    // biasedres_fed_migration_bytes_total
+	migrErrs         *obs.Counter    // biasedres_fed_migration_errors_total
+	migrSeconds      *obs.Histogram  // biasedres_fed_migration_seconds
+	drains           *obs.Counter    // biasedres_fed_drains_total
+
 	swept     atomic.Bool   // a full health sweep has completed
 	sweeps    atomic.Uint64 // completed sweeps; tests wait out the startup sweep on it
+	closing   atomic.Bool   // Close has begun: readiness fails first
 	stop      chan struct{}
 	wg        sync.WaitGroup
 	closeOnce sync.Once
@@ -136,9 +162,11 @@ func WithMetrics(reg *obs.Registry) Option {
 // serve immediately.
 func New(peers []string, cfg Config, opts ...Option) (*Coordinator, error) {
 	co := &Coordinator{
-		cfg:   cfg.withDefaults(),
-		peers: make(map[string]*peer),
-		stop:  make(chan struct{}),
+		cfg:      cfg.withDefaults(),
+		peers:    make(map[string]*peer),
+		fstreams: make(map[string]*fedStream),
+		wires:    make(map[string]*client.WireConn),
+		stop:     make(chan struct{}),
 	}
 	for _, opt := range opts {
 		opt(co)
@@ -160,6 +188,22 @@ func New(peers []string, cfg Config, opts ...Option) (*Coordinator, error) {
 	co.fanLat = co.metrics.Histogram("biasedres_fed_fanout_seconds",
 		"Whole scatter-gather latency (slowest shard or timeout), by route.",
 		obs.DefLatencyBuckets(), "route")
+	co.replicaWrites = co.metrics.Counter("biasedres_fed_replica_writes_total",
+		"Shard sub-batches acknowledged by each replica peer.", "peer")
+	co.replicaWriteErrs = co.metrics.Counter("biasedres_fed_replica_write_errors_total",
+		"Shard sub-batch writes that failed at each replica peer.", "peer")
+	co.dedupDropped = co.metrics.Counter("biasedres_fed_replica_dedup_dropped_total",
+		"Redundant replica responses discarded by per-shard max-position dedup.").With()
+	co.migrStreams = co.metrics.Counter("biasedres_fed_migration_streams_total",
+		"Streams shipped to a new placement by drain operations.").With()
+	co.migrBytes = co.metrics.Counter("biasedres_fed_migration_bytes_total",
+		"Transfer-blob bytes shipped by drain operations.").With()
+	co.migrErrs = co.metrics.Counter("biasedres_fed_migration_errors_total",
+		"Stream migrations that failed (stream left on the source).").With()
+	co.migrSeconds = co.metrics.Histogram("biasedres_fed_migration_seconds",
+		"Whole drain-operation latency.", obs.DefLatencyBuckets()).With()
+	co.drains = co.metrics.Counter("biasedres_fed_drains_total",
+		"Drain operations started.").With()
 	co.metrics.Register(obs.CollectorFunc(co.collectPeers))
 
 	for _, addr := range peers {
@@ -178,7 +222,11 @@ func New(peers []string, cfg Config, opts ...Option) (*Coordinator, error) {
 		{"GET /peers", co.handlePeersList},
 		{"POST /peers", co.handlePeerAdd},
 		{"DELETE /peers", co.handlePeerRemove},
+		{"POST /peers/drain", co.handleDrain},
 		{"GET /streams", co.handleStreams},
+		{"PUT /streams/{name}", co.handleStreamCreate},
+		{"DELETE /streams/{name}", co.handleStreamDelete},
+		{"POST /streams/{name}/points", co.handleIngest},
 		{"GET /streams/{name}/query", co.handleQuery},
 		{"GET /streams/{name}/sample", co.handleSample},
 	}
@@ -199,11 +247,16 @@ func (co *Coordinator) Metrics() *obs.Registry { return co.metrics }
 // ServeHTTP implements http.Handler.
 func (co *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) { co.mux.ServeHTTP(w, r) }
 
-// Close stops the health checker. Safe to call more than once.
+// Close stops the health checker and the pooled wire connections. Safe
+// to call more than once. Readiness fails the moment Close begins, so a
+// load balancer draining on /readyz stops routing before the
+// coordinator stops answering.
 func (co *Coordinator) Close() {
 	co.closeOnce.Do(func() {
+		co.closing.Store(true)
 		close(co.stop)
 		co.wg.Wait()
+		co.dropWireConns()
 	})
 }
 
@@ -412,6 +465,13 @@ func (co *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
 		rect = &rc
 	}
 
+	// A coordinator-managed stream reads through placement: one deduped
+	// replica response per shard.
+	if fs, managed := co.lookupFed(name); managed {
+		co.managedQuery(w, r, name, fs, typ, h, rect)
+		return
+	}
+
 	start := time.Now()
 	co.fanouts.With("query").Inc()
 	outs := co.gatherAccums(r.Context(), name, h, rect)
@@ -433,6 +493,13 @@ func (co *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
 			merged.Merge(o.val)
 		}
 	}
+	co.writeMergedQuery(w, typ, merged, ok, total)
+}
+
+// writeMergedQuery renders a merged accumulator as the federated query
+// response — shared by the legacy per-node shard path and the managed
+// placement path.
+func (co *Coordinator) writeMergedQuery(w http.ResponseWriter, typ string, merged *query.Accum, ok, total int) {
 	partial := ok < total
 	if partial {
 		co.partials.Inc()
@@ -486,6 +553,10 @@ type fedSamplePoint struct {
 
 func (co *Coordinator) handleSample(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	if fs, managed := co.lookupFed(name); managed {
+		co.managedSample(w, r, name, fs)
+		return
+	}
 	start := time.Now()
 	co.fanouts.With("sample").Inc()
 	targets := co.targets(name)
@@ -550,11 +621,8 @@ func (co *Coordinator) handleStreams(w http.ResponseWriter, r *http.Request) {
 			union[name] = true
 		}
 	}
-	names := make([]string, 0, len(union))
-	for name := range union {
-		names = append(names, name)
-	}
-	sort.Strings(names)
+	// Shard replicas ("s@0", "s@1") present as their federated stream.
+	names := fedStreamNames(union, co.fedList())
 	partial := total > 0 && ok < total
 	if partial {
 		co.partials.Inc()
@@ -578,22 +646,65 @@ func (co *Coordinator) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// handleReadyz is the coordinator's data-availability gate: ready only
+// when a health sweep has run, Close has not begun, and every stream the
+// coordinator knows about — hinted on any peer or coordinator-managed —
+// has at least one reachable replica. A load balancer watching it stops
+// routing as soon as a stream would answer 404/503, and first of all on
+// shutdown.
 func (co *Coordinator) handleReadyz(w http.ResponseWriter, _ *http.Request) {
-	if !co.swept.Load() {
-		httpError(w, http.StatusServiceUnavailable, "not ready: first health sweep pending")
+	if err := co.readyErr(); err != nil {
+		httpError(w, http.StatusServiceUnavailable, "not ready: %v", err)
 		return
 	}
-	healthy := 0
+	healthy := len(co.healthyPeers())
+	writeJSON(w, map[string]any{"status": "ready", "peers_healthy": healthy})
+}
+
+// readyErr reports why the coordinator is not ready, or nil.
+func (co *Coordinator) readyErr() error {
+	if co.closing.Load() {
+		return errors.New("shutting down")
+	}
+	if !co.swept.Load() {
+		return errors.New("first health sweep pending")
+	}
+	healthy := co.healthyPeers()
+	if len(healthy) == 0 {
+		return errors.New("no healthy peers")
+	}
+	reachable := func(stream string) bool {
+		for _, p := range healthy {
+			if p.mayHold(stream) {
+				return true
+			}
+		}
+		return false
+	}
+	// Every stream hinted anywhere must be reachable through some healthy
+	// peer; a stream held only by down nodes would answer 404/503.
+	seen := map[string]bool{}
 	for _, p := range co.peerList() {
-		if p.isHealthy() {
-			healthy++
+		p.mu.Lock()
+		for name := range p.streams {
+			seen[name] = true
+		}
+		p.mu.Unlock()
+	}
+	for name := range seen {
+		if !reachable(name) {
+			return fmt.Errorf("stream %q has no reachable replica", name)
 		}
 	}
-	if healthy == 0 {
-		httpError(w, http.StatusServiceUnavailable, "not ready: no healthy peers")
-		return
+	// Every shard of every managed stream, even before a sweep hints it.
+	for name, fs := range co.fedList() {
+		for shard := 0; shard < fs.shards; shard++ {
+			if !reachable(shardStream(name, shard)) {
+				return fmt.Errorf("stream %q shard %d has no reachable replica", name, shard)
+			}
+		}
 	}
-	writeJSON(w, map[string]any{"status": "ready", "peers_healthy": healthy})
+	return nil
 }
 
 // stringKeys converts an int-keyed map to the string-keyed form JSON

@@ -39,7 +39,7 @@ type node struct {
 	down atomic.Bool
 }
 
-func startNode(t *testing.T, seed uint64) *node {
+func startNode(t testing.TB, seed uint64) *node {
 	t.Helper()
 	n := &node{srv: server.New(seed)}
 	n.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -61,7 +61,7 @@ func startNode(t *testing.T, seed uint64) *node {
 	return n
 }
 
-func startNodes(t *testing.T, k int) []*node {
+func startNodes(t testing.TB, k int) []*node {
 	t.Helper()
 	nodes := make([]*node, k)
 	for i := range nodes {
@@ -70,7 +70,7 @@ func startNodes(t *testing.T, k int) []*node {
 	return nodes
 }
 
-func startCoordinator(t *testing.T, nodes []*node, cfg Config) (*Coordinator, *httptest.Server) {
+func startCoordinator(t testing.TB, nodes []*node, cfg Config) (*Coordinator, *httptest.Server) {
 	t.Helper()
 	peers := make([]string, len(nodes))
 	for i, n := range nodes {
@@ -100,7 +100,7 @@ func startCoordinator(t *testing.T, nodes []*node, cfg Config) (*Coordinator, *h
 }
 
 // fedGet fetches a coordinator URL and decodes the JSON body.
-func fedGet(t *testing.T, url string) (int, map[string]any) {
+func fedGet(t testing.TB, url string) (int, map[string]any) {
 	t.Helper()
 	resp, err := http.Get(url)
 	if err != nil {
@@ -593,7 +593,7 @@ func TestFederatedSampleOrigins(t *testing.T) {
 	}
 }
 
-func jsonBody(t *testing.T, v any) io.Reader {
+func jsonBody(t testing.TB, v any) io.Reader {
 	t.Helper()
 	var buf bytes.Buffer
 	if err := json.NewEncoder(&buf).Encode(v); err != nil {

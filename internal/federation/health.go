@@ -31,6 +31,9 @@ func (co *Coordinator) Sweep(ctx context.Context) {
 	for _, p := range co.peerList() {
 		co.probe(ctx, p)
 	}
+	// The refreshed hints may name shard replicas this coordinator has
+	// never heard of (restart, another coordinator's creates): adopt them.
+	co.adoptHinted()
 	co.swept.Store(true)
 	co.sweeps.Add(1)
 }
@@ -42,7 +45,7 @@ func (co *Coordinator) Sweep(ctx context.Context) {
 func (co *Coordinator) probe(ctx context.Context, p *peer) {
 	pctx, cancel := context.WithTimeout(ctx, co.cfg.PeerTimeout)
 	defer cancel()
-	err := p.c.HealthzContext(pctx)
+	info, err := p.c.HealthInfoContext(pctx)
 
 	var streams map[string]bool
 	if err == nil {
@@ -82,4 +85,7 @@ func (co *Coordinator) probe(ctx context.Context, p *peer) {
 		p.streams = streams
 		p.hasStreams = true
 	}
+	// The wire address is advertised, never inferred: an empty field
+	// (older node, no listener) keeps ingest on HTTP.
+	p.wireAddr = info.WireAddr
 }

@@ -1,0 +1,222 @@
+package federation
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/url"
+	"sort"
+	"time"
+
+	"biasedres/internal/client"
+)
+
+// Live migration: POST /peers/drain moves every stream a departing node
+// holds onto its next placement before the node leaves the registry.
+// For each resident stream the coordinator ships one transfer blob —
+// the node's checkpoint-equivalent cut (GET /streams/{name}/transfer),
+// which installs byte-identically on the destination — to the highest-
+// ranked remaining peer that does not already hold it. The drained peer
+// stays registered until every stream has shipped, so placement (which
+// ranks over all registered peers) keeps routing reads at the source
+// while the copy is in flight; removal flips the top-k to exactly the
+// peers the data just landed on. A dead source falls back to a sibling
+// replica as transfer origin, so draining a crashed node still restores
+// its shards' replication factor.
+
+// drainReport is the POST /peers/drain response body.
+type drainReport struct {
+	Drained  string            `json:"drained"`
+	Removed  bool              `json:"removed"`
+	Migrated []migratedStream  `json:"migrated"`
+	Failed   map[string]string `json:"failed,omitempty"`
+}
+
+// migratedStream records one shipped stream.
+type migratedStream struct {
+	Stream string `json:"stream"`
+	To     string `json:"to"`
+	Bytes  int    `json:"bytes"`
+}
+
+func (co *Coordinator) handleDrain(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Addr string `json:"addr"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	if req.Addr == "" {
+		httpError(w, http.StatusBadRequest, "missing addr")
+		return
+	}
+	norm := req.Addr
+	if u, err := url.Parse(req.Addr); err == nil && u.Host != "" {
+		norm = u.Scheme + "://" + u.Host
+	}
+	co.mu.RLock()
+	src, ok := co.peers[norm]
+	co.mu.RUnlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "peer %q not registered", norm)
+		return
+	}
+
+	co.drains.Inc()
+	start := time.Now()
+	report := co.drain(r.Context(), src)
+	co.migrSeconds.Observe(time.Since(start).Seconds())
+
+	if len(report.Failed) > 0 {
+		// The peer stays registered: some of its data has no new home yet,
+		// and removing it would shift reads onto replicas that miss it.
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadGateway)
+		_ = json.NewEncoder(w).Encode(report)
+		return
+	}
+	report.Removed = co.removePeer(norm)
+	if co.log != nil {
+		co.log.Info("peer drained", "peer", norm, "migrated", len(report.Migrated))
+	}
+	writeJSON(w, report)
+}
+
+// drain ships every stream src holds. The stream inventory prefers a
+// live listing; a dead node falls back to the health checker's cached
+// hint so its replicated shards can still be re-homed from siblings.
+func (co *Coordinator) drain(ctx context.Context, src *peer) drainReport {
+	report := drainReport{Drained: src.addr, Migrated: []migratedStream{}, Failed: map[string]string{}}
+
+	lctx, cancel := context.WithTimeout(ctx, co.cfg.PeerTimeout)
+	names, err := src.c.ListStreamsContext(lctx)
+	cancel()
+	if err != nil {
+		src.mu.Lock()
+		for n := range src.streams {
+			names = append(names, n)
+		}
+		src.mu.Unlock()
+		sort.Strings(names)
+	}
+
+	for _, name := range names {
+		m, merr := co.migrateStream(ctx, src, name)
+		if merr != nil {
+			co.migrErrs.Inc()
+			report.Failed[name] = merr.Error()
+			if co.log != nil {
+				co.log.Warn("stream migration failed", "stream", name, "from", src.addr, "error", merr)
+			}
+			continue
+		}
+		co.migrStreams.Inc()
+		co.migrBytes.Add(uint64(m.Bytes))
+		report.Migrated = append(report.Migrated, m)
+	}
+	return report
+}
+
+// migrateStream ships one stream off src: export a transfer blob (from
+// src, or a sibling replica when src cannot answer), install it on the
+// stream's next-ranked peer, then best-effort delete the source copy.
+func (co *Coordinator) migrateStream(ctx context.Context, src *peer, name string) (migratedStream, error) {
+	// The placement key of a shard replica is its federated shard key, so
+	// the destination matches what placement() will answer once src is
+	// gone; plain streams rank under their own name.
+	key := name
+	if base, shard, ok := parseShardStream(name); ok {
+		key = shardKey(base, shard)
+	}
+
+	var remaining []*peer
+	for _, p := range co.peerList() {
+		if p.addr != src.addr {
+			remaining = append(remaining, p)
+		}
+	}
+	if len(remaining) == 0 {
+		return migratedStream{}, errors.New("no remaining peers to migrate to")
+	}
+
+	blob, err := co.exportTransfer(ctx, src, name)
+	if err != nil {
+		return migratedStream{}, err
+	}
+
+	var lastErr error
+	for _, dst := range rankPeers(key, remaining) {
+		if !dst.isHealthy() {
+			continue
+		}
+		dst.mu.Lock()
+		holds := dst.hasStreams && dst.streams[name]
+		dst.mu.Unlock()
+		if holds {
+			// A sibling replica already carries this shard — nothing to
+			// ship; the data survives src's departure as is.
+			return migratedStream{Stream: name, To: dst.addr, Bytes: 0}, nil
+		}
+		ictx, cancel := context.WithTimeout(ctx, co.cfg.PeerTimeout)
+		err := dst.c.InstallTransferContext(ictx, name, blob)
+		cancel()
+		var apiErr *client.APIError
+		if errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusConflict {
+			err = nil // stale hint: the stream is already there
+		}
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		// Mark the hint immediately so reads route to the new holder
+		// before the next sweep.
+		dst.mu.Lock()
+		if dst.streams == nil {
+			dst.streams = map[string]bool{}
+		}
+		dst.streams[name] = true
+		dst.mu.Unlock()
+		dctx, dcancel := context.WithTimeout(ctx, co.cfg.PeerTimeout)
+		_ = src.c.DeleteStreamContext(dctx, name) // best-effort source cleanup
+		dcancel()
+		return migratedStream{Stream: name, To: dst.addr, Bytes: len(blob)}, nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no healthy destination peer")
+	}
+	return migratedStream{}, lastErr
+}
+
+// exportTransfer fetches the stream's transfer blob from src, falling
+// back to any other healthy peer holding the same stream (a replica)
+// when src cannot answer — the path that re-homes a crashed node's
+// shards.
+func (co *Coordinator) exportTransfer(ctx context.Context, src *peer, name string) ([]byte, error) {
+	tctx, cancel := context.WithTimeout(ctx, co.cfg.PeerTimeout)
+	blob, err := src.c.TransferContext(tctx, name)
+	cancel()
+	if err == nil {
+		return blob, nil
+	}
+	srcErr := err
+	for _, p := range co.healthyPeers() {
+		if p.addr == src.addr {
+			continue
+		}
+		p.mu.Lock()
+		holds := p.streams[name]
+		p.mu.Unlock()
+		if !holds {
+			continue
+		}
+		tctx, cancel := context.WithTimeout(ctx, co.cfg.PeerTimeout)
+		blob, err = p.c.TransferContext(tctx, name)
+		cancel()
+		if err == nil {
+			return blob, nil
+		}
+	}
+	return nil, srcErr
+}

@@ -1,0 +1,109 @@
+package federation
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Placement: rendezvous (highest-random-weight) hashing of shard keys
+// onto the peer set. Every (stream, shard) pair gets a stable ranking of
+// all registered peers; the top Replication entries are the shard's
+// replica set. HRW gives the two properties a rebalancing federation
+// needs without a ring or token state:
+//
+//   - Adding a peer moves only the shards whose new peer ranks into the
+//     top k — about k/n of them — and removing a peer moves only the
+//     shards that peer held (its replacement is exactly the next peer in
+//     that shard's ranking, which is what the drain endpoint ships to).
+//   - Any coordinator that knows the peer set computes the same placement
+//     with no coordination, so routing hints are derivable, not gossiped.
+//
+// Shard-replica streams live on data nodes under "<stream>@<shard>", so
+// '@' (and '#', the shard-key separator) are reserved in federated
+// stream names.
+
+// shardKey is the hash key of one shard of a stream.
+func shardKey(name string, shard int) string {
+	return name + "#" + strconv.Itoa(shard)
+}
+
+// shardStream is the data-node stream name holding one shard's replica.
+func shardStream(name string, shard int) string {
+	return name + "@" + strconv.Itoa(shard)
+}
+
+// parseShardStream splits a data-node stream name back into (stream,
+// shard). Names without the '@' marker are not shard replicas.
+func parseShardStream(s string) (name string, shard int, ok bool) {
+	i := strings.LastIndexByte(s, '@')
+	if i <= 0 || i == len(s)-1 {
+		return "", 0, false
+	}
+	n, err := strconv.Atoi(s[i+1:])
+	if err != nil || n < 0 {
+		return "", 0, false
+	}
+	return s[:i], n, true
+}
+
+// validFederatedName rejects stream names that would collide with the
+// shard-replica namespace.
+func validFederatedName(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty stream name")
+	}
+	if strings.ContainsAny(name, "@#") {
+		return fmt.Errorf("stream name %q: '@' and '#' are reserved for shard placement", name)
+	}
+	return nil
+}
+
+// hrwScore is the FNV-1a 64 hash of key ‖ 0xff ‖ addr — one draw of the
+// shard's "random weight" for that peer. The 0xff separator keeps
+// (key="a", addr="bc") and (key="ab", addr="c") from colliding.
+func hrwScore(key, addr string) uint64 {
+	const offset, prime = uint64(14695981039346656037), uint64(1099511628211)
+	h := offset
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime
+	}
+	h ^= 0xff
+	h *= prime
+	for i := 0; i < len(addr); i++ {
+		h ^= uint64(addr[i])
+		h *= prime
+	}
+	return h
+}
+
+// rankPeers orders peers by descending HRW score for key, ties broken by
+// address so the ranking is total and identical on every coordinator.
+func rankPeers(key string, peers []*peer) []*peer {
+	ranked := append([]*peer(nil), peers...)
+	sort.Slice(ranked, func(i, j int) bool {
+		si, sj := hrwScore(key, ranked[i].addr), hrwScore(key, ranked[j].addr)
+		if si != sj {
+			return si > sj
+		}
+		return ranked[i].addr < ranked[j].addr
+	})
+	return ranked
+}
+
+// placement returns the replica set of one shard: the top-k peers of the
+// shard key's ranking over every registered peer — healthy or not, so a
+// flapping node keeps its assignment instead of shuffling data around.
+// Fewer peers than k means every peer replicates the shard.
+func (co *Coordinator) placement(name string, shard, k int) []*peer {
+	ranked := rankPeers(shardKey(name, shard), co.peerList())
+	if k < 1 {
+		k = 1
+	}
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	return ranked[:k]
+}

@@ -1,0 +1,167 @@
+package federation
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestShardStreamRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		shard int
+	}{
+		{"s", 0}, {"clicks", 7}, {"a.b-c_d", 12}, {"s", 100},
+	} {
+		ss := shardStream(tc.name, tc.shard)
+		name, shard, ok := parseShardStream(ss)
+		if !ok || name != tc.name || shard != tc.shard {
+			t.Fatalf("round trip %q/%d -> %q -> %q/%d/%v", tc.name, tc.shard, ss, name, shard, ok)
+		}
+	}
+	// Names that are not shard replicas must not parse.
+	for _, s := range []string{"plain", "", "@3", "s@", "s@-1", "s@x", "s@1.5"} {
+		if _, _, ok := parseShardStream(s); ok {
+			t.Fatalf("parseShardStream(%q) = ok, want not a shard stream", s)
+		}
+	}
+	// Nested '@' resolves at the last marker, matching shardStream output.
+	if name, shard, ok := parseShardStream("a@b@2"); !ok || name != "a@b" || shard != 2 {
+		t.Fatalf("parseShardStream(a@b@2) = %q/%d/%v", name, shard, ok)
+	}
+}
+
+func TestValidFederatedName(t *testing.T) {
+	for _, ok := range []string{"s", "clicks", "a.b-c_d", "UPPER"} {
+		if err := validFederatedName(ok); err != nil {
+			t.Fatalf("validFederatedName(%q) = %v, want nil", ok, err)
+		}
+	}
+	for _, bad := range []string{"", "s@1", "a#b", "@", "#"} {
+		if err := validFederatedName(bad); err == nil {
+			t.Fatalf("validFederatedName(%q) = nil, want error", bad)
+		}
+	}
+}
+
+func testPeers(n int) []*peer {
+	peers := make([]*peer, n)
+	for i := range peers {
+		peers[i] = &peer{addr: fmt.Sprintf("http://10.0.0.%d:8080", i+1)}
+	}
+	return peers
+}
+
+// TestRankPeersDeterministic: the ranking is a pure function of (key,
+// peer addresses) — input order must not matter, and it must be total.
+func TestRankPeersDeterministic(t *testing.T) {
+	peers := testPeers(7)
+	rng := rand.New(rand.NewSource(1))
+	want := rankPeers("s#0", peers)
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([]*peer(nil), peers...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		got := rankPeers("s#0", shuffled)
+		for i := range want {
+			if got[i].addr != want[i].addr {
+				t.Fatalf("trial %d: rank[%d] = %s, want %s", trial, i, got[i].addr, want[i].addr)
+			}
+		}
+	}
+	// Different keys must not all agree (that would mean the key is
+	// ignored and every stream lands on the same node).
+	same := 0
+	for shard := 0; shard < 50; shard++ {
+		if rankPeers(shardKey("s", shard), peers)[0].addr == want[0].addr {
+			same++
+		}
+	}
+	if same == 50 {
+		t.Fatal("every shard key ranked the same peer first; key is not feeding the hash")
+	}
+}
+
+// TestHRWBalance: over many shard keys the top-ranked peer should spread
+// roughly uniformly — no peer starved, none hoarding.
+func TestHRWBalance(t *testing.T) {
+	peers := testPeers(8)
+	const keys = 4000
+	counts := map[string]int{}
+	for i := 0; i < keys; i++ {
+		top := rankPeers(shardKey(fmt.Sprintf("stream-%d", i), 0), peers)[0]
+		counts[top.addr]++
+	}
+	want := keys / len(peers) // 500
+	for addr, n := range counts {
+		if n < want/2 || n > want*2 {
+			t.Fatalf("peer %s owns %d of %d keys, want ~%d (within 2x)", addr, n, keys, want)
+		}
+	}
+	if len(counts) != len(peers) {
+		t.Fatalf("only %d of %d peers ever ranked first", len(counts), len(peers))
+	}
+}
+
+// TestHRWStabilityOnRemoval is the property round-robin placement lacks
+// and HRW buys: removing one peer relocates only the shards that peer
+// held, and each survivor's replica set keeps its surviving members.
+func TestHRWStabilityOnRemoval(t *testing.T) {
+	peers := testPeers(6)
+	removed := peers[2]
+	remaining := append(append([]*peer(nil), peers[:2]...), peers[3:]...)
+
+	const k = 2
+	topK := func(key string, ps []*peer) []string {
+		ranked := rankPeers(key, ps)
+		out := make([]string, k)
+		for i := range out {
+			out[i] = ranked[i].addr
+		}
+		return out
+	}
+
+	moved := 0
+	for i := 0; i < 300; i++ {
+		key := shardKey(fmt.Sprintf("s-%d", i%100), i/100)
+		before := topK(key, peers)
+		after := topK(key, remaining)
+		held := before[0] == removed.addr || before[1] == removed.addr
+		if !held {
+			// The removed peer was not a replica: placement must be
+			// byte-identical, or draining one node would shuffle
+			// unrelated data.
+			if before[0] != after[0] || before[1] != after[1] {
+				t.Fatalf("key %q moved without holding the removed peer: %v -> %v", key, before, after)
+			}
+			continue
+		}
+		moved++
+		// The surviving replica stays in the set; only the removed slot is
+		// refilled — by exactly the next peer in the key's ranking.
+		survivor := before[0]
+		if survivor == removed.addr {
+			survivor = before[1]
+		}
+		if after[0] != survivor && after[1] != survivor {
+			t.Fatalf("key %q: surviving replica %s evicted by removal: %v -> %v", key, survivor, before, after)
+		}
+	}
+	// With k=2 of 6 peers, about a third of the keys should have held the
+	// removed peer. All-or-none would mean the test proved nothing.
+	if moved == 0 || moved == 300 {
+		t.Fatalf("moved = %d of 300, expected a strict subset", moved)
+	}
+}
+
+// TestPlacementClampsK: fewer peers than replicas means every peer holds
+// the shard; k is never zero.
+func TestPlacementClampsK(t *testing.T) {
+	nodes := startNodes(t, 2)
+	co, _ := startCoordinator(t, nodes, testCfg())
+	if got := len(co.placement("s", 0, 5)); got != 2 {
+		t.Fatalf("placement k=5 over 2 peers returned %d, want 2", got)
+	}
+	if got := len(co.placement("s", 0, 0)); got != 1 {
+		t.Fatalf("placement k=0 returned %d, want 1", got)
+	}
+}

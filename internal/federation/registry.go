@@ -27,6 +27,13 @@ type peer struct {
 	streams    map[string]bool
 	hasStreams bool // the stream set has been fetched at least once
 	lastErr    string
+	wireAddr   string // binary-ingest address the peer advertises in /healthz
+}
+
+func (p *peer) getWireAddr() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.wireAddr
 }
 
 func (p *peer) isHealthy() bool {

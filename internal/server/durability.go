@@ -230,6 +230,44 @@ func (s *Server) runDurability() {
 	}
 }
 
+// replayTail applies a journal tail to a freshly restored sampler, in
+// order, and advances the (next, dim) ingest bookkeeping past every
+// replayed op. Time-decay streams (including time-decay tier ladders)
+// replay through AddAt to reproduce their clock; everything else takes
+// the batch path. Shared by startup recovery and transfer install — both
+// turn a checkpoint + tail chain into a live sampler.
+func replayTail(sampler persistentSampler, tail []durable.Record, next uint64, dim int) (uint64, int, error) {
+	td, timed := core.AsTimed(sampler)
+	for _, r := range tail {
+		if timed {
+			for _, op := range r.Ops {
+				if op.HasTS {
+					if err := td.AddAt(op.P, op.TS); err != nil {
+						return next, dim, fmt.Errorf("replaying journal: %w", err)
+					}
+				} else {
+					td.Add(op.P)
+				}
+			}
+		} else {
+			batch := make([]stream.Point, len(r.Ops))
+			for i, op := range r.Ops {
+				batch[i] = op.P
+			}
+			core.AddBatch(sampler, batch)
+		}
+		for _, op := range r.Ops {
+			if op.P.Index > next {
+				next = op.P.Index
+			}
+			if dim == 0 && len(op.P.Values) > 0 {
+				dim = len(op.P.Values)
+			}
+		}
+	}
+	return next, dim, nil
+}
+
 // recoverDurable rebuilds every stream the data directory holds. Per-file
 // corruption was already quarantined by the store; per-stream semantic
 // failures (a snapshot that does not restore) quarantine the stream's
@@ -279,37 +317,9 @@ func (s *Server) adoptRecovered(rec durable.Recovered) error {
 		return fmt.Errorf("restoring snapshot: %w", err)
 	}
 
-	// Replay the journal tail in order. Time-decay streams (including
-	// time-decay tier ladders) replay through AddAt to reproduce their
-	// clock; everything else takes the batch path.
-	next, dim := rec.Checkpoint.Next, rec.Checkpoint.Dim
-	td, timed := core.AsTimed(sampler)
-	for _, r := range rec.Tail {
-		if timed {
-			for _, op := range r.Ops {
-				if op.HasTS {
-					if err := td.AddAt(op.P, op.TS); err != nil {
-						return fmt.Errorf("replaying journal: %w", err)
-					}
-				} else {
-					td.Add(op.P)
-				}
-			}
-		} else {
-			batch := make([]stream.Point, len(r.Ops))
-			for i, op := range r.Ops {
-				batch[i] = op.P
-			}
-			core.AddBatch(sampler, batch)
-		}
-		for _, op := range r.Ops {
-			if op.P.Index > next {
-				next = op.P.Index
-			}
-			if dim == 0 && len(op.P.Values) > 0 {
-				dim = len(op.P.Values)
-			}
-		}
+	next, dim, err := replayTail(sampler, rec.Tail, rec.Checkpoint.Next, rec.Checkpoint.Dim)
+	if err != nil {
+		return err
 	}
 
 	ms := &managedStream{

@@ -165,7 +165,18 @@ type Server struct {
 	// ingest shards accepting) and false again when Close begins — the
 	// GET /readyz contract load balancers and federation coordinators use.
 	ready atomic.Bool
+
+	// wireAddr is the node's binary-ingest listen address, advertised in
+	// GET /healthz so federation coordinators can discover the fast path.
+	// Empty (never set) means no wire listener.
+	wireAddr atomic.Value
 }
+
+// SetWireAddr records the node's wire-protocol listen address for
+// discovery: coordinators that scrape /healthz switch their ingest
+// fan-out from HTTP to the binary protocol when a peer advertises one.
+// Call it after wire.NewListener has bound, with the concrete address.
+func (s *Server) SetWireAddr(addr string) { s.wireAddr.Store(addr) }
 
 // Option customizes a Server.
 type Option func(*Server)
@@ -269,6 +280,8 @@ func New(seed uint64, opts ...Option) *Server {
 		{"GET /streams/{name}/accum", s.handleAccum},
 		{"GET /streams/{name}/snapshot", s.handleSnapshot},
 		{"POST /streams/{name}/restore", s.handleRestore},
+		{"GET /streams/{name}/transfer", s.handleTransferGet},
+		{"POST /streams/{name}/transfer", s.handleTransferPost},
 	}
 	for _, rt := range routes {
 		mux.Handle(rt.pattern, s.instrument(rt.pattern, rt.handler))
@@ -642,7 +655,11 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		e.mu.Unlock()
 	}
 	s.mu.RUnlock()
-	writeJSON(w, map[string]any{"status": "ok", "streams": streams, "points": points})
+	out := map[string]any{"status": "ok", "streams": streams, "points": points}
+	if wa, ok := s.wireAddr.Load().(string); ok && wa != "" {
+		out["wire_addr"] = wa
+	}
+	writeJSON(w, out)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {

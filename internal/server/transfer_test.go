@@ -1,0 +1,170 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"biasedres/internal/durable"
+)
+
+// fetchTransfer GETs a stream's transfer blob.
+func fetchTransfer(t *testing.T, base, name string) []byte {
+	t.Helper()
+	resp, body := do(t, http.MethodGet, base+"/streams/"+name+"/transfer", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET transfer: status %d body %v", resp.StatusCode, body)
+	}
+	return body["raw"].([]byte)
+}
+
+// installTransfer POSTs a transfer blob under name.
+func installTransfer(t *testing.T, base, name string, blob []byte) map[string]any {
+	t.Helper()
+	resp, body := do(t, http.MethodPost, base+"/streams/"+name+"/transfer", blob)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST transfer: status %d body %v", resp.StatusCode, body)
+	}
+	return body
+}
+
+// TestTransferByteIdentical is the migration invariant: export a stream,
+// install it on a second node, and the destination's snapshot — and its
+// own re-exported transfer — are byte-identical to the source's. Every
+// policy the federation replicates must hold this, including RNG state,
+// or a migrated stream would diverge from its replicas on the next point.
+func TestTransferByteIdentical(t *testing.T) {
+	cases := []struct {
+		name string
+		req  CreateRequest
+	}{
+		{"variable", CreateRequest{Policy: "variable", Lambda: 0.01, Capacity: 64}},
+		{"biased", CreateRequest{Policy: "biased", Lambda: 0.02}},
+		{"unbiased", CreateRequest{Policy: "unbiased", Capacity: 32}},
+		{"window", CreateRequest{Policy: "window", Window: 50, Capacity: 50}},
+		{"tiered", CreateRequest{Policy: "variable", Lambda: 0.01, Capacity: 64, Tiers: 3, TierRatio: 4}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := newTestServer(t)
+			dst := newTestServer(t)
+			createStream(t, src.URL, "s", tc.req)
+			pts := make([]IngestPoint, 200)
+			for i := range pts {
+				label := i % 3
+				pts[i] = IngestPoint{Values: []float64{float64(i), float64(i % 7)}, Label: &label}
+			}
+			ingest(t, src.URL, "s", pts)
+
+			blob := fetchTransfer(t, src.URL, "s")
+			body := installTransfer(t, dst.URL, "s", blob)
+			if body["installed"] != "s" {
+				t.Fatalf("install response %v", body)
+			}
+
+			// The source's raw snapshot and the destination's must match
+			// byte for byte: same residents, same probabilities, same RNG.
+			srcResp, srcBody := do(t, http.MethodGet, src.URL+"/streams/s/snapshot", nil)
+			dstResp, dstBody := do(t, http.MethodGet, dst.URL+"/streams/s/snapshot", nil)
+			if srcResp.StatusCode != http.StatusOK || dstResp.StatusCode != http.StatusOK {
+				t.Fatalf("snapshot statuses %d / %d", srcResp.StatusCode, dstResp.StatusCode)
+			}
+			if !bytes.Equal(srcBody["raw"].([]byte), dstBody["raw"].([]byte)) {
+				t.Fatal("destination snapshot differs from source after transfer install")
+			}
+			if srcResp.Header.Get("X-Biasedres-Next-Index") != dstResp.Header.Get("X-Biasedres-Next-Index") {
+				t.Fatalf("next-index diverged: src %s dst %s",
+					srcResp.Header.Get("X-Biasedres-Next-Index"), dstResp.Header.Get("X-Biasedres-Next-Index"))
+			}
+
+			// Re-exporting from the destination reproduces the blob too.
+			if !bytes.Equal(fetchTransfer(t, dst.URL, "s"), blob) {
+				t.Fatal("re-exported transfer differs from the shipped blob")
+			}
+
+			// Both nodes answer the same count estimate after the move.
+			_, sq := do(t, http.MethodGet, src.URL+"/streams/s/query?type=count&h=100", nil)
+			_, dq := do(t, http.MethodGet, dst.URL+"/streams/s/query?type=count&h=100", nil)
+			if sq["estimate"] != dq["estimate"] {
+				t.Fatalf("estimates diverged: src %v dst %v", sq["estimate"], dq["estimate"])
+			}
+		})
+	}
+}
+
+// TestTransferInstallErrors covers the install guardrails: corrupt blobs
+// are rejected before any state is touched, and installing over a live
+// stream conflicts.
+func TestTransferInstallErrors(t *testing.T) {
+	ts := newTestServer(t)
+	createStream(t, ts.URL, "s", CreateRequest{Policy: "variable", Lambda: 0.01, Capacity: 16})
+	ingest(t, ts.URL, "s", []IngestPoint{{Values: []float64{1}}, {Values: []float64{2}}})
+	blob := fetchTransfer(t, ts.URL, "s")
+
+	resp, _ := do(t, http.MethodPost, ts.URL+"/streams/other/transfer", []byte("not a transfer"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage blob: status %d, want 400", resp.StatusCode)
+	}
+	mut := append([]byte(nil), blob...)
+	mut[len(mut)/2] ^= 0xff
+	resp, _ = do(t, http.MethodPost, ts.URL+"/streams/other/transfer", mut)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("corrupt blob: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = do(t, http.MethodPost, ts.URL+"/streams/s/transfer", blob)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("install over live stream: status %d, want 409", resp.StatusCode)
+	}
+	// The guardrails changed nothing: the source still exports the same bytes.
+	if !bytes.Equal(fetchTransfer(t, ts.URL, "s"), blob) {
+		t.Fatal("failed installs mutated the source stream")
+	}
+	// Installing under a fresh name still works, ignoring the embedded name.
+	installTransfer(t, ts.URL, "renamed", blob)
+	resp, _ = do(t, http.MethodGet, ts.URL+"/streams/renamed", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("renamed install not queryable: status %d", resp.StatusCode)
+	}
+}
+
+// TestTransferInstallDurable checks an installed stream is immediately
+// durable: kill the destination server right after install and a restart
+// recovers the stream with the shipped state.
+func TestTransferInstallDurable(t *testing.T) {
+	src := newTestServer(t)
+	createStream(t, src.URL, "s", CreateRequest{Policy: "variable", Lambda: 0.01, Capacity: 32})
+	pts := make([]IngestPoint, 100)
+	for i := range pts {
+		pts[i] = IngestPoint{Values: []float64{float64(i)}}
+	}
+	ingest(t, src.URL, "s", pts)
+	blob := fetchTransfer(t, src.URL, "s")
+
+	fs := durable.NewMemFS()
+	store, err := durable.Open(fs, "data")
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	dstSrv := New(1, WithDurability(store, DurabilityConfig{}))
+	dst := httptest.NewServer(dstSrv)
+	installTransfer(t, dst.URL, "s", blob)
+	_, before := do(t, http.MethodGet, dst.URL+"/streams/s/snapshot", nil)
+	dst.Close()
+	dstSrv.Close()
+
+	store2, err := durable.Open(fs, "data")
+	if err != nil {
+		t.Fatalf("reopen store: %v", err)
+	}
+	reSrv := New(1, WithDurability(store2, DurabilityConfig{}))
+	re := httptest.NewServer(reSrv)
+	t.Cleanup(func() { re.Close(); reSrv.Close() })
+	resp, after := do(t, http.MethodGet, re.URL+"/streams/s/snapshot", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("recovered stream snapshot: status %d", resp.StatusCode)
+	}
+	if !bytes.Equal(before["raw"].([]byte), after["raw"].([]byte)) {
+		t.Fatal("recovered snapshot differs from the installed state")
+	}
+}

@@ -128,6 +128,25 @@ type Frame struct {
 	Values []float64
 }
 
+// Point unpacks point i of the frame: its coordinate slice (aliasing
+// Values — copy before the next decode if retained), its label (-1 when
+// the frame carries none) and its weight (1 when the frame carries
+// none). Relays that re-batch frames toward other sinks — the federation
+// coordinator's fan-out — iterate with this instead of reimplementing
+// the optional-section defaults.
+func (f *Frame) Point(i int) (values []float64, label int32, weight float64) {
+	values = f.Values[i*f.Dim : (i+1)*f.Dim]
+	label = int32(-1)
+	if f.Labels != nil {
+		label = f.Labels[i]
+	}
+	weight = 1
+	if f.Weights != nil {
+		weight = f.Weights[i]
+	}
+	return values, label, weight
+}
+
 // Header is the parsed fixed-size frame header; BodyLen tells the
 // transport how many bytes to read before DecodeBody can run.
 type Header struct {
