@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt linkcheck flagcheck bench bench-query bench-federation bench-wire bench-tiers bench-failover bench-smoke fuzz-smoke test-durable test-federation test-failover ci
+.PHONY: all build test race vet fmt linkcheck flagcheck bench bench-query bench-federation bench-wire bench-tiers bench-failover bench-models bench-smoke fuzz-smoke test-durable test-federation test-failover test-models ci
 
 all: build
 
@@ -59,6 +59,12 @@ bench-tiers:
 bench-failover:
 	$(GO) run ./cmd/benchingest -suite failover
 
+# bench-models regenerates BENCH_models.json: training-set age, staleness
+# and prequential accuracy of drift-retrained models over the Aggarwal,
+# T-TBS and R-TBS samplers on a regime-shifting stream.
+bench-models:
+	$(GO) run ./cmd/benchingest -suite models
+
 # bench-smoke runs every query, federation, wire and failover benchmark
 # once so CI catches bit-rot in the harnesses without paying for full
 # measurement runs.
@@ -68,6 +74,7 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench '^BenchmarkWire' -benchtime 1x ./internal/server ./internal/wire
 	$(GO) test -run '^$$' -bench '^BenchmarkTiers' -benchtime 1x ./internal/server
 	$(GO) test -run '^$$' -bench '^BenchmarkFailover' -benchtime 1x ./internal/federation
+	$(GO) test -run '^$$' -bench '^BenchmarkModels' -benchtime 1x ./internal/models
 
 # fuzz-smoke runs the wire-frame decoder fuzzer briefly: long enough to
 # exercise the mutation engine over the checked-in corpus, short enough
@@ -95,4 +102,12 @@ test-failover:
 	$(GO) test -race -count=1 ./internal/faulty/
 	$(GO) test -race -count=1 -run 'Failover|Replicated|Drain|WritesDuringOutage|Backfills|Readyz' ./internal/federation/
 
-ci: fmt build vet linkcheck flagcheck test race bench-smoke fuzz-smoke test-durable test-federation test-failover
+# test-models runs the sampler-family and model-management suites under
+# the race detector: T-TBS/R-TBS property tests, the models and drift
+# packages, and the server-side model routes (incl. the concurrency
+# hammer and the MemFS fault sweep for the new samplers).
+test-models:
+	$(GO) test -race -count=1 ./internal/models/ ./internal/drift/
+	$(GO) test -race -count=1 -run 'TTBS|RTBS|NewSampler|Model' ./internal/core/ ./internal/server/ ./internal/client/
+
+ci: fmt build vet linkcheck flagcheck test race bench-smoke fuzz-smoke test-durable test-federation test-failover test-models

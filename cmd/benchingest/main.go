@@ -21,6 +21,7 @@
 //	go run ./cmd/benchingest -suite wire         # writes BENCH_wire.json
 //	go run ./cmd/benchingest -suite tiers        # writes BENCH_tiers.json
 //	go run ./cmd/benchingest -suite failover     # writes BENCH_failover.json
+//	go run ./cmd/benchingest -suite models       # writes BENCH_models.json
 //	go run ./cmd/benchingest -o out.json -benchtime 2s
 //
 // The federation suite runs the multi-node scatter-gather harness
@@ -31,7 +32,10 @@
 // speedup plus the decoder's steady-state allocations per frame. The
 // failover suite blackholes a replicated data node behind a fault proxy
 // and reports the mean time until the coordinator serves a whole
-// (partial:false, exact) answer again.
+// (partial:false, exact) answer again. The models suite runs the
+// model-management drift scenario over the Aggarwal, T-TBS and R-TBS
+// samplers and reports each policy's training-set staleness and
+// prequential accuracy side by side.
 package main
 
 import (
@@ -62,6 +66,10 @@ type Result struct {
 	BytesPerOp   float64 `json:"bytes_per_op"`
 	AllocsPerOp  float64 `json:"allocs_per_op"`
 	RecoveryMS   float64 `json:"recovery_ms,omitempty"`
+	TrainAgePts  float64 `json:"train_age_pts,omitempty"`
+	StalenessPts float64 `json:"staleness_pts,omitempty"`
+	Accuracy     float64 `json:"accuracy,omitempty"`
+	Retrains     float64 `json:"retrains,omitempty"`
 }
 
 // Speedup compares the batch and single-point ingest paths for one
@@ -128,6 +136,18 @@ type WireVsHTTP struct {
 	DecodeAllocsPerOp float64 `json:"decode_allocs_per_op"`
 }
 
+// ModelRow is one row of the models suite: how fresh and how accurate the
+// continuously retrained classifier stays when its sample comes from the
+// given sampler family, on an identical concept-drift scenario.
+type ModelRow struct {
+	Policy       string  `json:"policy"`
+	PointsPerSec float64 `json:"points_per_sec"`
+	TrainAgePts  float64 `json:"train_age_pts"`
+	StalenessPts float64 `json:"staleness_pts"`
+	Accuracy     float64 `json:"accuracy"`
+	Retrains     float64 `json:"retrains"`
+}
+
 // Report is the BENCH_<suite>.json document.
 type Report struct {
 	GeneratedBy string            `json:"generated_by"`
@@ -145,11 +165,12 @@ type Report struct {
 	Wire        *WireVsHTTP       `json:"wire_vs_http,omitempty"`
 	TierLatency []TierLatency     `json:"tiered_range_latency,omitempty"`
 	Failover    *FailoverRecovery `json:"failover_recovery,omitempty"`
+	Models      []ModelRow        `json:"model_staleness,omitempty"`
 }
 
 func main() {
 	var (
-		suite     = flag.String("suite", "ingest", `benchmark suite: "ingest", "query", "federation", "wire", "tiers" or "failover"`)
+		suite     = flag.String("suite", "ingest", `benchmark suite: "ingest", "query", "federation", "wire", "tiers", "failover" or "models"`)
 		out       = flag.String("o", "", "output file (default BENCH_<suite>.json)")
 		benchtime = flag.String("benchtime", "1s", "go test -benchtime value")
 		count     = flag.Int("count", 1, "go test -count value")
@@ -181,8 +202,10 @@ func run(suite, out, benchtime string, count int) error {
 		pattern, pkgs = "^BenchmarkTiers", []string{"./internal/server"}
 	case "failover":
 		pattern, pkgs = "^BenchmarkFailover", []string{"./internal/federation"}
+	case "models":
+		pattern, pkgs = "^BenchmarkModels", []string{"./internal/models"}
 	default:
-		return fmt.Errorf("unknown suite %q (want ingest, query, federation, wire, tiers or failover)", suite)
+		return fmt.Errorf("unknown suite %q (want ingest, query, federation, wire, tiers, failover or models)", suite)
 	}
 	args := append([]string{"test", "-run", "^$", "-bench", pattern, "-benchmem",
 		"-benchtime", benchtime, "-count", strconv.Itoa(count)}, pkgs...)
@@ -226,6 +249,8 @@ func run(suite, out, benchtime string, count int) error {
 		report.TierLatency = tierLatency(report.Benchmarks)
 	case "failover":
 		report.Failover = failoverRecovery(report.Benchmarks)
+	case "models":
+		report.Models = modelRows(report.Benchmarks)
 	}
 
 	blob, err := json.MarshalIndent(report, "", "  ")
@@ -262,6 +287,10 @@ func run(suite, out, benchtime string, count int) error {
 	if fo := report.Failover; fo != nil {
 		fmt.Fprintf(os.Stderr, "  failover: whole answers resume %.1fms after a replica is blackholed\n",
 			fo.RecoveryMS)
+	}
+	for _, mr := range report.Models {
+		fmt.Fprintf(os.Stderr, "  model on %-9s train age %.0f pts, staleness %.0f pts, accuracy %.3f, retrains %.1f\n",
+			mr.Policy, mr.TrainAgePts, mr.StalenessPts, mr.Accuracy, mr.Retrains)
 	}
 	return nil
 }
@@ -333,6 +362,14 @@ func parse(r *bytes.Buffer) ([]Result, string, error) {
 				a.AllocsPerOp += val
 			case "recovery-ms":
 				a.RecoveryMS += val
+			case "train-age-pts":
+				a.TrainAgePts += val
+			case "staleness-pts":
+				a.StalenessPts += val
+			case "accuracy":
+				a.Accuracy += val
+			case "retrains":
+				a.Retrains += val
 			}
 		}
 	}
@@ -350,6 +387,10 @@ func parse(r *bytes.Buffer) ([]Result, string, error) {
 		a.BytesPerOp /= n
 		a.AllocsPerOp /= n
 		a.RecoveryMS /= n
+		a.TrainAgePts /= n
+		a.StalenessPts /= n
+		a.Accuracy /= n
+		a.Retrains /= n
 		results = append(results, a.Result)
 	}
 	return results, cpu, nil
@@ -467,6 +508,27 @@ func failoverRecovery(results []Result) *FailoverRecovery {
 		}
 	}
 	return nil
+}
+
+// modelRows extracts the BenchmarkModels/policy=<name> freshness rows.
+func modelRows(results []Result) []ModelRow {
+	var out []ModelRow
+	for _, r := range results {
+		policy, ok := strings.CutPrefix(r.Name, "BenchmarkModels/policy=")
+		if !ok {
+			continue
+		}
+		out = append(out, ModelRow{
+			Policy:       policy,
+			PointsPerSec: r.PointsPerSec,
+			TrainAgePts:  r.TrainAgePts,
+			StalenessPts: r.StalenessPts,
+			Accuracy:     r.Accuracy,
+			Retrains:     r.Retrains,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Policy < out[j].Policy })
+	return out
 }
 
 // wireVsHTTP pairs BenchmarkWireTCP against BenchmarkWireHTTPJSON on the

@@ -44,7 +44,7 @@ func writeCSV(dir, id string, res *experiments.Result) error {
 func main() {
 	var (
 		fig    = flag.String("fig", "", "figure to regenerate: 1..9 or fig1..fig9 (empty with -all for every figure)")
-		ext    = flag.String("ext", "", "extension experiment to run: lambda | window (or 'all')")
+		ext    = flag.String("ext", "", "extension experiment to run: lambda | window | time | models (or 'all')")
 		all    = flag.Bool("all", false, "regenerate every figure")
 		scale  = flag.Float64("scale", 1.0, "workload scale; 1.0 = paper scale")
 		seed   = flag.Uint64("seed", 1, "random seed")

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	reservoird -addr :8080 -seed 42 [-log-format text|json] [-log-level info] [-pprof :6060]
-//	           [-ingest-workers 4 -ingest-queue 64] [-wire-addr :8081]
+//	           [-default-policy variable] [-ingest-workers 4 -ingest-queue 64] [-wire-addr :8081]
 //	           [-data-dir /var/lib/reservoird -checkpoint-interval 10s]
 //	           [-retention-floor 1e-6 -retention-interval 30s]
 //	reservoird -federate -peers http://n1:8080,http://n2:8080 [-addr :8080]
@@ -135,6 +135,8 @@ func main() {
 			"journal fsync coalescing window; bounds data loss after a hard kill")
 		maxBody = flag.Int64("max-body-bytes", 8<<20,
 			"maximum request body size in bytes; larger ingest/restore bodies get 413")
+		defaultPolicy = flag.String("default-policy", "variable",
+			"sampler family for create requests that omit \"policy\": variable | biased | constrained | unbiased | window | timedecay | ttbs | rtbs")
 		retFloor = flag.Float64("retention-floor", 0,
 			"drop reservoir residents whose inclusion probability decayed below this floor (0 = retention disabled)")
 		retInterval = flag.Duration("retention-interval", 30*time.Second,
@@ -226,7 +228,13 @@ func main() {
 			}
 		}
 	} else {
-		opts := []server.Option{server.WithLogger(logger), server.WithMaxBodyBytes(*maxBody)}
+		if !server.ValidPolicy(*defaultPolicy) {
+			fmt.Fprintf(os.Stderr, "reservoird: -default-policy %q is not one of %s\n",
+				*defaultPolicy, strings.Join(server.Policies(), " | "))
+			os.Exit(2)
+		}
+		opts := []server.Option{server.WithLogger(logger), server.WithMaxBodyBytes(*maxBody),
+			server.WithDefaultPolicy(*defaultPolicy)}
 		if *retFloor < 0 || *retFloor >= 1 {
 			fmt.Fprintln(os.Stderr, "reservoird: -retention-floor must be in [0, 1)")
 			os.Exit(2)

@@ -28,6 +28,16 @@ type TimeDecayReservoir = core.TimeDecayReservoir
 // (no closed-form inclusion probability).
 type WeightedReservoir = core.WeightedReservoir
 
+// TTBSReservoir is Targeted-size Time-Biased Sampling (Hentschel, Haas,
+// Tian): inclusion probabilities decay at exactly e^{-λk}, with the sample
+// size fluctuating around the target instead of bounded by it.
+type TTBSReservoir = core.TTBSReservoir
+
+// RTBSReservoir is Reservoir-based Time-Biased Sampling: exact exponential
+// decay within a hard capacity bound, with the maximal expected sample size
+// achievable under both constraints.
+type RTBSReservoir = core.RTBSReservoir
+
 // KMeansConfig controls a k-means run over a sample.
 type KMeansConfig = cluster.Config
 
@@ -57,6 +67,21 @@ func NewTimeDecay(lambda float64, capacity int, seed uint64) (*TimeDecayReservoi
 // NewWeighted returns an A-Res weighted reservoir of the given capacity.
 func NewWeighted(capacity int, seed uint64) (*WeightedReservoir, error) {
 	return core.NewWeightedReservoir(capacity, xrand.New(seed))
+}
+
+// NewTTBS returns a T-TBS sampler: exact exponential decay at rate λ per
+// arrival with target sample size n (required: n ≤ 1/(1-e^{-λ}) ≈ 1/λ).
+// The size fluctuates around n; inclusion probabilities are exact, so
+// Estimate and friends divide by the true presence probability.
+func NewTTBS(lambda float64, target int, seed uint64) (*TTBSReservoir, error) {
+	return core.NewTTBSReservoir(lambda, target, xrand.New(seed))
+}
+
+// NewRTBS returns an R-TBS sampler: exact exponential decay at rate λ per
+// arrival within a hard bound of `capacity` points, holding the maximal
+// expected sample size min(capacity, W(t)) via the fractional-item trick.
+func NewRTBS(lambda float64, capacity int, seed uint64) (*RTBSReservoir, error) {
+	return core.NewRTBSReservoir(lambda, capacity, xrand.New(seed))
 }
 
 // MergeUnbiased combines unbiased reservoirs maintained over disjoint

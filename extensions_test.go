@@ -116,3 +116,49 @@ func TestKMeansFacade(t *testing.T) {
 		t.Fatalf("purity %v on separable clusters", purity)
 	}
 }
+
+func TestTTBSFacade(t *testing.T) {
+	s, err := NewTTBS(0.01, 80, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5000; i++ {
+		s.Add(Point{Index: uint64(i), Values: []float64{1}, Weight: 1})
+	}
+	if s.Len() == 0 || s.Capacity() != 80 {
+		t.Fatalf("len = %d, capacity = %d", s.Len(), s.Capacity())
+	}
+	// Inclusion probabilities are exact and in range.
+	if got := s.InclusionProb(4000); got <= 0 || got > 1 {
+		t.Fatalf("p(4000) = %v", got)
+	}
+	// HT estimation over the exact probabilities stays in range.
+	if est := Estimate(s, CountQuery(500)); est < 100 || est > 2500 {
+		t.Fatalf("count estimate %v over horizon 500", est)
+	}
+	// The target bound n ≤ 1/(1-e^{-λ}) is enforced.
+	if _, err := NewTTBS(0.01, 500, 5); err == nil {
+		t.Error("target 500 at λ=0.01 accepted (bound ≈ 100)")
+	}
+}
+
+func TestRTBSFacade(t *testing.T) {
+	s, err := NewRTBS(0.01, 60, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5000; i++ {
+		s.Add(Point{Index: uint64(i), Values: []float64{1}, Weight: 1})
+	}
+	if s.Len() > 60 {
+		t.Fatalf("len = %d exceeds the hard bound 60", s.Len())
+	}
+	for _, p := range s.Points() {
+		if prob := s.InclusionProb(p.Index); prob <= 0 || prob > 1 {
+			t.Fatalf("p(%d) = %v", p.Index, prob)
+		}
+	}
+	if est := Estimate(s, CountQuery(500)); est < 100 || est > 2500 {
+		t.Fatalf("count estimate %v over horizon 500", est)
+	}
+}

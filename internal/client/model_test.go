@@ -1,0 +1,69 @@
+package client
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestModelRoundTrip(t *testing.T) {
+	c := newPair(t)
+	if err := c.CreateStream("s", StreamConfig{Policy: "rtbs", Lambda: 1e-2, Capacity: 50}); err != nil {
+		t.Fatal(err)
+	}
+
+	// No model yet: stats, eval and delete all answer 404.
+	var apiErr *APIError
+	if _, err := c.ModelStats("s"); !errors.As(err, &apiErr) || apiErr.StatusCode != 404 {
+		t.Fatalf("stats without model: %v", err)
+	}
+	if err := c.DeleteModel("s"); !errors.As(err, &apiErr) || apiErr.StatusCode != 404 {
+		t.Fatalf("delete without model: %v", err)
+	}
+
+	pts := make([]Point, 100)
+	for i := range pts {
+		label := i % 2
+		pts[i] = Point{Values: []float64{float64(label)}, Label: &label}
+	}
+	if _, err := c.Push("s", pts); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := c.CreateModel("s", ModelConfig{ShortH: 50, LongH: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.K != 1 || st.Dim != 1 || st.TrainSize == 0 {
+		t.Fatalf("create stats: %+v", st)
+	}
+	// Double attach surfaces as 409.
+	if _, err := c.CreateModel("s", ModelConfig{}); !errors.As(err, &apiErr) || apiErr.StatusCode != 409 {
+		t.Fatalf("double attach: %v", err)
+	}
+
+	if _, err := c.Push("s", pts); err != nil {
+		t.Fatal(err)
+	}
+	st, err = c.ModelStats("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Seen != 100 || st.Scored == 0 {
+		t.Fatalf("model did not score pushed points: %+v", st)
+	}
+
+	ev, err := c.ModelEval("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Stats.Seen != st.Seen || len(ev.Confusion) == 0 || ev.MacroF1 < 0 {
+		t.Fatalf("eval: %+v", ev)
+	}
+
+	if err := c.DeleteModel("s"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ModelStats("s"); !errors.As(err, &apiErr) || apiErr.StatusCode != 404 {
+		t.Fatalf("stats after delete: %v", err)
+	}
+}

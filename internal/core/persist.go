@@ -30,6 +30,8 @@ const (
 	kindTimeDecay
 	kindZ
 	kindTiered
+	kindTTBS
+	kindRTBS
 )
 
 func marshalState(kind byte, state any) ([]byte, error) {
@@ -365,6 +367,119 @@ func (tr *TieredReservoir) UnmarshalBinary(data []byte) error {
 	}
 	tr.ratio = st.Ratio
 	tr.mutated()
+	return nil
+}
+
+type ttbsItemState struct {
+	P      stream.Point
+	Expiry uint64
+}
+
+type ttbsState struct {
+	Lambda   float64
+	Target   int
+	T        uint64
+	Admitted uint64
+	Items    []ttbsItemState
+	RNG      []byte
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s *TTBSReservoir) MarshalBinary() ([]byte, error) {
+	rng, err := s.rng.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	items := make([]ttbsItemState, len(s.items))
+	for i, it := range s.items {
+		items[i] = ttbsItemState{P: it.p, Expiry: it.expiry}
+	}
+	return marshalState(kindTTBS, ttbsState{
+		Lambda: s.lambda, Target: s.target, T: s.t,
+		Admitted: s.admitted, Items: items, RNG: rng,
+	})
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. The expiry heap
+// is rebuilt from the serialized items; q and p are recomputed from λ and
+// the target, since they are pure functions of the parameters.
+func (s *TTBSReservoir) UnmarshalBinary(data []byte) error {
+	var st ttbsState
+	if err := unmarshalState(kindTTBS, data, &st); err != nil {
+		return err
+	}
+	if !(st.Lambda > 0) || st.Target <= 0 {
+		return fmt.Errorf("core: corrupt T-TBS snapshot: λ=%v target=%d", st.Lambda, st.Target)
+	}
+	rng := xrand.New(0)
+	if err := rng.UnmarshalBinary(st.RNG); err != nil {
+		return err
+	}
+	q := -math.Expm1(-st.Lambda)
+	p := float64(st.Target) * q
+	if p > 1 {
+		p = 1
+	}
+	s.lambda, s.q, s.p, s.target = st.Lambda, q, p, st.Target
+	s.t, s.admitted, s.rng = st.T, st.Admitted, rng
+	s.items = s.items[:0]
+	s.heap = s.heap[:0]
+	for _, it := range st.Items {
+		s.insert(ttbsItem{p: it.P, expiry: it.Expiry})
+	}
+	s.ver++
+	return nil
+}
+
+type rtbsState struct {
+	Lambda     float64
+	Capacity   int
+	T          uint64
+	NFull      int
+	HasPartial bool
+	Frac       float64
+	Deliver    bool
+	Items      []stream.Point
+	RNG        []byte
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s *RTBSReservoir) MarshalBinary() ([]byte, error) {
+	rng, err := s.rng.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return marshalState(kindRTBS, rtbsState{
+		Lambda: s.lambda, Capacity: s.capacity, T: s.t,
+		NFull: s.nFull, HasPartial: s.hasPartial, Frac: s.frac,
+		Deliver: s.deliver, Items: s.items, RNG: rng,
+	})
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (s *RTBSReservoir) UnmarshalBinary(data []byte) error {
+	var st rtbsState
+	if err := unmarshalState(kindRTBS, data, &st); err != nil {
+		return err
+	}
+	want := st.NFull
+	if st.HasPartial {
+		want++
+	}
+	if !(st.Lambda > 0) || st.Capacity <= 0 || st.NFull < 0 ||
+		len(st.Items) != want || len(st.Items) > st.Capacity ||
+		st.Frac < 0 || st.Frac >= 1 {
+		return fmt.Errorf("core: corrupt R-TBS snapshot: capacity=%d nFull=%d items=%d frac=%v",
+			st.Capacity, st.NFull, len(st.Items), st.Frac)
+	}
+	rng := xrand.New(0)
+	if err := rng.UnmarshalBinary(st.RNG); err != nil {
+		return err
+	}
+	s.lambda, s.capacity, s.t = st.Lambda, st.Capacity, st.T
+	s.nFull, s.hasPartial, s.frac, s.deliver = st.NFull, st.HasPartial, st.Frac, st.Deliver
+	s.items, s.rng = st.Items, rng
+	s.ver++
 	return nil
 }
 

@@ -88,6 +88,14 @@ func TestResumeIdenticalAcrossSamplers(t *testing.T) {
 			d, _ := NewTimeDecayReservoir(0.005, 100, xrand.New(7))
 			return d
 		}},
+		{"ttbs", func() snapshotter {
+			s, _ := NewTTBSReservoir(0.005, 100, xrand.New(7))
+			return s
+		}},
+		{"rtbs", func() snapshotter {
+			s, _ := NewRTBSReservoir(0.005, 100, xrand.New(7))
+			return s
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -53,6 +53,19 @@ func NewDetector(s core.Sampler, shortH, longH uint64, dim int, threshold float6
 	if s == nil {
 		return nil, fmt.Errorf("drift: nil sampler")
 	}
+	d, err := NewHorizonDetector(shortH, longH, dim, threshold)
+	if err != nil {
+		return nil, err
+	}
+	d.s = s
+	return d, nil
+}
+
+// NewHorizonDetector returns a detector with no attached sampler: only
+// CheckOn is usable. It is the form consumers with their own snapshot
+// discipline (the server's model manager) use — drift checks then ride the
+// lock-free snapshot read path instead of taking the sampler lock.
+func NewHorizonDetector(shortH, longH uint64, dim int, threshold float64) (*Detector, error) {
 	if shortH == 0 || longH <= shortH {
 		return nil, fmt.Errorf("drift: need 0 < shortH < longH, got %d/%d", shortH, longH)
 	}
@@ -62,27 +75,37 @@ func NewDetector(s core.Sampler, shortH, longH uint64, dim int, threshold float6
 	if !(threshold > 0) {
 		return nil, fmt.Errorf("drift: threshold must be positive, got %v", threshold)
 	}
-	return &Detector{s: s, shortH: shortH, longH: longH, dim: dim, threshold: threshold}, nil
+	return &Detector{shortH: shortH, longH: longH, dim: dim, threshold: threshold}, nil
 }
 
 // Check estimates both horizons from the sampler's current state and
 // returns a Report. It returns an error when either horizon has no sample
 // mass.
 func (d *Detector) Check() (*Report, error) {
+	if d.s == nil {
+		return nil, fmt.Errorf("drift: detector has no sampler; use CheckOn")
+	}
+	return d.CheckOn(core.SnapshotOf(d.s))
+}
+
+// CheckOn evaluates the drift statistic on an already-captured snapshot.
+// The fused snapshot kernels are bit-identical to the legacy sampler path,
+// so Check and CheckOn agree on the same state.
+func (d *Detector) CheckOn(snap *core.Snapshot) (*Report, error) {
 	rep := &Report{
 		ShortMean: make([]float64, d.dim),
 		LongMean:  make([]float64, d.dim),
 		Z:         make([]float64, d.dim),
 		MaxDim:    -1,
 	}
-	nShort := query.Estimate(d.s, query.Count(d.shortH))
-	nLong := query.Estimate(d.s, query.Count(d.longH))
+	nShort := query.EstimateOn(snap, query.Count(d.shortH))
+	nLong := query.EstimateOn(snap, query.Count(d.longH))
 	if nShort <= 0 || nLong <= 0 {
 		return nil, fmt.Errorf("drift: no sample mass (short count %v, long count %v)", nShort, nLong)
 	}
 	for dim := 0; dim < d.dim; dim++ {
-		sumS, varS := query.EstimateWithVariance(d.s, query.Sum(d.shortH, dim))
-		sumL, varL := query.EstimateWithVariance(d.s, query.Sum(d.longH, dim))
+		sumS, varS := query.EstimateWithVarianceOn(snap, query.Sum(d.shortH, dim))
+		sumL, varL := query.EstimateWithVarianceOn(snap, query.Sum(d.longH, dim))
 		meanS := sumS / nShort
 		meanL := sumL / nLong
 		// Variance of the mean, treating the estimated counts as

@@ -166,6 +166,45 @@ var claims = map[string][]Claim{
 			},
 		},
 	},
+	"extmodels": {
+		{
+			Text: "every sampler family's accuracy minimum lands in the window containing the regime shift",
+			Holds: func(r *Result) bool {
+				for _, name := range []string{"variable", "ttbs", "rtbs"} {
+					s, ok := r.Get(name)
+					if !ok || len(s.X) < 4 {
+						return false
+					}
+					minIdx := 0
+					for i, y := range s.Y {
+						if y < s.Y[minIdx] {
+							minIdx = i
+						}
+					}
+					// The shift sits at half the stream; the dip must land in
+					// the first window boundary past it.
+					half := last(s.X) / 2
+					step := s.X[1] - s.X[0]
+					if s.X[minIdx] <= half || s.X[minIdx] > half+step {
+						return false
+					}
+				}
+				return true
+			},
+		},
+		{
+			Text: "drift-triggered retraining recovers every family to >= 98% windowed accuracy by the end",
+			Holds: func(r *Result) bool {
+				for _, name := range []string{"variable", "ttbs", "rtbs"} {
+					s, ok := r.Get(name)
+					if !ok || len(s.Y) == 0 || last(s.Y) < 0.98 {
+						return false
+					}
+				}
+				return true
+			},
+		},
+	},
 	"exttime": {
 		{
 			Text: "past the cold start, the time-decay reservoir answers time horizons better than the average-rate index conversion",

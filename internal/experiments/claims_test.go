@@ -33,6 +33,7 @@ func TestClaimsHoldAtTestScale(t *testing.T) {
 		{"extlambda", RunExt, 0.08},
 		{"extwindow", RunExt, 0.08},
 		{"exttime", RunExt, 0.5},
+		{"extmodels", RunExt, 0.5},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -17,6 +17,9 @@ import (
 //	           alternative the paper dismisses as "another extreme"?
 //	exttime    What does wall-clock (rather than arrival-indexed) decay
 //	           buy under bursty arrival rates?
+//	extmodels  How does the sampler family (Aggarwal vs T-TBS vs R-TBS)
+//	           affect a continuously retrained model's recovery from
+//	           concept drift?
 //
 // They are registered separately from the paper figures (ExtIDs / RunExt)
 // so the figure registry stays a faithful mirror of the paper.
@@ -25,10 +28,11 @@ var extRegistry = map[string]Driver{
 	"extlambda": ExtLambda,
 	"extwindow": ExtWindow,
 	"exttime":   ExtTime,
+	"extmodels": ExtModels,
 }
 
 // ExtIDs returns the extension experiment identifiers in order.
-func ExtIDs() []string { return []string{"extlambda", "extwindow", "exttime"} }
+func ExtIDs() []string { return []string{"extlambda", "extwindow", "exttime", "extmodels"} }
 
 // RunExt executes one extension experiment by id.
 func RunExt(id string, cfg Config) (*Result, error) {

@@ -4,7 +4,7 @@ import "testing"
 
 func TestExtRegistry(t *testing.T) {
 	ids := ExtIDs()
-	if len(ids) != 3 {
+	if len(ids) != 4 {
 		t.Fatalf("extension ids = %v", ids)
 	}
 	for _, id := range ids {
@@ -34,6 +34,28 @@ func TestExtTimeShape(t *testing.T) {
 	t.Logf("mean error: time-decay %.4f, index-avgrate %.4f", mtd, mavg)
 	if mtd >= mavg {
 		t.Errorf("time-decay error %v not below index-avgrate %v", mtd, mavg)
+	}
+}
+
+// Every sampler family's model must ride out the regime shift: drift
+// fires, the model retrains, and end-of-stream accuracy recovers well
+// above the 50% a stale single-regime classifier would score.
+func TestExtModelsShape(t *testing.T) {
+	res, err := ExtModels(testCfg(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"variable", "ttbs", "rtbs"} {
+		s, ok := res.Get(name)
+		if !ok || len(s.Y) < 3 {
+			t.Fatalf("series %q missing or short: %v", name, s)
+		}
+		if final := s.Y[len(s.Y)-1]; final < 0.6 {
+			t.Errorf("%s: final rolling accuracy %.3f, want >= 0.6 after retrain", name, final)
+		}
+	}
+	if len(res.Notes) != 4 {
+		t.Fatalf("notes = %v", res.Notes)
 	}
 }
 

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+
+	"biasedres/internal/core"
+	"biasedres/internal/models"
+	"biasedres/internal/stream"
+	"biasedres/internal/xrand"
+)
+
+// ExtModels runs the model-management subsystem (internal/models) over
+// three sampler families on one concept-drifting stream and compares how
+// quickly each recovers classification accuracy after the shift:
+//
+//	variable  the paper's Aggarwal reservoir (approximate decay)
+//	ttbs      targeted time-biased sampling (exact decay, unbounded size)
+//	rtbs      reservoir-based time-biased sampling (exact decay, bounded)
+//
+// All three run the identical model configuration — same drift detector,
+// same retrain policy — so any difference is the sampler's: after a
+// drift-triggered retrain the model can only be as fresh as the sample it
+// retrains from, and a sampler whose reservoir skews recent (smaller mean
+// training-point age) hands the classifier a training set with fewer
+// stale-regime points. The plot is per-window prequential accuracy (the
+// fraction of the window's labeled points classified correctly, from
+// deltas of the cumulative counts) against stream progression — the shift
+// window shows the dip, its successors the recovery; the notes record
+// each policy's mean training-set age and retrain counts.
+func ExtModels(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	const dim = 2
+	n := cfg.scaled(400, 60)
+	// T-TBS caps the target at 1/(1-e^{-λ}); λ = 1/n keeps n·q just under 1
+	// and is simultaneously a valid Aggarwal bias rate (p_in = n·λ ≤ 1).
+	lambda := 1 / float64(n)
+	total := uint64(cfg.scaled(40000, 5000))
+	const windows = 10
+	// One regime shift halfway through; the label is the regime number, so
+	// a model trained on the old regime misclassifies everything after the
+	// shift until it retrains.
+	gen0, err := stream.NewRegimeGenerator(dim, total/2, 2.0, 0.5, total, true, cfg.Seed+79)
+	if err != nil {
+		return nil, err
+	}
+
+	mcfg := models.Config{
+		Dim: dim, ShortH: 100, LongH: 1500,
+		Threshold: 4, CheckEvery: 50, MinGap: 200, Window: 100,
+	}
+	rng := xrand.New(cfg.Seed + 83)
+	type policy struct {
+		name    string
+		sampler core.Sampler
+		model   *models.Model
+	}
+	va, err := core.NewVariableReservoir(lambda, n, rng.Split())
+	if err != nil {
+		return nil, err
+	}
+	tt, err := core.NewTTBSReservoir(lambda, n, rng.Split())
+	if err != nil {
+		return nil, err
+	}
+	rt, err := core.NewRTBSReservoir(lambda, n, rng.Split())
+	if err != nil {
+		return nil, err
+	}
+	policies := []*policy{{name: "variable", sampler: va}, {name: "ttbs", sampler: tt}, {name: "rtbs", sampler: rt}}
+	for _, p := range policies {
+		m, err := models.New(mcfg)
+		if err != nil {
+			return nil, err
+		}
+		p.model = m
+	}
+
+	res := &Result{
+		ID: "extmodels",
+		Title: fmt.Sprintf(
+			"Model management over Aggarwal vs T-TBS vs R-TBS: accuracy recovery after a regime shift (reservoir %d, λ=%.3g)", n, lambda),
+		XLabel: "progression of stream (points)",
+		YLabel: "per-window prequential accuracy",
+	}
+
+	pts := stream.Collect(gen0, 0)
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("experiments: extmodels: empty stream")
+	}
+	windowLen := len(pts) / windows
+	if windowLen < 1 {
+		windowLen = 1
+	}
+	const batch = 50
+	ageSum := make(map[string]float64, len(policies))
+	// Per-window accuracy from deltas of the cumulative counts: the model's
+	// own rolling window (mcfg.Window points) is too short to register the
+	// shift at these sampling boundaries — a fast retrain heals it between
+	// samples — while the delta covers every point of the window.
+	prevScored := make(map[string]uint64, len(policies))
+	prevCorrect := make(map[string]float64, len(policies))
+	ageN := 0
+	for off := 0; off < len(pts); off += batch {
+		end := off + batch
+		if end > len(pts) {
+			end = len(pts)
+		}
+		chunk := pts[off:end]
+		// Apply-then-observe, matching the server's ingest hook: the batch
+		// enters the sampler first, then the model scores it and a due
+		// drift check or retrain sees a snapshot that includes it.
+		for _, p := range policies {
+			s := p.sampler
+			core.AddBatch(s, chunk)
+			p.model.ObserveBatch(chunk, func() *core.Snapshot { return core.BuildSnapshot(s) })
+		}
+		if end/windowLen > off/windowLen || end == len(pts) {
+			ageN++
+			for _, p := range policies {
+				st := p.model.Stats()
+				correct := st.Accuracy * float64(st.Scored)
+				if d := st.Scored - prevScored[p.name]; d > 0 {
+					res.AddPoint(p.name, float64(end), (correct-prevCorrect[p.name])/float64(d))
+				}
+				prevScored[p.name] = st.Scored
+				prevCorrect[p.name] = correct
+				ageSum[p.name] += st.TrainAge
+			}
+		}
+	}
+	for _, p := range policies {
+		st := p.model.Stats()
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"%s: mean train age %.0f points, final accuracy %.3f, retrains %d (drift %d), final train size %d",
+			p.name, ageSum[p.name]/float64(ageN), st.Accuracy, st.Retrains, st.DriftFired, st.TrainSize))
+	}
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"parameters: reservoir=%d λ=%.3g stream=%d shift@%d model{short_h=%d long_h=%d threshold=%.1f}",
+		n, lambda, len(pts), total/2, mcfg.ShortH, mcfg.LongH, mcfg.Threshold))
+	return res, nil
+}

@@ -1,0 +1,90 @@
+package models
+
+import (
+	"testing"
+
+	"biasedres/internal/core"
+	"biasedres/internal/stream"
+	"biasedres/internal/xrand"
+)
+
+// BenchmarkModels runs the full drift scenario — single regime shift
+// halfway through, drift-triggered retraining — once per iteration for
+// each sampler family, and reports the model-freshness metrics the
+// BENCH_models.json staleness comparison is built from:
+//
+//	train-age-pts  mean age of the final training set's points (the
+//	               sampler's recency profile — what biased sampling buys)
+//	staleness-pts  arrivals since the last retrain
+//	accuracy       cumulative prequential accuracy over the run
+//	retrains       training-set rebuilds per run
+func BenchmarkModels(b *testing.B) {
+	const (
+		dim   = 2
+		n     = 150
+		total = 6000
+	)
+	lambda := 1 / float64(n) // valid for all three: n·q < 1 and p_in = n·λ ≤ 1
+	samplers := []struct {
+		name string
+		mk   func(rng *xrand.Source) (core.Sampler, error)
+	}{
+		{"variable", func(rng *xrand.Source) (core.Sampler, error) { return core.NewVariableReservoir(lambda, n, rng) }},
+		{"ttbs", func(rng *xrand.Source) (core.Sampler, error) { return core.NewTTBSReservoir(lambda, n, rng) }},
+		{"rtbs", func(rng *xrand.Source) (core.Sampler, error) { return core.NewRTBSReservoir(lambda, n, rng) }},
+	}
+	for _, tc := range samplers {
+		b.Run("policy="+tc.name, func(b *testing.B) {
+			rng := xrand.New(17)
+			var ageSum, staleSum, accSum, retrainSum float64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := tc.mk(rng.Split())
+				if err != nil {
+					b.Fatal(err)
+				}
+				m, err := New(Config{
+					Dim: dim, ShortH: 100, LongH: 1500,
+					Threshold: 4, CheckEvery: 50, MinGap: 200, Window: 100,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				gen, err := stream.NewRegimeGenerator(dim, total/2, 2.0, 0.5, total, true, 11+uint64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				snap := func() *core.Snapshot { return core.BuildSnapshot(s) }
+				buf := make([]stream.Point, 0, 50)
+				for {
+					p, ok := gen.Next()
+					if !ok {
+						break
+					}
+					s.Add(p)
+					buf = append(buf, p)
+					if len(buf) == cap(buf) {
+						m.ObserveBatch(buf, snap)
+						buf = buf[:0]
+					}
+				}
+				if len(buf) > 0 {
+					m.ObserveBatch(buf, snap)
+				}
+				st := m.Stats()
+				ageSum += st.TrainAge
+				staleSum += float64(st.Staleness)
+				accSum += st.Accuracy
+				retrainSum += float64(st.Retrains)
+			}
+			b.StopTimer()
+			nIter := float64(b.N)
+			b.ReportMetric(float64(total)*nIter/b.Elapsed().Seconds(), "points/s")
+			b.ReportMetric(ageSum/nIter, "train-age-pts")
+			b.ReportMetric(staleSum/nIter, "staleness-pts")
+			b.ReportMetric(accSum/nIter, "accuracy")
+			b.ReportMetric(retrainSum/nIter, "retrains")
+		})
+	}
+}

@@ -1,0 +1,187 @@
+package models
+
+import (
+	"testing"
+
+	"biasedres/internal/core"
+	"biasedres/internal/stream"
+	"biasedres/internal/xrand"
+)
+
+// driveModel feeds a generator through a sampler and the model together,
+// the way the server's ingest hook does, and returns the sampler.
+func driveModel(t *testing.T, m *Model, s core.Sampler, gen interface{ Next() (stream.Point, bool) }, batch int) {
+	t.Helper()
+	snap := func() *core.Snapshot { return core.BuildSnapshot(s) }
+	buf := make([]stream.Point, 0, batch)
+	for {
+		p, ok := gen.Next()
+		if !ok {
+			break
+		}
+		s.Add(p)
+		buf = append(buf, p)
+		if len(buf) == batch {
+			m.ObserveBatch(buf, snap)
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		m.ObserveBatch(buf, snap)
+	}
+}
+
+func TestModelValidation(t *testing.T) {
+	if _, err := New(Config{Dim: 1, ShortH: 100, LongH: 50}); err == nil {
+		t.Fatal("inverted horizons accepted")
+	}
+	if _, err := New(Config{Dim: 0, ShortH: 50, LongH: 500}); err == nil {
+		t.Fatal("zero dim accepted")
+	}
+	if _, err := New(Config{K: -1, Dim: 1, ShortH: 50, LongH: 500}); err == nil {
+		t.Fatal("negative k accepted")
+	}
+	m, err := New(Config{Dim: 1, ShortH: 50, LongH: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := m.Config()
+	if cfg.K != 1 || cfg.CheckEvery == 0 || cfg.Window == 0 || cfg.MinGap != 50 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+}
+
+// A drifting stream must fire the detector, retrain the model, and the
+// retrained model must recover accuracy in the new regime.
+func TestModelDriftRetrainRecoversAccuracy(t *testing.T) {
+	s, err := core.NewTTBSReservoir(0.01, 80, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(Config{Dim: 2, ShortH: 100, LongH: 1500, Threshold: 4, CheckEvery: 50, MinGap: 200, Window: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The mean jumps by 4σ at point 2500; labels are regime numbers, so a
+	// stale training set predicts regime 0 and scores ~0 until the retrain
+	// refreshes it.
+	gen, err := stream.NewRegimeGenerator(2, 2500, 2.0, 0.5, 5000, true, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveModel(t, m, s, gen, 25)
+
+	st := m.Stats()
+	if st.Seen != 5000 {
+		t.Fatalf("seen %d, want 5000", st.Seen)
+	}
+	if st.Checks == 0 {
+		t.Fatal("no drift checks ran")
+	}
+	if st.DriftFired == 0 {
+		t.Fatalf("detector never triggered a retrain across the regime shift: %+v", st)
+	}
+	if !st.WindowOK {
+		t.Fatal("rolling window never filled")
+	}
+	// After the retrain the model scores inside regime 1; the rolling
+	// window should be decisively better than a stale regime-0 model (~0).
+	if st.WindowAcc < 0.6 {
+		t.Fatalf("post-retrain window accuracy %.2f, want >= 0.6", st.WindowAcc)
+	}
+	ev := m.Eval()
+	if ev.MacroF1 < 0 || len(ev.Confusion) == 0 {
+		t.Fatalf("eval missing confusion state: %+v", ev)
+	}
+}
+
+// Without drift the model must not thrash: no drift retrains on a
+// stationary stream, and the staleness cap is the only forcing function.
+func TestModelStationaryNoThrash(t *testing.T) {
+	s, err := core.NewRTBSReservoir(0.01, 80, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(Config{Dim: 2, ShortH: 100, LongH: 1500, Threshold: 6, CheckEvery: 50, MaxStaleness: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := stream.NewUniformGenerator(2, 6000, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveModel(t, m, s, gen, 40)
+
+	st := m.Stats()
+	if st.DriftFired > 1 {
+		t.Fatalf("stationary stream fired %d drift retrains", st.DriftFired)
+	}
+	if st.ForcedStale == 0 {
+		t.Fatal("staleness cap never forced a retrain over 6000 points with cap 1500")
+	}
+	if st.Staleness >= 1500+uint64(m.Config().CheckEvery) {
+		t.Fatalf("staleness %d exceeds cap", st.Staleness)
+	}
+}
+
+func TestModelEmptyAndManualRetrain(t *testing.T) {
+	s, err := core.NewVariableReservoir(0.01, 50, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(Config{Dim: 1, ShortH: 20, LongH: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.TrainSize != 0 || st.Accuracy != -1 {
+		t.Fatalf("fresh model stats %+v", st)
+	}
+	// Retrain from an empty snapshot is a no-op.
+	if m.Retrain(core.BuildSnapshot(s)) {
+		t.Fatal("retrain from empty snapshot reported success")
+	}
+	for i := 1; i <= 500; i++ {
+		s.Add(stream.Point{Index: uint64(i), Values: []float64{float64(i)}, Label: i % 2, Weight: 1})
+	}
+	if !m.Retrain(core.BuildSnapshot(s)) {
+		t.Fatal("retrain from populated snapshot failed")
+	}
+	st := m.Stats()
+	if st.TrainSize == 0 || st.TrainedAt != 500 || st.Retrains != 1 {
+		t.Fatalf("post-retrain stats %+v", st)
+	}
+}
+
+// The z-score's short-vs-long contrast fades within ~LongH arrivals of a
+// shift, so a detector alone can sit through the transient between sparse
+// checks and leave the model misclassifying forever. The accuracy-collapse
+// criterion has no such window: with the z-path disabled (absurd
+// threshold), a regime shift must still trigger a retrain off the rolling
+// window scoring far below the lifetime accuracy.
+func TestModelAccuracyCollapseTriggersRetrain(t *testing.T) {
+	s, err := core.NewRTBSReservoir(0.01, 80, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(Config{
+		Dim: 2, ShortH: 100, LongH: 1500,
+		Threshold:  1e9, // z-score can never fire
+		CheckEvery: 50, MinGap: 200, Window: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := stream.NewRegimeGenerator(2, 2500, 2.0, 0.5, 5000, true, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveModel(t, m, s, gen, 100)
+
+	st := m.Stats()
+	if st.DriftFired == 0 {
+		t.Fatalf("accuracy collapse never triggered a retrain: %+v", st)
+	}
+	if !st.WindowOK || st.WindowAcc < 0.6 {
+		t.Fatalf("model did not recover after the shift: %+v", st)
+	}
+}

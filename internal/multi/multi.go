@@ -46,12 +46,76 @@ type managedSampler interface {
 type entry struct {
 	mu      sync.Mutex
 	sampler managedSampler
+	// kind names the sampler family the entry was built from (KindVariable
+	// for tiered ladders, whose tiers are variable reservoirs).
+	kind Kind
 	// share is the total slot charge against the budget (for tiered
 	// streams: per-tier share × tiers).
 	share int
 	// snap caches the read path: mutations invalidate it, estimator
 	// calls are served lock-free from the published snapshot.
 	snap core.SnapshotCache
+}
+
+// Kind names a sampler family the manager can build for a stream. The
+// registry below maps each kind to its constructor; Register picks
+// KindVariable, RegisterKind picks explicitly.
+type Kind string
+
+const (
+	// KindVariable is Aggarwal's space-constrained scheme (Theorem 3.3):
+	// approximate decay, fills quickly, stays near capacity.
+	KindVariable Kind = "variable"
+	// KindTTBS is Hentschel-Haas-Tian targeted-size time-biased sampling:
+	// exact decay, unbounded (target-centered) sample size.
+	KindTTBS Kind = "ttbs"
+	// KindRTBS is Hentschel-Haas-Tian reservoir-based time-biased
+	// sampling: exact decay within a hard item bound.
+	KindRTBS Kind = "rtbs"
+)
+
+// kindSpec is one sampler family's registry entry.
+type kindSpec struct {
+	// build constructs the sampler for a stream with the given share.
+	build func(lambda float64, share int, rng *xrand.Source) (managedSampler, error)
+	// capped applies the ⌊1/λ⌋ maximum-requirement share cap (Corollary
+	// 2.1) before construction; families whose constructors enforce their
+	// own parameter bounds leave it false.
+	capped bool
+}
+
+// samplerKinds is the sampler-family registry. Adding a family means
+// adding one entry here; Register/RegisterKind, the fleet checkpoint
+// decoder and the stats path all go through it.
+var samplerKinds = map[Kind]kindSpec{
+	KindVariable: {
+		build: func(lambda float64, share int, rng *xrand.Source) (managedSampler, error) {
+			return core.NewVariableReservoir(lambda, share, rng)
+		},
+		capped: true,
+	},
+	KindTTBS: {
+		// NewTTBSReservoir enforces its own bound n ≤ 1/(1-e^{-λ}).
+		build: func(lambda float64, share int, rng *xrand.Source) (managedSampler, error) {
+			return core.NewTTBSReservoir(lambda, share, rng)
+		},
+	},
+	KindRTBS: {
+		// R-TBS accepts any positive capacity.
+		build: func(lambda float64, share int, rng *xrand.Source) (managedSampler, error) {
+			return core.NewRTBSReservoir(lambda, share, rng)
+		},
+	},
+}
+
+// Kinds returns the registered sampler-family names, sorted.
+func Kinds() []Kind {
+	out := make([]Kind, 0, len(samplerKinds))
+	for k := range samplerKinds {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // acquireSnapshot returns the entry's current snapshot, taking the entry
@@ -82,23 +146,36 @@ func NewManager(budget int, lambda float64, seed uint64) (*Manager, error) {
 	}, nil
 }
 
-// Register allocates `share` reservoir slots to a new stream. The share is
-// capped by the bias function's maximum requirement ⌊1/λ⌋ (a larger
-// reservoir could not satisfy the bias, Corollary 2.1); it returns an error
-// when the name is taken, the share is not positive, or the remaining
-// budget is insufficient. The cap comes from core.ReservoirCapacity — the
-// same rule the samplers themselves enforce — so the manager can never
-// admit a share its reservoir constructor would reject.
+// Register allocates `share` reservoir slots to a new KindVariable stream.
+// It is RegisterKind with the manager's historical default family.
 func (m *Manager) Register(name string, share int) error {
+	return m.RegisterKind(name, KindVariable, share)
+}
+
+// RegisterKind allocates `share` reservoir slots to a new stream sampled by
+// the named family. For capped families the share is limited by the bias
+// function's maximum requirement ⌊1/λ⌋ (a larger reservoir could not
+// satisfy the bias, Corollary 2.1) — the same rule the samplers themselves
+// enforce, so the manager can never admit a share its reservoir constructor
+// would reject. It returns an error when the kind is unknown, the name is
+// taken, the share is not positive, or the remaining budget is
+// insufficient.
+func (m *Manager) RegisterKind(name string, kind Kind, share int) error {
+	spec, ok := samplerKinds[kind]
+	if !ok {
+		return fmt.Errorf("multi: unknown sampler kind %q (have %v)", kind, Kinds())
+	}
 	if share <= 0 {
 		return fmt.Errorf("multi: share must be positive, got %d", share)
 	}
-	maxShare, err := core.ReservoirCapacity(m.lambda)
-	if err != nil {
-		return fmt.Errorf("multi: %w", err)
-	}
-	if share > maxShare {
-		return fmt.Errorf("multi: share %d exceeds the maximum requirement 1/λ = %d", share, maxShare)
+	if spec.capped {
+		maxShare, err := core.ReservoirCapacity(m.lambda)
+		if err != nil {
+			return fmt.Errorf("multi: %w", err)
+		}
+		if share > maxShare {
+			return fmt.Errorf("multi: share %d exceeds the maximum requirement 1/λ = %d", share, maxShare)
+		}
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -108,11 +185,11 @@ func (m *Manager) Register(name string, share int) error {
 	if m.used+share > m.budget {
 		return fmt.Errorf("multi: budget exhausted: %d used + %d requested > %d total", m.used, share, m.budget)
 	}
-	sampler, err := core.NewVariableReservoir(m.lambda, share, m.rng.Split())
+	sampler, err := spec.build(m.lambda, share, m.rng.Split())
 	if err != nil {
-		return fmt.Errorf("multi: creating reservoir for %q: %w", name, err)
+		return fmt.Errorf("multi: creating %s reservoir for %q: %w", kind, name, err)
 	}
-	m.streams[name] = &entry{sampler: sampler, share: share}
+	m.streams[name] = &entry{sampler: sampler, kind: kind, share: share}
 	m.used += share
 	return nil
 }
@@ -162,7 +239,7 @@ func (m *Manager) RegisterTiered(name string, share, tiers int, ratio float64) e
 	if err != nil {
 		return fmt.Errorf("multi: creating tiered reservoir for %q: %w", name, err)
 	}
-	m.streams[name] = &entry{sampler: sampler, share: total}
+	m.streams[name] = &entry{sampler: sampler, kind: KindVariable, share: total}
 	m.used += total
 	return nil
 }
@@ -340,6 +417,7 @@ func (m *Manager) Estimate(name string, q query.Linear) (float64, error) {
 // Stats describes one stream's reservoir state.
 type Stats struct {
 	Name      string
+	Kind      Kind
 	Share     int
 	Len       int
 	Processed uint64
@@ -371,6 +449,7 @@ func (m *Manager) StreamStats() []Stats {
 		e.mu.Lock()
 		st := Stats{
 			Name:      name,
+			Kind:      e.kind,
 			Share:     e.share,
 			Len:       e.sampler.Len(),
 			Processed: e.sampler.Processed(),

@@ -29,6 +29,10 @@ type streamState struct {
 	// checkpoints written before tiers existed.
 	Tiers int
 	Ratio float64
+	// Kind names the sampler family (RegisterKind); gob leaves it empty
+	// when decoding checkpoints written before kinds existed, which decodes
+	// as the historical default KindVariable.
+	Kind string
 }
 
 // SaveTo writes a checkpoint of the manager and every registered stream.
@@ -55,7 +59,7 @@ func (m *Manager) SaveTo(w io.Writer) error {
 		}
 		e.mu.Lock()
 		blob, err := e.sampler.MarshalBinary()
-		share := e.share
+		share, kind := e.share, e.kind
 		var tiers int
 		var ratio float64
 		if tr, ok := e.sampler.(*core.TieredReservoir); ok {
@@ -65,7 +69,7 @@ func (m *Manager) SaveTo(w io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("multi: snapshotting %q: %w", name, err)
 		}
-		state.Streams[name] = streamState{Share: share, Snapshot: blob, Tiers: tiers, Ratio: ratio}
+		state.Streams[name] = streamState{Share: share, Snapshot: blob, Tiers: tiers, Ratio: ratio, Kind: string(kind)}
 	}
 	if err := gob.NewEncoder(w).Encode(state); err != nil {
 		return fmt.Errorf("multi: encoding fleet checkpoint: %w", err)
@@ -92,8 +96,21 @@ func LoadFrom(r io.Reader, seed uint64) (*Manager, error) {
 		if m.used+st.Share > m.budget {
 			return nil, fmt.Errorf("multi: checkpoint overcommits budget at stream %q", name)
 		}
+		// Checkpoints written before sampler kinds existed decode with an
+		// empty Kind: the historical default, a variable reservoir.
+		kind := Kind(st.Kind)
+		if kind == "" {
+			kind = KindVariable
+		}
+		spec, ok := samplerKinds[kind]
+		if !ok {
+			return nil, fmt.Errorf("multi: stream %q has unknown sampler kind %q in checkpoint", name, st.Kind)
+		}
 		var sampler managedSampler
 		if st.Tiers > 1 {
+			if kind != KindVariable {
+				return nil, fmt.Errorf("multi: stream %q is tiered but has kind %q in checkpoint", name, kind)
+			}
 			// st.Share stores the whole ladder's charge; each tier holds an
 			// equal slice of it.
 			if st.Share%st.Tiers != 0 {
@@ -110,16 +127,16 @@ func LoadFrom(r io.Reader, seed uint64) (*Manager, error) {
 			}
 			sampler = tr
 		} else {
-			vr, err := core.NewVariableReservoir(state.Lambda, st.Share, xrand.New(0))
+			s, err := spec.build(state.Lambda, st.Share, xrand.New(0))
 			if err != nil {
 				return nil, fmt.Errorf("multi: rebuilding %q: %w", name, err)
 			}
-			sampler = vr
+			sampler = s
 		}
 		if err := sampler.UnmarshalBinary(st.Snapshot); err != nil {
 			return nil, fmt.Errorf("multi: restoring %q: %w", name, err)
 		}
-		m.streams[name] = &entry{sampler: sampler, share: st.Share}
+		m.streams[name] = &entry{sampler: sampler, kind: kind, share: st.Share}
 		m.used += st.Share
 	}
 	return m, nil

@@ -1,0 +1,170 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"biasedres/internal/durable"
+)
+
+// faultWorkload drives a durable server over a fault-injected MemFS:
+// create one stream of the given policy, four ingest+Sync rounds with a
+// forced checkpoint after the first, then shut down. Unlike the happy-path
+// helpers it never fails the test — after the injected crash every
+// filesystem operation errors, and the workload just stops advancing its
+// counters. applied counts points acknowledged with 200; floor counts
+// points covered by the last successful journal fsync.
+func faultWorkload(t *testing.T, fs durable.FS, policy string) (created bool, applied, floor int) {
+	t.Helper()
+	store, err := durable.Open(fs, "data")
+	if err != nil {
+		return false, 0, 0
+	}
+	srv := New(1, WithDurability(store, quietDurability))
+	ts := httptest.NewServer(srv)
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+
+	resp, _ := do(t, http.MethodPut, ts.URL+"/streams/s",
+		CreateRequest{Policy: policy, Lambda: 1e-2, Capacity: 20})
+	if resp.StatusCode != http.StatusCreated {
+		return false, 0, 0
+	}
+	created = true
+
+	for round := 0; round < 4; round++ {
+		resp, _ := do(t, http.MethodPost, ts.URL+"/streams/s/points",
+			IngestRequest{Points: floatPoints(10, applied)})
+		if resp.StatusCode != http.StatusOK {
+			return created, applied, floor
+		}
+		// Journal append failures degrade durability, not availability: the
+		// 200 above may have been acknowledged with nothing journaled, so
+		// applied only bounds recovery from above. A crashed append also
+		// leaves the journal with nothing pending — Sync then succeeds
+		// vacuously — so the floor may only advance while the store has
+		// written everything it was asked to.
+		applied += 10
+		if err := store.Sync(); err != nil || store.StatsNow().WriteErrors != 0 {
+			return created, applied, floor
+		}
+		floor = applied
+		if round == 0 {
+			// Cross the rotate/checkpoint path mid-run so crash points land
+			// inside it, not only inside appends and fsyncs.
+			srv.checkpointAll(true)
+		}
+	}
+	return created, applied, floor
+}
+
+// TestDurableFaultSweepNewSamplers is the recovery property test for the
+// T-TBS and R-TBS persistence formats, at the server layer: for every
+// reachable fault-injection point, killing the process there and
+// recovering must yield a stream whose processed count is an exact prefix
+// of the acknowledged ingest — at least the durable floor, at most what
+// was applied — with nothing quarantined (a pure crash is not corruption).
+func TestDurableFaultSweepNewSamplers(t *testing.T) {
+	const maxOps = 800 // far above the workload's op count; the sweep exits early
+	for _, policy := range []string{"ttbs", "rtbs"} {
+		t.Run(policy, func(t *testing.T) {
+			completedClean := false
+			for n := 1; n <= maxOps; n++ {
+				clean := func() bool {
+					fs := durable.NewMemFS()
+					fs.CrashAt(n)
+					created, applied, floor := faultWorkload(t, fs, policy)
+
+					fs.Reboot()
+					store, err := durable.Open(fs, "data")
+					if err != nil {
+						t.Fatalf("op%03d: post-crash Open: %v", n, err)
+					}
+					srv := New(1, WithDurability(store, quietDurability))
+					ts := httptest.NewServer(srv)
+					defer func() {
+						ts.Close()
+						srv.Close()
+					}()
+
+					resp, body := do(t, http.MethodGet, ts.URL+"/streams/s", nil)
+					if resp.StatusCode == http.StatusNotFound {
+						// The stream may only be missing if its creation was
+						// never acknowledged.
+						if created {
+							t.Fatalf("op%03d: acknowledged stream lost after crash", n)
+						}
+						return false
+					}
+					if resp.StatusCode != http.StatusOK {
+						t.Fatalf("op%03d: recovered stats: status %d body %v", n, resp.StatusCode, body)
+					}
+					got := int(body["processed"].(float64))
+					if got < floor || got > applied {
+						t.Fatalf("op%03d: recovered %d points, want within [floor %d, applied %d]",
+							n, got, floor, applied)
+					}
+					if q := scrape(t, ts.URL)["biasedres_durable_quarantined_total"]; q != 0 {
+						t.Fatalf("op%03d: pure crash quarantined %v files", n, q)
+					}
+
+					// The recovered sampler keeps working: ingest advances it.
+					ingest(t, ts.URL, "s", floatPoints(5, got))
+					if after := streamProcessed(t, ts.URL, "s"); after != float64(got+5) {
+						t.Fatalf("op%03d: post-recovery ingest: processed %v, want %d", n, after, got+5)
+					}
+					return applied == 40 && floor == 40
+				}()
+				if clean {
+					completedClean = true
+					break
+				}
+			}
+			if !completedClean {
+				t.Fatalf("crash sweep never reached a clean run within %d ops", maxOps)
+			}
+		})
+	}
+}
+
+// TestDurableNewSamplersCleanRestart pins the simple path separately from
+// the sweep: graceful shutdown and recovery round-trip both new samplers
+// exactly, including across a second restart cycle.
+func TestDurableNewSamplersCleanRestart(t *testing.T) {
+	for _, policy := range []string{"ttbs", "rtbs"} {
+		t.Run(policy, func(t *testing.T) {
+			fs := durable.NewMemFS()
+			ts, srv, _ := newDurableServer(t, fs)
+			createStream(t, ts.URL, "s", CreateRequest{Policy: policy, Lambda: 1e-2, Capacity: 20})
+			ingest(t, ts.URL, "s", floatPoints(60, 0))
+			sizeBefore := int(mustStats(t, ts.URL, "s")["size"].(float64))
+			ts.Close()
+			srv.Close()
+
+			ts2, _, _ := newDurableServer(t, fs)
+			st := mustStats(t, ts2.URL, "s")
+			if st["processed"].(float64) != 60 || st["policy"] != policy {
+				t.Fatalf("recovered stats: %v", st)
+			}
+			if got := int(st["size"].(float64)); got != sizeBefore {
+				t.Fatalf("recovered reservoir size %d, want %d", got, sizeBefore)
+			}
+			ingest(t, ts2.URL, "s", floatPoints(10, 60))
+			if got := streamProcessed(t, ts2.URL, "s"); got != 70 {
+				t.Fatalf("post-recovery processed = %v, want 70", got)
+			}
+		})
+	}
+}
+
+func mustStats(t *testing.T, base, name string) map[string]any {
+	t.Helper()
+	resp, body := do(t, http.MethodGet, base+"/streams/"+name, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats %s: status %d body %v", name, resp.StatusCode, body)
+	}
+	return body
+}

@@ -51,6 +51,9 @@ func (s *Server) runIngestShard(name string, ms *managedStream) {
 			s.appendJournal(name, journalOps(batch))
 		}
 		ms.mu.Unlock()
+		// Model scoring runs on the worker inside the semaphore slot:
+		// classification is CPU work and must respect -ingest-workers.
+		s.observeModel(ms, batch)
 		<-s.ingestSem
 		ms.pending.Add(-int64(len(batch)))
 		s.applied.With(name).Inc()

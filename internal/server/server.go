@@ -18,6 +18,10 @@
 //	GET    /streams/{name}/accum      fused HT accumulator (federation wire form)
 //	GET    /streams/{name}/snapshot   binary checkpoint (octet-stream)
 //	POST   /streams/{name}/restore    restore from a checkpoint body
+//	POST   /streams/{name}/model      attach a managed classifier (see model.go)
+//	GET    /streams/{name}/model      model statistics
+//	GET    /streams/{name}/model/eval model confusion matrix and macro-F1
+//	DELETE /streams/{name}/model      detach the model
 //	GET    /metrics                   Prometheus text exposition
 //
 // Query parameters: type=count|average|classdist|groupavg|selectivity|quantile,
@@ -52,6 +56,7 @@ import (
 
 	"biasedres/internal/core"
 	"biasedres/internal/durable"
+	"biasedres/internal/models"
 	"biasedres/internal/obs"
 	"biasedres/internal/query"
 	"biasedres/internal/stream"
@@ -105,6 +110,10 @@ type managedStream struct {
 	// and queries/samples/stats are served from the published snapshot
 	// without touching mu (see core.SnapshotCache).
 	snap core.SnapshotCache
+	// model is the stream's managed classifier (nil = none). Swapped
+	// atomically so the ingest hot path costs one load when no model is
+	// attached.
+	model atomic.Pointer[models.Model]
 }
 
 // acquireSnapshot returns the stream's current sampler snapshot. When
@@ -142,6 +151,10 @@ type Server struct {
 
 	// maxBody bounds request bodies; oversized requests get 413.
 	maxBody int64
+
+	// defaultPolicy is the sampler family used by create requests that
+	// omit "policy" (default "variable", the paper's sampler).
+	defaultPolicy string
 
 	// Retention sweep (zero floor = disabled): tierQueries counts
 	// horizon-routed reads per (stream, tier); the sweep compacts
@@ -217,6 +230,34 @@ func WithIngestShards(workers, queue int) Option {
 	}
 }
 
+// WithDefaultPolicy sets the sampler family used when a create request
+// omits "policy" (default "variable"). The name must be one of Policies;
+// unknown names are ignored so a misconfigured option cannot change the
+// daemon's behavior silently — validate with ValidPolicy first.
+func WithDefaultPolicy(policy string) Option {
+	return func(s *Server) {
+		if ValidPolicy(policy) {
+			s.defaultPolicy = policy
+		}
+	}
+}
+
+// Policies lists the sampler families samplerFactory accepts, in the
+// order the documentation presents them.
+func Policies() []string {
+	return []string{"variable", "biased", "constrained", "unbiased", "window", "timedecay", "ttbs", "rtbs"}
+}
+
+// ValidPolicy reports whether name is a known sampler family.
+func ValidPolicy(name string) bool {
+	for _, p := range Policies() {
+		if p == name {
+			return true
+		}
+	}
+	return false
+}
+
 // WithMaxBodyBytes bounds request bodies at n bytes (default 8 MiB).
 // Oversized ingest/restore/create bodies are refused with 413 and a JSON
 // error instead of being read into memory.
@@ -231,9 +272,10 @@ func WithMaxBodyBytes(n int64) Option {
 // New returns a Server; seed drives the samplers' randomness.
 func New(seed uint64, opts ...Option) *Server {
 	s := &Server{
-		streams: make(map[string]*managedStream),
-		seeds:   xrand.New(seed),
-		maxBody: defaultMaxBodyBytes,
+		streams:       make(map[string]*managedStream),
+		seeds:         xrand.New(seed),
+		maxBody:       defaultMaxBodyBytes,
+		defaultPolicy: "variable",
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -261,6 +303,7 @@ func New(seed uint64, opts ...Option) *Server {
 	s.metrics.Register(obs.CollectorFunc(s.collectStreams))
 	s.metrics.Register(obs.CollectorFunc(s.collectIngest))
 	s.metrics.Register(obs.CollectorFunc(s.collectTiers))
+	s.metrics.Register(obs.CollectorFunc(s.collectModels))
 
 	mux := http.NewServeMux()
 	routes := []struct {
@@ -282,6 +325,10 @@ func New(seed uint64, opts ...Option) *Server {
 		{"POST /streams/{name}/restore", s.handleRestore},
 		{"GET /streams/{name}/transfer", s.handleTransferGet},
 		{"POST /streams/{name}/transfer", s.handleTransferPost},
+		{"POST /streams/{name}/model", s.handleModelCreate},
+		{"GET /streams/{name}/model", s.handleModelGet},
+		{"GET /streams/{name}/model/eval", s.handleModelEval},
+		{"DELETE /streams/{name}/model", s.handleModelDelete},
 	}
 	for _, rt := range routes {
 		mux.Handle(rt.pattern, s.instrument(rt.pattern, rt.handler))
@@ -458,7 +505,7 @@ func (s *Server) lookup(name string) (*managedStream, bool) {
 // CreateRequest is the body of PUT /streams/{name}.
 type CreateRequest struct {
 	// Policy is one of "variable" (default), "biased", "constrained",
-	// "unbiased", "window".
+	// "unbiased", "window", "timedecay", "ttbs", "rtbs".
 	Policy string `json:"policy"`
 	// Lambda is the bias rate (biased policies).
 	Lambda float64 `json:"lambda"`
@@ -487,7 +534,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Policy == "" {
-		req.Policy = "variable"
+		req.Policy = s.defaultPolicy
 	}
 	fresh, err := samplerFactory(req)
 	if err != nil {
@@ -582,6 +629,14 @@ func samplerFactory(req CreateRequest) (func(rng *xrand.Source) (persistentSampl
 	case "timedecay":
 		return func(rng *xrand.Source) (persistentSampler, error) {
 			return core.NewTimeDecayReservoir(req.Lambda, req.Capacity, rng)
+		}, nil
+	case "ttbs":
+		return func(rng *xrand.Source) (persistentSampler, error) {
+			return core.NewTTBSReservoir(req.Lambda, req.Capacity, rng)
+		}, nil
+	case "rtbs":
+		return func(rng *xrand.Source) (persistentSampler, error) {
+			return core.NewRTBSReservoir(req.Lambda, req.Capacity, rng)
 		}, nil
 	}
 	return nil, fmt.Errorf("unknown policy %q", req.Policy)
@@ -788,7 +843,13 @@ func (s *Server) handleIngestSync(w http.ResponseWriter, name string, ms *manage
 	if s.durable != nil {
 		ops = make([]durable.Op, 0, len(req.Points))
 	}
+	// batch holds the applied points for the model hook below; the
+	// arrival-indexed path builds it anyway for core.AddBatch.
+	var batch []stream.Point
 	if timed {
+		if ms.model.Load() != nil {
+			batch = make([]stream.Point, 0, len(req.Points))
+		}
 		for i, ip := range req.Points {
 			ms.next++
 			p := ingestPoint(ms.next, ip)
@@ -810,17 +871,23 @@ func (s *Server) handleIngestSync(w http.ResponseWriter, name string, ms *manage
 				if ops != nil {
 					ops = append(ops, durable.Op{P: p, TS: *ip.TS, HasTS: true})
 				}
+				if batch != nil {
+					batch = append(batch, p)
+				}
 				continue
 			}
 			td.Add(p)
 			if ops != nil {
 				ops = append(ops, durable.Op{P: p})
 			}
+			if batch != nil {
+				batch = append(batch, p)
+			}
 		}
 	} else {
 		// Arrival-indexed policies take the batch fast path: one
 		// core.AddBatch amortizes admission coins across the request.
-		batch := make([]stream.Point, len(req.Points))
+		batch = make([]stream.Point, len(req.Points))
 		for i, ip := range req.Points {
 			ms.next++
 			batch[i] = ingestPoint(ms.next, ip)
@@ -836,6 +903,7 @@ func (s *Server) handleIngestSync(w http.ResponseWriter, name string, ms *manage
 	ms.snap.Invalidate()
 	ms.mu.Unlock()
 	ms.qmu.Unlock()
+	s.observeModel(ms, batch)
 	s.ingest.With(name).Add(uint64(len(req.Points)))
 	s.batchSize.Observe(float64(len(req.Points)))
 	writeJSON(w, map[string]any{"ingested": len(req.Points), "processed": processed})

@@ -72,6 +72,16 @@ func tieredFactory(req CreateRequest) (func(rng *xrand.Source) (persistentSample
 		tierBuild = func(_ int, lambda float64, rng *xrand.Source) (core.PersistentSampler, error) {
 			return core.NewTimeDecayReservoir(lambda, req.Capacity, rng)
 		}
+	case "ttbs":
+		// Tier 0 runs the steepest λ and therefore the tightest target
+		// bound n ≤ 1/(1-e^{-λ}); deeper tiers only relax it.
+		tierBuild = func(_ int, lambda float64, rng *xrand.Source) (core.PersistentSampler, error) {
+			return core.NewTTBSReservoir(lambda, req.Capacity, rng)
+		}
+	case "rtbs":
+		tierBuild = func(_ int, lambda float64, rng *xrand.Source) (core.PersistentSampler, error) {
+			return core.NewRTBSReservoir(lambda, req.Capacity, rng)
+		}
 	default:
 		// Uniform policies have no λ to space tiers over.
 		return nil, fmt.Errorf("policy %q does not support tiers", req.Policy)

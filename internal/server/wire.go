@@ -103,6 +103,7 @@ func (s *Server) IngestFrame(f *wire.Frame) wire.Reply {
 	ms.snap.Invalidate()
 	ms.mu.Unlock()
 	ms.qmu.Unlock()
+	s.observeModel(ms, batch)
 	s.countWireBatch(f)
 	return wire.Ack(0)
 }
